@@ -1,0 +1,89 @@
+// Ablation: interval-index-accelerated selection vs full scan (the
+// paper's third future-work item, Sec. X). The index stores conservative
+// endpoint bounds per tuple; for a selective probe interval it prunes
+// most tuples before the exact ongoing predicate runs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/operations.h"
+#include "query/interval_index.h"
+#include "relation/algebra.h"
+
+using namespace ongoingdb;
+using namespace ongoingdb::bench;
+
+int main() {
+  std::printf("Ablation: interval index vs full scan "
+              "(Q^sigma_ovlp / Q^sigma_bef on Dsc)\n\n");
+  const int64_t n = Scaled(200000);
+  OngoingRelation dsc = datasets::GenerateDsc(n);
+  auto index = IntervalIndex::Build(dsc, "VT");
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  size_t vt = *dsc.schema().IndexOf("VT");
+
+  TablePrinter table;
+  table.SetHeader({"probe location", "predicate", "scan [ms]", "index [ms]",
+                   "candidates", "result"});
+  const TimePoint history_end = Date(2019, 1, 1);
+  const TimePoint history_start = history_end - 10 * 365;
+  struct Probe {
+    const char* label;
+    FixedInterval interval;
+  };
+  const Probe probes[] = {
+      {"early (year 1)", {history_start + 30, history_start + 120}},
+      {"middle (year 5)", {history_start + 5 * 365, history_start + 5 * 365 + 90}},
+      {"late (year 10)", {history_end - 90, history_end}},
+  };
+  for (const Probe& p : probes) {
+    const char* label = p.label;
+    FixedInterval probe = p.interval;
+    OngoingInterval probe_iv =
+        OngoingInterval::Fixed(probe.start, probe.end);
+    // overlaps
+    {
+      size_t result_size = 0;
+      double scan_ms =
+          MedianSeconds([&] {
+            OngoingRelation out = Select(dsc, [&](const Tuple& t) {
+              return Overlaps(t.value(vt).AsOngoingInterval(), probe_iv);
+            });
+            result_size = out.size();
+          }) * 1e3;
+      double index_ms =
+          MedianSeconds([&] { (void)*index->SelectOverlaps(dsc, probe); }) *
+          1e3;
+      table.AddRow({label, "overlaps",
+                    FormatDouble(scan_ms, 2), FormatDouble(index_ms, 2),
+                    std::to_string(index->OverlapCandidates(probe).size()),
+                    std::to_string(result_size)});
+    }
+    // before
+    {
+      size_t result_size = 0;
+      double scan_ms =
+          MedianSeconds([&] {
+            OngoingRelation out = Select(dsc, [&](const Tuple& t) {
+              return Before(t.value(vt).AsOngoingInterval(), probe_iv);
+            });
+            result_size = out.size();
+          }) * 1e3;
+      double index_ms =
+          MedianSeconds([&] { (void)*index->SelectBefore(dsc, probe); }) *
+          1e3;
+      table.AddRow({label, "before",
+                    FormatDouble(scan_ms, 2), FormatDouble(index_ms, 2),
+                    std::to_string(index->BeforeCandidates(probe).size()),
+                    std::to_string(result_size)});
+    }
+  }
+  table.Print();
+  std::printf("\nFor selective probes the index visits only the "
+              "candidate prefix; wide probes degenerate to a scan "
+              "(expanding [a, now) intervals can overlap anything "
+              "late).\n");
+  return 0;
+}

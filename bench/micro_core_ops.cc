@@ -1,0 +1,219 @@
+// Micro-benchmarks (google-benchmark) of the Sec. VIII implementation
+// claims, with ablations of the design choices DESIGN.md calls out:
+//
+//  * the Fig. 6 decision-tree less-than (<= 3 comparisons) vs a naive
+//    five-case enumeration;
+//  * the Algorithm 1 sweep-line conjunction (single pass, sorted output
+//    for free) vs a sort-then-merge implementation;
+//  * the Allen predicates, interval-set operations, and instantiation.
+#include <benchmark/benchmark.h>
+
+#include "core/bind.h"
+#include "core/operations.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+std::vector<OngoingTimePoint> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OngoingTimePoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint a = rng.Uniform(-1000, 1000);
+    points.emplace_back(a, a + rng.Uniform(0, 500));
+  }
+  return points;
+}
+
+std::vector<IntervalSet> RandomSets(size_t n, size_t intervals_per_set,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IntervalSet> sets;
+  sets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<FixedInterval> ivs;
+    for (size_t k = 0; k < intervals_per_set; ++k) {
+      TimePoint s = rng.Uniform(-10000, 10000);
+      ivs.push_back({s, s + rng.Uniform(1, 400)});
+    }
+    sets.push_back(IntervalSet::FromUnsorted(std::move(ivs)));
+  }
+  return sets;
+}
+
+// Naive less-than: enumerates Theorem 1's five cases with explicit
+// condition tests (up to eight comparisons) instead of the Fig. 6
+// decision tree. Used as the ablation baseline.
+OngoingBoolean NaiveLess(const OngoingTimePoint& t1,
+                         const OngoingTimePoint& t2) {
+  const TimePoint a = t1.a(), b = t1.b(), c = t2.a(), d = t2.b();
+  if (a <= b && b < c && c <= d) return OngoingBoolean::True();
+  if (a < c && c <= d && d <= b) {
+    return OngoingBoolean(IntervalSet{{kMinInfinity, c}});
+  }
+  if (c <= a && a <= b && b < d) {
+    if (b + 1 >= kMaxInfinity) return OngoingBoolean::False();
+    return OngoingBoolean(IntervalSet{{b + 1, kMaxInfinity}});
+  }
+  if (a < c && c <= b && b < d) {
+    if (b + 1 >= kMaxInfinity) {
+      return OngoingBoolean(IntervalSet{{kMinInfinity, c}});
+    }
+    return OngoingBoolean(
+        IntervalSet{{kMinInfinity, c}, {b + 1, kMaxInfinity}});
+  }
+  return OngoingBoolean::False();
+}
+
+// Sort-based conjunction: concatenates both interval lists and
+// normalizes, computing the intersection via complement identities.
+// The ablation baseline for Algorithm 1.
+IntervalSet SortBasedConjunction(const IntervalSet& x, const IntervalSet& y) {
+  // x ^ y == not(not x v not y); unions via FromUnsorted re-sorting.
+  std::vector<FixedInterval> merged;
+  for (const FixedInterval& iv : x.Complement().intervals()) {
+    merged.push_back(iv);
+  }
+  for (const FixedInterval& iv : y.Complement().intervals()) {
+    merged.push_back(iv);
+  }
+  return IntervalSet::FromUnsorted(std::move(merged)).Complement();
+}
+
+void BM_LessThanDecisionTree(benchmark::State& state) {
+  auto points = RandomPoints(1024, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t1 = points[i % points.size()];
+    const auto& t2 = points[(i + 1) % points.size()];
+    benchmark::DoNotOptimize(Less(t1, t2));
+    ++i;
+  }
+}
+BENCHMARK(BM_LessThanDecisionTree);
+
+void BM_LessThanNaive(benchmark::State& state) {
+  auto points = RandomPoints(1024, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t1 = points[i % points.size()];
+    const auto& t2 = points[(i + 1) % points.size()];
+    benchmark::DoNotOptimize(NaiveLess(t1, t2));
+    ++i;
+  }
+}
+BENCHMARK(BM_LessThanNaive);
+
+void BM_MinMax(benchmark::State& state) {
+  auto points = RandomPoints(1024, 11);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t1 = points[i % points.size()];
+    const auto& t2 = points[(i + 1) % points.size()];
+    benchmark::DoNotOptimize(Min(t1, t2));
+    benchmark::DoNotOptimize(Max(t1, t2));
+    ++i;
+  }
+}
+BENCHMARK(BM_MinMax);
+
+void BM_ConjunctionSweepLine(benchmark::State& state) {
+  auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 13);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = sets[i % sets.size()];
+    const auto& y = sets[(i + 1) % sets.size()];
+    benchmark::DoNotOptimize(x.Intersect(y));
+    ++i;
+  }
+}
+BENCHMARK(BM_ConjunctionSweepLine)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConjunctionSortBased(benchmark::State& state) {
+  auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 13);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = sets[i % sets.size()];
+    const auto& y = sets[(i + 1) % sets.size()];
+    benchmark::DoNotOptimize(SortBasedConjunction(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_ConjunctionSortBased)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DisjunctionSweepLine(benchmark::State& state) {
+  auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 17);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = sets[i % sets.size()];
+    const auto& y = sets[(i + 1) % sets.size()];
+    benchmark::DoNotOptimize(x.Union(y));
+    ++i;
+  }
+}
+BENCHMARK(BM_DisjunctionSweepLine)->Arg(1)->Arg(16);
+
+void BM_Negation(benchmark::State& state) {
+  auto sets = RandomSets(256, 16, 19);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % sets.size()].Complement());
+    ++i;
+  }
+}
+BENCHMARK(BM_Negation);
+
+void BM_OverlapsPredicate(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<OngoingInterval> intervals;
+  for (int i = 0; i < 1024; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      intervals.push_back(OngoingInterval::SinceUntilNow(rng.Uniform(0, 500)));
+    } else {
+      TimePoint s = rng.Uniform(0, 500);
+      intervals.push_back(OngoingInterval::Fixed(s, s + rng.Uniform(1, 90)));
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Overlaps(intervals[i % intervals.size()],
+                                      intervals[(i + 1) % intervals.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OverlapsPredicate);
+
+void BM_BeforePredicate(benchmark::State& state) {
+  Rng rng(29);
+  std::vector<OngoingInterval> intervals;
+  for (int i = 0; i < 1024; ++i) {
+    TimePoint s = rng.Uniform(0, 500);
+    intervals.push_back(rng.Bernoulli(0.3)
+                            ? OngoingInterval::SinceUntilNow(s)
+                            : OngoingInterval::Fixed(s, s + rng.Uniform(1, 90)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Before(intervals[i % intervals.size()],
+                                    intervals[(i + 1) % intervals.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BeforePredicate);
+
+void BM_Instantiate(benchmark::State& state) {
+  auto points = RandomPoints(1024, 31);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Bind(points[i % points.size()], static_cast<TimePoint>(i % 2000)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Instantiate);
+
+}  // namespace
+}  // namespace ongoingdb
+
+BENCHMARK_MAIN();

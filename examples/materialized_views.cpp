@@ -1,0 +1,87 @@
+// Materialized views over ongoing results (Sec. IX-C of the paper).
+//
+// An application dashboard needs instantiated results at many reference
+// times (today, yesterday, end of last quarter, ...). With Clifford's
+// state-of-the-art approach every timestamp costs a full query
+// re-evaluation; with ongoing results the query runs once and each
+// timestamp is a cheap bind. This example measures both on the
+// Incumbent-like data set and prints the amortization point.
+//
+// Build & run:  ./build/examples/materialized_views
+#include <cstdio>
+#include <iostream>
+
+#include "datasets/incumbent.h"
+#include "query/executor.h"
+#include "query/materialized_view.h"
+#include "util/timer.h"
+
+using namespace ongoingdb;
+
+int main() {
+  OngoingRelation incumbent = datasets::GenerateIncumbent(40000);
+  std::printf("Project assignments: %zu rows (19%% still ongoing)\n\n",
+              incumbent.size());
+
+  // Assignments active during the last year of the history.
+  const TimePoint history_end = Date(1997, 10, 1);
+  PlanPtr plan = Filter(
+      Scan(&incumbent, "I"),
+      OverlapsExpr(Col("VT"), Lit(OngoingInterval::Fixed(history_end - 365,
+                                                         history_end))));
+
+  // Materialize the ongoing result once.
+  Timer create_timer;
+  auto view = MaterializedView::Create(plan);
+  if (!view.ok()) {
+    std::cerr << view.status() << "\n";
+    return 1;
+  }
+  const double create_ms = create_timer.ElapsedMillis();
+  std::printf("Materialized the ongoing view in %.2f ms (%zu tuples).\n"
+              "It only needs refreshing after data modifications - never "
+              "because time passed.\n\n",
+              create_ms, view->ongoing_result().size());
+
+  // The dashboard asks for instantiated results at 5 reference times.
+  const TimePoint timestamps[] = {history_end - 300, history_end - 180,
+                                  history_end - 90, history_end - 30,
+                                  history_end};
+  double total_instantiate_ms = 0, total_clifford_ms = 0;
+  std::printf("%-14s %22s %22s\n", "reference time",
+              "bind from view [ms]", "Clifford re-eval [ms]");
+  for (TimePoint rt : timestamps) {
+    Timer bind_timer;
+    OngoingRelation from_view = view->InstantiateAt(rt);
+    double bind_ms = bind_timer.ElapsedMillis();
+
+    Timer clifford_timer;
+    auto clifford = ExecuteAtReferenceTime(plan, rt);
+    double clifford_ms = clifford_timer.ElapsedMillis();
+    if (!clifford.ok()) {
+      std::cerr << clifford.status() << "\n";
+      return 1;
+    }
+    if (!InstantiatedRelationsEqual(from_view, *clifford)) {
+      std::cerr << "snapshot mismatch at " << FormatTimePoint(rt) << "\n";
+      return 1;
+    }
+    total_instantiate_ms += bind_ms;
+    total_clifford_ms += clifford_ms;
+    std::printf("%-14s %22.2f %22.2f   (%zu tuples, results identical)\n",
+                FormatTimePoint(rt).c_str(), bind_ms, clifford_ms,
+                from_view.size());
+  }
+
+  std::printf("\nTotals: view create + 5 binds = %.2f ms vs 5 Clifford "
+              "re-evaluations = %.2f ms\n",
+              create_ms + total_instantiate_ms, total_clifford_ms);
+  const double gain_per_ts =
+      total_clifford_ms / 5 - total_instantiate_ms / 5;
+  if (gain_per_ts > 0) {
+    std::printf("The ongoing view amortizes after ~%.1f instantiated "
+                "timestamps (paper: fewer than two on MozillaBugs).\n",
+                create_ms / gain_per_ts);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// SQL shell: the textual face of the library (the paper's prototype is a
+// PostgreSQL extension; this is the equivalent interface here).
+//
+// Loads the running-example relations into a catalog, runs a demo script
+// of queries — including the paper's three-way join — and then, if stdin
+// is a terminal, drops into an interactive loop where each line is
+// parsed, optimized, executed with ongoing semantics, and printed with
+// its reference times.
+//
+// Build & run:  ./build/examples/sql_shell
+//               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/examples/sql_shell
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sql/statement.h"
+#include "unistd.h"
+
+using namespace ongoingdb;
+
+namespace {
+
+sql::Catalog MakeCatalog() {
+  sql::Catalog catalog;
+  OngoingRelation b(Schema({{"BID", ValueType::kInt64},
+                            {"C", ValueType::kString},
+                            {"VT", ValueType::kOngoingInterval}}));
+  (void)b.Insert({Value::Int64(500), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))});
+  (void)b.Insert({Value::Int64(501), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::Fixed(MD(3, 30),
+                                                        MD(8, 21)))});
+  catalog.Register("B", std::move(b));
+
+  OngoingRelation p(Schema({{"PID", ValueType::kInt64},
+                            {"C", ValueType::kString},
+                            {"VT", ValueType::kOngoingInterval}}));
+  (void)p.Insert({Value::Int64(201), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::Fixed(MD(8, 15),
+                                                        MD(8, 24)))});
+  (void)p.Insert({Value::Int64(202), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::Fixed(MD(8, 24),
+                                                        MD(8, 27)))});
+  catalog.Register("P", std::move(p));
+
+  OngoingRelation l(Schema({{"Name", ValueType::kString},
+                            {"C", ValueType::kString},
+                            {"VT", ValueType::kOngoingInterval}}));
+  (void)l.Insert({Value::String("Ann"), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::Fixed(MD(1, 20),
+                                                        MD(8, 18)))});
+  (void)l.Insert({Value::String("Bob"), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(8, 18)))});
+  catalog.Register("L", std::move(l));
+  return catalog;
+}
+
+void RunAndPrint(const std::string& statement, sql::Catalog* catalog) {
+  std::printf("ongoingdb> %s\n", statement.c_str());
+  auto result = sql::RunStatement(statement, catalog);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->relation.has_value()) {
+    std::printf("%s(%s)\n\n", result->relation->ToString().c_str(),
+                result->message.c_str());
+  } else {
+    std::printf("%s\n\n", result->message.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  sql::Catalog catalog = MakeCatalog();
+  std::printf("ongoingdb SQL shell — relations: B(BID, C, VT), "
+              "P(PID, C, VT), L(Name, C, VT)\n"
+              "Ongoing literals: NOW, DATE '08/15', "
+              "PERIOD ['01/25', NOW)\n\n");
+
+  const char* demo[] = {
+      "SELECT * FROM B",
+      "SELECT BID FROM B WHERE VT BEFORE PERIOD ['08/15', '08/24')",
+      "SELECT BID, PID, Name FROM B b "
+      "JOIN P p ON b.C = p.C AND b.VT BEFORE p.VT "
+      "JOIN L l ON b.C = l.C AND b.VT OVERLAPS l.VT",
+      "SELECT BID FROM B WHERE DURATION(VT) > 180",
+      "CREATE TABLE Notes (ID INT, Text TEXT, VT PERIOD)",
+      "INSERT INTO Notes VALUES (1, 'spam regression', "
+      "PERIOD ['08/01', NOW))",
+      "DELETE FROM Notes WHERE ID = 1 AT DATE '09/15'",
+      "SELECT * FROM Notes",
+  };
+  std::printf("--- demo script ---\n");
+  for (const char* statement : demo) RunAndPrint(statement, &catalog);
+
+  if (isatty(fileno(stdin))) {
+    std::printf("--- interactive (empty line to quit) ---\n");
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    RunAndPrint(line, &catalog);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Temporal audit: set operations over ongoing relations plus durable
+// storage.
+//
+// A compliance team keeps two registers of active policies, one per
+// source system. They need (a) policies present in either register
+// (union), (b) policies in the primary register that the replica is
+// *missing at some reference times* (difference with per-reference-time
+// semantics, Theorem 2), and (c) the registers persisted to slotted
+// heap pages and read back unchanged.
+//
+// Build & run:  ./build/examples/temporal_audit
+#include <cstdio>
+#include <iostream>
+
+#include "relation/algebra.h"
+#include "storage/heap_file.h"
+#include "storage/stats.h"
+
+using namespace ongoingdb;
+
+namespace {
+
+Schema PolicySchema() {
+  return Schema({{"Policy", ValueType::kString},
+                 {"Holder", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+void Show(const char* title, const OngoingRelation& r) {
+  std::printf("%s\n%s\n", title, r.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Primary register: all policies, inserted as base tuples.
+  OngoingRelation primary(PolicySchema());
+  (void)primary.Insert({Value::String("P-100"), Value::String("Ada"),
+                        Value::Ongoing(OngoingInterval::SinceUntilNow(
+                            MD(2, 1)))});
+  (void)primary.Insert({Value::String("P-200"), Value::String("Grace"),
+                        Value::Ongoing(OngoingInterval::Fixed(MD(3, 1),
+                                                              MD(9, 1)))});
+  (void)primary.Insert({Value::String("P-300"), Value::String("Edsger"),
+                        Value::Ongoing(OngoingInterval::SinceUntilNow(
+                            MD(6, 15)))});
+
+  // Replica register: P-200 arrives identically; P-100 was only synced
+  // from 04/01 on (restricted reference time); P-300 never arrived.
+  OngoingRelation replica(PolicySchema());
+  (void)replica.Insert({Value::String("P-200"), Value::String("Grace"),
+                        Value::Ongoing(OngoingInterval::Fixed(MD(3, 1),
+                                                              MD(9, 1)))});
+  (void)replica.InsertWithRt(
+      {Value::String("P-100"), Value::String("Ada"),
+       Value::Ongoing(OngoingInterval::SinceUntilNow(MD(2, 1)))},
+      IntervalSet{{MD(4, 1), kMaxInfinity}});
+
+  Show("=== Primary register ===", primary);
+  Show("=== Replica register ===", replica);
+
+  // (a) Union merges the registers; structurally equal tuples merge
+  // their reference times.
+  auto all = Union(primary, replica);
+  if (!all.ok()) {
+    std::cerr << all.status() << "\n";
+    return 1;
+  }
+  Show("=== Union (every policy known anywhere) ===", *all);
+
+  // (b) Difference: which policies does the replica miss, and *when*?
+  auto missing = Difference(primary, replica);
+  if (!missing.ok()) {
+    std::cerr << missing.status() << "\n";
+    return 1;
+  }
+  Show("=== Primary - Replica (policies missing from the replica, with "
+       "the reference times at which they are missing) ===",
+       *missing);
+  std::printf("Reading the RT column: P-100 is missing only at reference "
+              "times before 04/01\n(the sync date); P-300 is missing at "
+              "all reference times.\n\n");
+
+  // (c) Persist the primary register to heap pages and read it back.
+  HeapFile file(PolicySchema(), 4096);
+  if (auto st = file.Load(primary); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  auto reloaded = file.Scan();
+  if (!reloaded.ok()) {
+    std::cerr << reloaded.status() << "\n";
+    return 1;
+  }
+  StorageStats stats = ComputeStorageStats(primary);
+  std::printf("=== Storage ===\nPersisted %zu tuples to %zu page(s); "
+              "scan returned %zu tuples.\nAvg tuple: %.1f B, of which RT "
+              "array: %.1f B (%.0f%%).\n",
+              file.num_tuples(), file.num_pages(), reloaded->size(),
+              stats.AvgTupleBytes(), stats.AvgRtBytes(),
+              100.0 * stats.RtShare());
+  return 0;
+}

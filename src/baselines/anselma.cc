@@ -1,0 +1,50 @@
+#include "baselines/anselma.h"
+
+#include <algorithm>
+
+namespace ongoingdb {
+
+AnselmaIntersection AnselmaIntersect(const TnowInterval& i1,
+                                     const TnowInterval& i2, TimePoint rt) {
+  // The representable cases: the result's start is the later start and
+  // the end the earlier end. This stays in Tnow x Tnow when each side can
+  // be decided *independently of the reference time*.
+  const TnowPoint& s1 = i1.start;
+  const TnowPoint& s2 = i2.start;
+  const TnowPoint& e1 = i1.end;
+  const TnowPoint& e2 = i2.end;
+
+  AnselmaIntersection result;
+  std::optional<TnowPoint> start, end;
+  // max(s1, s2): decidable if both fixed, or both now.
+  if (!s1.is_now && !s2.is_now) {
+    start = TnowPoint::Fixed(std::max(s1.fixed, s2.fixed));
+  } else if (s1.is_now && s2.is_now) {
+    start = TnowPoint::Now();
+  }
+  // min(e1, e2): likewise.
+  if (!e1.is_now && !e2.is_now) {
+    end = TnowPoint::Fixed(std::min(e1.fixed, e2.fixed));
+  } else if (e1.is_now && e2.is_now) {
+    // min(now, now) = now; the paper's related-work example
+    // [10/14, now) n [10/17, now) = [10/17, now) is this case combined
+    // with fixed starts.
+    end = TnowPoint::Now();
+  }
+  if (start && end) {
+    result.stayed_symbolic = true;
+    result.symbolic = TnowInterval{*start, *end};
+    return result;
+  }
+  // Fallback: instantiate now at the evaluation time — the result is only
+  // valid at rt (e.g. [10/17, 10/22) n [10/17, now) = [10/17, 10/20) at
+  // rt = 10/20).
+  result.stayed_symbolic = false;
+  FixedInterval f1 = i1.Instantiate(rt);
+  FixedInterval f2 = i2.Instantiate(rt);
+  result.instantiated = FixedInterval{std::max(f1.start, f2.start),
+                                      std::min(f1.end, f2.end)};
+  return result;
+}
+
+}  // namespace ongoingdb

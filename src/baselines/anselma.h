@@ -1,0 +1,62 @@
+// The Anselma et al. baseline [5]: an algebra over the time domain
+// T u {now} that keeps now uninstantiated *when possible*. Intersection
+// and difference stay symbolic for simple shapes — e.g.
+// [10/14, now) n [10/17, now) = [10/17, now) — but must instantiate now
+// at the evaluation reference time for more complex end points, e.g.
+// [10/17, 10/22) n [10/17, now). Predicates on ongoing time points are
+// not defined in their approach. The tests contrast this partial
+// instantiation with the paper's fully symbolic Omega results.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/time.h"
+
+namespace ongoingdb {
+
+/// A time point of Tnow = T u {now}.
+struct TnowPoint {
+  bool is_now = false;
+  TimePoint fixed = 0;  // meaningful iff !is_now
+
+  static TnowPoint Now() { return TnowPoint{true, 0}; }
+  static TnowPoint Fixed(TimePoint t) { return TnowPoint{false, t}; }
+
+  TimePoint Instantiate(TimePoint rt) const { return is_now ? rt : fixed; }
+  friend bool operator==(const TnowPoint&, const TnowPoint&) = default;
+  std::string ToString() const {
+    return is_now ? "now" : FormatTimePoint(fixed);
+  }
+};
+
+/// An interval of Tnow x Tnow.
+struct TnowInterval {
+  TnowPoint start;
+  TnowPoint end;
+
+  FixedInterval Instantiate(TimePoint rt) const {
+    return FixedInterval{start.Instantiate(rt), end.Instantiate(rt)};
+  }
+  friend bool operator==(const TnowInterval&, const TnowInterval&) = default;
+  std::string ToString() const {
+    return "[" + start.ToString() + ", " + end.ToString() + ")";
+  }
+};
+
+/// The result of an Anselma intersection: either a symbolic Tnow
+/// interval (stayed uninstantiated) or an instantiated fixed interval
+/// valid only at the reference time used.
+struct AnselmaIntersection {
+  bool stayed_symbolic = false;
+  TnowInterval symbolic;       // iff stayed_symbolic
+  FixedInterval instantiated;  // iff !stayed_symbolic
+};
+
+/// Intersects two Tnow intervals, keeping now uninstantiated when the
+/// result is representable in Tnow x Tnow, and otherwise instantiating
+/// at `rt` (the fallback that invalidates the result as time passes by).
+AnselmaIntersection AnselmaIntersect(const TnowInterval& i1,
+                                     const TnowInterval& i2, TimePoint rt);
+
+}  // namespace ongoingdb

@@ -1,0 +1,48 @@
+#include "baselines/fixed_algebra.h"
+
+namespace ongoingdb {
+
+Result<OngoingRelation> FixedSelect(const OngoingRelation& r,
+                                    const ExprPtr& predicate) {
+  OngoingRelation result(r.schema());
+  for (const Tuple& t : r.tuples()) {
+    ONGOINGDB_ASSIGN_OR_RETURN(bool keep,
+                               predicate->EvalPredicateFixed(r.schema(), t));
+    if (keep) result.AppendUnchecked(t);
+  }
+  return result;
+}
+
+Result<OngoingRelation> FixedJoin(const OngoingRelation& r,
+                                  const OngoingRelation& s,
+                                  const ExprPtr& predicate,
+                                  const std::string& left_prefix,
+                                  const std::string& right_prefix) {
+  Schema joined = r.schema().Concat(s.schema(), left_prefix, right_prefix);
+  OngoingRelation result(joined);
+  for (const Tuple& rt_ : r.tuples()) {
+    for (const Tuple& st_ : s.tuples()) {
+      std::vector<Value> values;
+      values.reserve(rt_.num_values() + st_.num_values());
+      for (const Value& v : rt_.values()) values.push_back(v);
+      for (const Value& v : st_.values()) values.push_back(v);
+      Tuple combined(std::move(values));
+      ONGOINGDB_ASSIGN_OR_RETURN(bool keep,
+                                 predicate->EvalPredicateFixed(joined,
+                                                               combined));
+      if (keep) result.AppendUnchecked(std::move(combined));
+    }
+  }
+  return result;
+}
+
+OngoingRelation StripOngoing(const OngoingRelation& r, TimePoint rt) {
+  OngoingRelation result(r.schema().Instantiated());
+  result.Reserve(r.size());
+  for (const Tuple& t : r.tuples()) {
+    result.AppendUnchecked(Tuple(t.InstantiateValues(rt)));
+  }
+  return result;
+}
+
+}  // namespace ongoingdb

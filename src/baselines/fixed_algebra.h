@@ -1,0 +1,31 @@
+// Fixed-semantics select and join over relations without ongoing
+// attributes. This is the "w/out ongoing intervals" runtime floor of the
+// paper's Fig. 9: all ongoing time intervals replaced by fixed ones,
+// queries evaluated with ordinary interval predicates and no
+// reference-time bookkeeping.
+#pragma once
+
+#include "expr/expr.h"
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// Fixed selection: keeps tuples satisfying the fixed predicate. The
+/// relation must not contain ongoing attribute values.
+Result<OngoingRelation> FixedSelect(const OngoingRelation& r,
+                                    const ExprPtr& predicate);
+
+/// Fixed nested-loop theta join.
+Result<OngoingRelation> FixedJoin(const OngoingRelation& r,
+                                  const OngoingRelation& s,
+                                  const ExprPtr& predicate,
+                                  const std::string& left_prefix = "L",
+                                  const std::string& right_prefix = "R");
+
+/// Replaces every ongoing attribute value by its instantiation at `rt`,
+/// keeping all tuples (trivial RT). Used to build the Fig. 9 baseline
+/// data sets "without ongoing intervals".
+OngoingRelation StripOngoing(const OngoingRelation& r, TimePoint rt);
+
+}  // namespace ongoingdb

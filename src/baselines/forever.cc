@@ -1,0 +1,37 @@
+#include "baselines/forever.h"
+
+namespace ongoingdb {
+
+namespace {
+
+Value ForeverValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kOngoingTimePoint:
+      // a+b |-> b; in particular now |-> Forever.
+      return Value::Time(v.AsOngoingPoint().b());
+    case ValueType::kOngoingInterval: {
+      // Both endpoints get the now |-> Forever substitution, i.e. every
+      // ongoing point is replaced by its upper bound b.
+      const OngoingInterval& iv = v.AsOngoingInterval();
+      return Value::Interval(FixedInterval{iv.start().b(), iv.end().b()});
+    }
+    default:
+      return v;
+  }
+}
+
+}  // namespace
+
+OngoingRelation ForeverRewrite(const OngoingRelation& r) {
+  OngoingRelation result(r.schema().Instantiated());
+  result.Reserve(r.size());
+  for (const Tuple& t : r.tuples()) {
+    std::vector<Value> values;
+    values.reserve(t.num_values());
+    for (const Value& v : t.values()) values.push_back(ForeverValue(v));
+    result.AppendUnchecked(Tuple(std::move(values), t.rt()));
+  }
+  return result;
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,25 @@
+// The Snodgrass "Forever" baseline [22]: instead of the ongoing time
+// point now, store Forever — the largest time point of the domain, a
+// fixed value. Existing fixed-semantics query evaluation applies
+// unchanged, but the substitution produces *incorrect* results: a tuple
+// valid "[a, now)" is treated as valid until the end of time. The paper's
+// Sec. III example ("which bugs might be resolved before patch 201 goes
+// live?") demonstrates the incorrectness; forever_baseline_test.cc
+// reproduces it.
+#pragma once
+
+#include "relation/relation.h"
+
+namespace ongoingdb {
+
+/// The Forever time point: the largest fixed time point of T.
+inline constexpr TimePoint kForever = kMaxInfinity;
+
+/// Rewrites a relation by replacing every ongoing attribute value with
+/// its Forever instantiation: ongoing time points a+b become the fixed
+/// point b (now becomes Forever), ongoing intervals become fixed
+/// intervals ending at their upper bounds. The result has the
+/// instantiated schema and ordinary fixed semantics.
+OngoingRelation ForeverRewrite(const OngoingRelation& r);
+
+}  // namespace ongoingdb

@@ -1,0 +1,75 @@
+#include "baselines/torp.h"
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+
+TimePoint TfTimePoint::Instantiate(TimePoint rt) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return anchor_;
+    case Kind::kMinANow:
+      return std::min(anchor_, rt);
+    case Kind::kMaxANow:
+      return std::max(anchor_, rt);
+  }
+  return anchor_;
+}
+
+OngoingTimePoint TfTimePoint::ToOmega() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return OngoingTimePoint::Fixed(anchor_);
+    case Kind::kMinANow:
+      // min(a, now): never later than a -> +a.
+      return OngoingTimePoint::Limited(anchor_);
+    case Kind::kMaxANow:
+      // max(a, now): never earlier than a -> a+.
+      return OngoingTimePoint::Growing(anchor_);
+  }
+  return OngoingTimePoint::Fixed(anchor_);
+}
+
+std::optional<TfTimePoint> TfTimePoint::FromOmega(const OngoingTimePoint& t) {
+  if (t.IsFixed()) return Fixed(t.a());
+  if (t.IsNow()) return Now();
+  if (t.IsGrowing()) return MaxNow(t.a());
+  if (t.IsLimited()) return MinNow(t.b());
+  // General a+b with finite a < b: not representable in Tf.
+  return std::nullopt;
+}
+
+std::optional<TfTimePoint> TfTimePoint::Min(const TfTimePoint& x,
+                                            const TfTimePoint& y) {
+  return FromOmega(ongoingdb::Min(x.ToOmega(), y.ToOmega()));
+}
+
+std::optional<TfTimePoint> TfTimePoint::Max(const TfTimePoint& x,
+                                            const TfTimePoint& y) {
+  return FromOmega(ongoingdb::Max(x.ToOmega(), y.ToOmega()));
+}
+
+std::string TfTimePoint::ToString() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return FormatTimePoint(anchor_);
+    case Kind::kMinANow:
+      if (anchor_ >= kMaxInfinity) return "now";
+      return "min(" + FormatTimePoint(anchor_) + ", now)";
+    case Kind::kMaxANow:
+      if (anchor_ <= kMinInfinity) return "now";
+      return "max(" + FormatTimePoint(anchor_) + ", now)";
+  }
+  return "?";
+}
+
+std::optional<std::pair<TfTimePoint, TfTimePoint>> TfIntersect(
+    const TfTimePoint& s1, const TfTimePoint& e1, const TfTimePoint& s2,
+    const TfTimePoint& e2) {
+  auto start = TfTimePoint::Max(s1, s2);
+  auto end = TfTimePoint::Min(e1, e2);
+  if (!start || !end) return std::nullopt;
+  return std::make_pair(*start, *end);
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,84 @@
+// The Torp et al. baseline [4]: the time domain
+//   Tf = T u { min(a, now) | a in T } u { max(a, now) | a in T }
+// supports intersection and difference of time intervals *without*
+// instantiating now (enabling modifications that remain valid as time
+// passes by), but cannot evaluate predicates on uninstantiated time
+// attributes — queries with such predicates resort to Clifford's
+// approach and get invalidated as time passes by.
+//
+// Tf is a strict subset of the paper's Omega: min(a, now) = +a and
+// max(a, now) = a+. Unlike Omega, Tf is not closed under min/max — e.g.
+// min(max(a, now), b) with a < b is a+b, which Tf cannot represent. The
+// closure tests and the Table I benchmark quantify this.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/ongoing_point.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// A value of Torp's time domain Tf.
+class TfTimePoint {
+ public:
+  enum class Kind {
+    kFixed,       ///< a in T
+    kMinANow,     ///< min(a, now): a at late rt, rt before a
+    kMaxANow,     ///< max(a, now): a at early rt, rt after a
+  };
+
+  static TfTimePoint Fixed(TimePoint a) { return TfTimePoint(Kind::kFixed, a); }
+  static TfTimePoint MinNow(TimePoint a) {
+    return TfTimePoint(Kind::kMinANow, a);
+  }
+  static TfTimePoint MaxNow(TimePoint a) {
+    return TfTimePoint(Kind::kMaxANow, a);
+  }
+  /// now itself = min(+inf, now) (equivalently max(-inf, now)).
+  static TfTimePoint Now() { return TfTimePoint(Kind::kMinANow, kMaxInfinity); }
+
+  Kind kind() const { return kind_; }
+  TimePoint anchor() const { return anchor_; }
+
+  /// Instantiation at reference time rt.
+  TimePoint Instantiate(TimePoint rt) const;
+
+  /// The equivalent ongoing time point of Omega (Tf is a subset of
+  /// Omega).
+  OngoingTimePoint ToOmega() const;
+
+  /// Imports an Omega point if it is representable in Tf; nullopt
+  /// otherwise. This is the non-closure witness: general a+b points with
+  /// finite a < b have no Tf representation.
+  static std::optional<TfTimePoint> FromOmega(const OngoingTimePoint& t);
+
+  /// min on Tf. Returns nullopt when the exact result is not
+  /// representable in Tf (the domain is not closed, Table I).
+  static std::optional<TfTimePoint> Min(const TfTimePoint& x,
+                                        const TfTimePoint& y);
+
+  /// max on Tf; nullopt when not representable.
+  static std::optional<TfTimePoint> Max(const TfTimePoint& x,
+                                        const TfTimePoint& y);
+
+  bool operator==(const TfTimePoint& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  TfTimePoint(Kind kind, TimePoint anchor) : kind_(kind), anchor_(anchor) {}
+
+  Kind kind_;
+  TimePoint anchor_;
+};
+
+/// Torp-style interval intersection on [ts, te) pairs of Tf points:
+/// computed via Omega (max of starts, min of ends) and mapped back;
+/// nullopt when an endpoint leaves Tf.
+std::optional<std::pair<TfTimePoint, TfTimePoint>> TfIntersect(
+    const TfTimePoint& s1, const TfTimePoint& e1, const TfTimePoint& s2,
+    const TfTimePoint& e2);
+
+}  // namespace ongoingdb

@@ -1,0 +1,28 @@
+// The bind operator ||x||rt (Sec. IV of the paper): instantiates an
+// ongoing value at a reference time, yielding a fixed value. Composite
+// values are instantiated component-wise. Relation-level binding lives in
+// relation/bind.h.
+#pragma once
+
+#include "core/ongoing_boolean.h"
+#include "core/ongoing_interval.h"
+#include "core/ongoing_point.h"
+
+namespace ongoingdb {
+
+/// ||a+b||rt per Def. 2.
+inline TimePoint Bind(const OngoingTimePoint& t, TimePoint rt) {
+  return t.Instantiate(rt);
+}
+
+/// ||[ts, te)||rt = [||ts||rt, ||te||rt).
+inline FixedInterval Bind(const OngoingInterval& iv, TimePoint rt) {
+  return iv.Instantiate(rt);
+}
+
+/// ||b[St, Sf]||rt per Def. 3.
+inline bool Bind(const OngoingBoolean& b, TimePoint rt) {
+  return b.Instantiate(rt);
+}
+
+}  // namespace ongoingdb

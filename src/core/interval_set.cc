@@ -1,0 +1,187 @@
+#include "core/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ongoingdb {
+
+namespace {
+
+// Debug-only check of the class invariant: non-empty, ascending, disjoint,
+// maximal (a gap of at least one point between consecutive intervals).
+#ifndef NDEBUG
+bool IsNormalized(const std::vector<FixedInterval>& ivs) {
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    if (ivs[i].empty()) return false;
+    if (i > 0 && ivs[i - 1].end >= ivs[i].start) return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+IntervalSet::IntervalSet(std::vector<FixedInterval> intervals)
+    : intervals_(std::move(intervals)) {
+  assert(IsNormalized(intervals_));
+}
+
+IntervalSet::IntervalSet(std::initializer_list<FixedInterval> intervals) {
+  *this = FromUnsorted(std::vector<FixedInterval>(intervals));
+}
+
+IntervalSet IntervalSet::All() {
+  return IntervalSet(
+      std::vector<FixedInterval>{{kMinInfinity, kMaxInfinity}});
+}
+
+IntervalSet IntervalSet::Empty() { return IntervalSet(); }
+
+IntervalSet IntervalSet::Point(TimePoint t) {
+  return IntervalSet(std::vector<FixedInterval>{{t, t + 1}});
+}
+
+IntervalSet IntervalSet::FromUnsorted(std::vector<FixedInterval> intervals) {
+  std::erase_if(intervals, [](const FixedInterval& iv) { return iv.empty(); });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const FixedInterval& x, const FixedInterval& y) {
+              return x.start < y.start || (x.start == y.start && x.end < y.end);
+            });
+  std::vector<FixedInterval> merged;
+  for (const FixedInterval& iv : intervals) {
+    if (!merged.empty() && merged.back().end >= iv.start) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(merged);
+  return result;
+}
+
+bool IntervalSet::IsAll() const {
+  return intervals_.size() == 1 && intervals_[0].start <= kMinInfinity &&
+         intervals_[0].end >= kMaxInfinity;
+}
+
+bool IntervalSet::Contains(TimePoint t) const {
+  // Binary search over the sorted interval list.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const FixedInterval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  // Algorithm 1 of the paper: a single pass over both ascending interval
+  // lists, appending the pairwise intersections.
+  IntervalSet result;
+  size_t i = 0, j = 0;
+  const auto& a = intervals_;
+  const auto& b = other.intervals_;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].end <= b[j].start) {
+      ++i;
+    } else if (b[j].end <= a[i].start) {
+      ++j;
+    } else {
+      result.intervals_.push_back({std::max(a[i].start, b[j].start),
+                                   std::min(a[i].end, b[j].end)});
+      if (a[i].end < b[j].end) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  return result;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  // Sweep-line merge of two ascending lists; coalesces overlapping and
+  // adjacent intervals on the fly.
+  IntervalSet result;
+  size_t i = 0, j = 0;
+  const auto& a = intervals_;
+  const auto& b = other.intervals_;
+  auto append = [&result](const FixedInterval& iv) {
+    auto& out = result.intervals_;
+    if (!out.empty() && out.back().end >= iv.start) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  };
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].start <= b[j].start)) {
+      append(a[i++]);
+    } else {
+      append(b[j++]);
+    }
+  }
+  return result;
+}
+
+IntervalSet IntervalSet::Complement() const {
+  IntervalSet result;
+  TimePoint cursor = kMinInfinity;
+  for (const FixedInterval& iv : intervals_) {
+    if (cursor < iv.start) {
+      result.intervals_.push_back({cursor, iv.start});
+    }
+    cursor = iv.end;
+  }
+  if (cursor < kMaxInfinity) {
+    result.intervals_.push_back({cursor, kMaxInfinity});
+  }
+  return result;
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  return Intersect(other.Complement());
+}
+
+bool IntervalSet::Intersects(const IntervalSet& other) const {
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i].end <= other.intervals_[j].start) {
+      ++i;
+    } else if (other.intervals_[j].end <= intervals_[i].start) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t IntervalSet::CountPoints() const {
+  int64_t total = 0;
+  for (const FixedInterval& iv : intervals_) {
+    if (!IsFinite(iv.start) || !IsFinite(iv.end)) return kMaxInfinity;
+    total += iv.end - iv.start;
+  }
+  return total;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) s += ", ";
+    const FixedInterval& iv = intervals_[i];
+    if (iv.start <= kMinInfinity && iv.end >= kMaxInfinity) {
+      s += "(-inf, +inf)";
+    } else if (iv.start <= kMinInfinity) {
+      s += "(-inf, " + FormatTimePoint(iv.end) + ")";
+    } else {
+      s += FormatFixedInterval(iv);
+    }
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace ongoingdb

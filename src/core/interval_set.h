@@ -1,0 +1,105 @@
+// IntervalSet: a finite set of fixed time points represented as a list of
+// maximal, non-overlapping, ascending half-open intervals. This is the
+// representation the paper uses both for the set St of an ongoing boolean
+// b[St, Sf] and for the value of a tuple's reference-time attribute RT
+// (Sec. VIII, "Reference Time RT" / "Ongoing Booleans").
+//
+// The logical connectives are implemented with single-pass sweep-line
+// algorithms (Algorithm 1 of the paper): no sorting is ever required, each
+// input interval is processed at most once, and results are again maximal,
+// non-overlapping, and ascending.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// A set of fixed time points stored as sorted, disjoint, maximal
+/// half-open intervals.
+class IntervalSet {
+ public:
+  /// Constructs the empty set.
+  IntervalSet() = default;
+
+  /// Constructs from intervals that must already be non-empty, sorted,
+  /// disjoint and maximal (adjacent intervals merged). Checked with
+  /// assertions in debug builds; use FromUnsorted for arbitrary input.
+  explicit IntervalSet(std::vector<FixedInterval> intervals);
+
+  /// Convenience literal constructor; intervals may be given in any order
+  /// and are normalized.
+  IntervalSet(std::initializer_list<FixedInterval> intervals);
+
+  /// The set containing every time point: {(-inf, +inf)}. This is the
+  /// trivial reference time of base tuples and the St of boolean `true`.
+  static IntervalSet All();
+
+  /// The empty set; the St of boolean `false`.
+  static IntervalSet Empty();
+
+  /// The singleton set {t} = {[t, t+1)}.
+  static IntervalSet Point(TimePoint t);
+
+  /// Normalizes arbitrary (possibly overlapping, unsorted, empty)
+  /// intervals: drops empties, sorts, merges overlapping and adjacent.
+  static IntervalSet FromUnsorted(std::vector<FixedInterval> intervals);
+
+  /// True iff the set contains no time points.
+  bool IsEmpty() const { return intervals_.empty(); }
+
+  /// True iff the set contains every time point of T.
+  bool IsAll() const;
+
+  /// True iff time point `t` is a member.
+  bool Contains(TimePoint t) const;
+
+  /// The number of intervals in the representation (the paper's
+  /// "cardinality of RT", Table IV).
+  size_t IntervalCount() const { return intervals_.size(); }
+
+  /// The intervals in ascending order.
+  const std::vector<FixedInterval>& intervals() const { return intervals_; }
+
+  /// Smallest member. Must not be called on an empty set.
+  TimePoint Min() const { return intervals_.front().start; }
+
+  /// One past the largest member. Must not be called on an empty set.
+  TimePoint MaxExclusive() const { return intervals_.back().end; }
+
+  /// Set intersection via sweep-line (Algorithm 1 of the paper): the
+  /// logical conjunction of ongoing booleans and the restriction of a
+  /// tuple's RT by a predicate.
+  IntervalSet Intersect(const IntervalSet& other) const;
+
+  /// Set union via sweep-line: the logical disjunction.
+  IntervalSet Union(const IntervalSet& other) const;
+
+  /// Complement with respect to (-inf, +inf): the logical negation.
+  IntervalSet Complement() const;
+
+  /// Set difference this \ other.
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  /// True iff the two sets share at least one time point. Equivalent to
+  /// !Intersect(other).IsEmpty() but allocation-free.
+  bool Intersects(const IntervalSet& other) const;
+
+  /// Number of time points in the set; kMaxInfinity if unbounded.
+  int64_t CountPoints() const;
+
+  bool operator==(const IntervalSet& other) const = default;
+
+  /// Renders "{[a, b), [c, d)}" with FormatTimePoint endpoints; "{}" when
+  /// empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<FixedInterval> intervals_;
+};
+
+}  // namespace ongoingdb

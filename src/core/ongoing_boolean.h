@@ -1,0 +1,87 @@
+// Ongoing booleans b[St, Sf] (Def. 3 of the paper): booleans whose truth
+// value depends on the reference time. Since St and Sf partition the time
+// domain, only St — the set of reference times at which the boolean is
+// true — is stored, as an IntervalSet (the paper's PostgreSQL
+// implementation makes the same choice, Sec. VIII). This representation is
+// shared with the reference-time attribute RT of tuples, so restricting a
+// tuple's RT by a predicate is a single sweep-line conjunction.
+#pragma once
+
+#include <string>
+
+#include "core/interval_set.h"
+
+namespace ongoingdb {
+
+/// A boolean whose value depends on the reference time.
+class OngoingBoolean {
+ public:
+  /// Constructs boolean `false` (St empty).
+  OngoingBoolean() = default;
+
+  /// Constructs b[St, T \ St].
+  explicit OngoingBoolean(IntervalSet st) : st_(std::move(st)) {}
+
+  /// The ongoing boolean equivalent to fixed `true`:
+  /// b[{(-inf, inf)}, {}].
+  static OngoingBoolean True() { return OngoingBoolean(IntervalSet::All()); }
+
+  /// The ongoing boolean equivalent to fixed `false`.
+  static OngoingBoolean False() { return OngoingBoolean(); }
+
+  /// Lifts a fixed boolean (Sec. VI: ongoing booleans generalize
+  /// booleans, so predicates on fixed attributes combine with predicates
+  /// on ongoing attributes).
+  static OngoingBoolean FromBool(bool value) {
+    return value ? True() : False();
+  }
+
+  /// The set St of reference times at which the boolean is true.
+  const IntervalSet& st() const { return st_; }
+
+  /// The set Sf = T \ St of reference times at which it is false.
+  IntervalSet sf() const { return st_.Complement(); }
+
+  /// The bind operator ||b[St, Sf]||rt: true iff rt is in St.
+  bool Instantiate(TimePoint rt) const { return st_.Contains(rt); }
+
+  /// True iff the boolean is true at every reference time.
+  bool IsAlwaysTrue() const { return st_.IsAll(); }
+
+  /// True iff the boolean is false at every reference time.
+  bool IsAlwaysFalse() const { return st_.IsEmpty(); }
+
+  /// Logical conjunction (Theorem 1): b[St ^ S't] via sweep-line
+  /// intersection.
+  OngoingBoolean And(const OngoingBoolean& other) const {
+    return OngoingBoolean(st_.Intersect(other.st_));
+  }
+
+  /// Logical disjunction (Theorem 1): sweep-line union of the St sets.
+  OngoingBoolean Or(const OngoingBoolean& other) const {
+    return OngoingBoolean(st_.Union(other.st_));
+  }
+
+  /// Logical negation (Theorem 1): b[Sf, St].
+  OngoingBoolean Not() const { return OngoingBoolean(st_.Complement()); }
+
+  bool operator==(const OngoingBoolean& other) const = default;
+
+  /// Renders "b[St]" with the St interval set.
+  std::string ToString() const { return "b[" + st_.ToString() + "]"; }
+
+ private:
+  IntervalSet st_;
+};
+
+inline OngoingBoolean operator&&(const OngoingBoolean& x,
+                                 const OngoingBoolean& y) {
+  return x.And(y);
+}
+inline OngoingBoolean operator||(const OngoingBoolean& x,
+                                 const OngoingBoolean& y) {
+  return x.Or(y);
+}
+inline OngoingBoolean operator!(const OngoingBoolean& x) { return x.Not(); }
+
+}  // namespace ongoingdb

@@ -1,0 +1,261 @@
+#include "core/ongoing_int.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ongoingdb {
+
+namespace {
+
+// Floor division for int64 (C++ integer division truncates toward zero).
+int64_t FloorDiv(int64_t num, int64_t den) {
+  assert(den != 0);
+  int64_t q = num / den;
+  int64_t r = num % den;
+  if (r != 0 && ((r < 0) != (den < 0))) --q;
+  return q;
+}
+
+// Invokes fn(range, piece_of_x, piece_of_y) for each maximal reference-
+// time range on which both operands are a single linear piece.
+template <typename Fn>
+void ForEachMergedSegment(const OngoingInt& x, const OngoingInt& y, Fn&& fn) {
+  const auto& xs = x.segments();
+  const auto& ys = y.segments();
+  size_t i = 0, j = 0;
+  TimePoint cursor = kMinInfinity;
+  while (i < xs.size() && j < ys.size()) {
+    TimePoint end = std::min(xs[i].range.end, ys[j].range.end);
+    if (end > cursor) {
+      fn(FixedInterval{cursor, end}, xs[i], ys[j]);
+      cursor = end;
+    }
+    if (xs[i].range.end == end) ++i;
+    if (j < ys.size() && ys[j].range.end == end) ++j;
+  }
+}
+
+}  // namespace
+
+OngoingInt::OngoingInt(int64_t value) {
+  segments_.push_back(
+      Segment{FixedInterval{kMinInfinity, kMaxInfinity}, value, 0});
+}
+
+OngoingInt OngoingInt::FromSegments(std::vector<Segment> segments) {
+  assert(!segments.empty());
+  assert(segments.front().range.start == kMinInfinity);
+  assert(segments.back().range.end == kMaxInfinity);
+  std::vector<Segment> merged;
+  for (Segment& seg : segments) {
+    if (seg.range.empty()) continue;
+    assert(merged.empty() || merged.back().range.end == seg.range.start);
+    if (!merged.empty() && merged.back().offset == seg.offset &&
+        merged.back().slope == seg.slope) {
+      merged.back().range.end = seg.range.end;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  OngoingInt result(0);
+  result.segments_ = std::move(merged);
+  return result;
+}
+
+int64_t OngoingInt::Instantiate(TimePoint rt) const {
+  for (const Segment& seg : segments_) {
+    if (rt < seg.range.end) return seg.ValueAt(rt);
+  }
+  // rt beyond the last segment end can only be the +inf sentinel itself;
+  // extrapolate the final piece.
+  return segments_.back().ValueAt(rt);
+}
+
+OngoingInt OngoingInt::Add(const OngoingInt& other) const {
+  std::vector<Segment> out;
+  ForEachMergedSegment(*this, other,
+                       [&out](const FixedInterval& range, const Segment& sx,
+                              const Segment& sy) {
+                         out.push_back(Segment{range, sx.offset + sy.offset,
+                                               sx.slope + sy.slope});
+                       });
+  return FromSegments(std::move(out));
+}
+
+OngoingInt OngoingInt::Negate() const {
+  std::vector<Segment> out = segments_;
+  for (Segment& seg : out) {
+    seg.offset = -seg.offset;
+    seg.slope = -seg.slope;
+  }
+  return FromSegments(std::move(out));
+}
+
+OngoingInt OngoingInt::Subtract(const OngoingInt& other) const {
+  return Add(other.Negate());
+}
+
+namespace {
+
+// Appends to `out` the pieces of min/max(sx, sy) over `range`, splitting
+// at the crossing point of the two linear pieces if it falls inside.
+void AppendExtremum(std::vector<OngoingInt::Segment>* out,
+                    const FixedInterval& range,
+                    const OngoingInt::Segment& sx,
+                    const OngoingInt::Segment& sy, bool want_min) {
+  const int64_t d_off = sx.offset - sy.offset;
+  const int64_t d_slope = sx.slope - sy.slope;
+  auto push = [out, &range](TimePoint from, TimePoint to,
+                            const OngoingInt::Segment& src) {
+    FixedInterval r{std::max(from, range.start), std::min(to, range.end)};
+    if (!r.empty()) {
+      out->push_back(OngoingInt::Segment{r, src.offset, src.slope});
+    }
+  };
+  if (d_slope == 0) {
+    const bool x_wins = want_min ? d_off <= 0 : d_off >= 0;
+    push(range.start, range.end, x_wins ? sx : sy);
+    return;
+  }
+  // diff(rt) = d_off + d_slope * rt; diff < 0 iff x below y. The region
+  // where diff(rt) <= 0 is a ray: rt <= t0 if d_slope > 0, rt >= t0'
+  // otherwise.
+  if (d_slope > 0) {
+    // x <= y for rt <= t0 where t0 = floor(-d_off / d_slope).
+    const TimePoint t0 = FloorDiv(-d_off, d_slope);
+    const auto& low = want_min ? sx : sy;   // piece that wins for small rt
+    const auto& high = want_min ? sy : sx;  // piece that wins for large rt
+    push(range.start, t0 + 1, low);
+    push(t0 + 1, range.end, high);
+  } else {
+    // diff is decreasing: x <= y from rt >= ceil(d_off / -d_slope) on,
+    // with ceil(p/q) = -floor(-p/q).
+    const TimePoint boundary = -FloorDiv(-d_off, -d_slope);
+    const auto& low = want_min ? sy : sx;
+    const auto& high = want_min ? sx : sy;
+    push(range.start, boundary, low);
+    push(boundary, range.end, high);
+  }
+}
+
+}  // namespace
+
+OngoingInt OngoingInt::Min(const OngoingInt& other) const {
+  std::vector<Segment> out;
+  ForEachMergedSegment(*this, other,
+                       [&out](const FixedInterval& range, const Segment& sx,
+                              const Segment& sy) {
+                         AppendExtremum(&out, range, sx, sy, /*want_min=*/true);
+                       });
+  return FromSegments(std::move(out));
+}
+
+OngoingInt OngoingInt::Max(const OngoingInt& other) const {
+  std::vector<Segment> out;
+  ForEachMergedSegment(*this, other,
+                       [&out](const FixedInterval& range, const Segment& sx,
+                              const Segment& sy) {
+                         AppendExtremum(&out, range, sx, sy,
+                                        /*want_min=*/false);
+                       });
+  return FromSegments(std::move(out));
+}
+
+OngoingBoolean OngoingInt::Less(const OngoingInt& other) const {
+  std::vector<FixedInterval> where_true;
+  ForEachMergedSegment(
+      *this, other,
+      [&where_true](const FixedInterval& range, const Segment& sx,
+                    const Segment& sy) {
+        const int64_t d_off = sx.offset - sy.offset;
+        const int64_t d_slope = sx.slope - sy.slope;
+        if (d_slope == 0) {
+          if (d_off < 0) where_true.push_back(range);
+          return;
+        }
+        if (d_slope > 0) {
+          // diff < 0 iff rt < -d_off/d_slope iff rt <= t_max with
+          // t_max = floor((-d_off - 1) / d_slope).
+          const TimePoint t_max = FloorDiv(-d_off - 1, d_slope);
+          FixedInterval r{range.start, std::min(range.end, t_max + 1)};
+          if (!r.empty()) where_true.push_back(r);
+        } else {
+          // diff < 0 iff rt > d_off/(-d_slope) iff rt >= t_min with
+          // t_min = floor(d_off / (-d_slope)) + 1.
+          const TimePoint t_min = FloorDiv(d_off, -d_slope) + 1;
+          FixedInterval r{std::max(range.start, t_min), range.end};
+          if (!r.empty()) where_true.push_back(r);
+        }
+      });
+  return OngoingBoolean(IntervalSet::FromUnsorted(std::move(where_true)));
+}
+
+OngoingBoolean OngoingInt::LessEqual(const OngoingInt& other) const {
+  return other.Less(*this).Not();
+}
+
+OngoingBoolean OngoingInt::EqualTo(const OngoingInt& other) const {
+  return LessEqual(other).And(other.LessEqual(*this));
+}
+
+std::string OngoingInt::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (i > 0) s += ", ";
+    const Segment& seg = segments_[i];
+    s += FormatFixedInterval(seg.range) + ": ";
+    if (seg.slope == 0) {
+      s += std::to_string(seg.offset);
+    } else {
+      s += std::to_string(seg.slope) + "*rt";
+      if (seg.offset > 0) s += "+" + std::to_string(seg.offset);
+      if (seg.offset < 0) s += std::to_string(seg.offset);
+    }
+  }
+  s += "}";
+  return s;
+}
+
+namespace {
+
+// The instantiation function of an ongoing time point a+b as an ongoing
+// integer: constant a, then the identity, then constant b.
+OngoingInt ClampFunction(const OngoingTimePoint& t) {
+  std::vector<OngoingInt::Segment> segs;
+  TimePoint lo = t.a(), hi = t.b();
+  // rt <= a: value a. As a range this is (-inf, a+1), but when a = b the
+  // constant-b piece below already yields the same value at rt = a, so the
+  // piece is trimmed to end at min(a+1, b) to keep the cover gap-free.
+  if (lo > kMinInfinity && lo < kMaxInfinity) {
+    FixedInterval head{kMinInfinity, std::min(lo + 1, hi)};
+    if (!head.empty()) segs.push_back({head, lo, 0});
+  } else if (lo >= kMaxInfinity) {
+    segs.push_back({FixedInterval{kMinInfinity, kMaxInfinity}, lo, 0});
+    return OngoingInt::FromSegments(std::move(segs));
+  }
+  // a < rt < b: value rt.
+  {
+    TimePoint from = lo > kMinInfinity ? lo + 1 : kMinInfinity;
+    TimePoint to = hi < kMaxInfinity ? hi : kMaxInfinity;
+    if (from < to) segs.push_back({FixedInterval{from, to}, 0, 1});
+  }
+  // rt >= b: value b.
+  if (hi < kMaxInfinity) {
+    segs.push_back({FixedInterval{hi, kMaxInfinity}, hi, 0});
+  }
+  if (segs.empty()) {
+    // a = b = one of the infinities: constant.
+    segs.push_back({FixedInterval{kMinInfinity, kMaxInfinity}, lo, 0});
+  }
+  return OngoingInt::FromSegments(std::move(segs));
+}
+
+}  // namespace
+
+OngoingInt Duration(const OngoingInterval& iv) {
+  OngoingInt start_fn = ClampFunction(iv.start());
+  OngoingInt end_fn = ClampFunction(iv.end());
+  return end_fn.Subtract(start_fn).Max(OngoingInt(0));
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,92 @@
+// Ongoing integers: integers whose value depends on the reference time.
+// This implements the paper's first future-work item — a duration
+// function for ongoing time intervals whose results are ongoing integers
+// (Sec. X). An ongoing integer is represented as a piecewise-linear
+// function of the reference time with integer slopes; instantiating the
+// duration of an ongoing interval at rt always equals the duration of the
+// instantiated interval at rt (the same snapshot-equivalence criterion as
+// for all other operations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ongoing_boolean.h"
+#include "core/ongoing_interval.h"
+
+namespace ongoingdb {
+
+/// An integer whose value is a piecewise-linear function of the reference
+/// time: on each segment, value(rt) = offset + slope * rt.
+class OngoingInt {
+ public:
+  /// One maximal piece of the function.
+  struct Segment {
+    FixedInterval range;   ///< reference times covered by this piece
+    int64_t offset = 0;    ///< value at rt = 0 (extrapolated)
+    int64_t slope = 0;     ///< per-tick change
+
+    int64_t ValueAt(TimePoint rt) const { return offset + slope * rt; }
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  /// The constant 0 at every reference time.
+  OngoingInt() : OngoingInt(0) {}
+
+  /// The fixed integer `value` at every reference time.
+  explicit OngoingInt(int64_t value);
+
+  /// Constructs from segments that must cover (-inf, +inf) in ascending
+  /// order without gaps. Adjacent segments with identical linear pieces
+  /// are merged.
+  static OngoingInt FromSegments(std::vector<Segment> segments);
+
+  /// The bind operator: the value at reference time rt.
+  int64_t Instantiate(TimePoint rt) const;
+
+  /// True iff the value is the same at every reference time.
+  bool IsFixed() const { return segments_.size() == 1 && segments_[0].slope == 0; }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Pointwise addition.
+  OngoingInt Add(const OngoingInt& other) const;
+
+  /// Pointwise negation.
+  OngoingInt Negate() const;
+
+  /// Pointwise subtraction.
+  OngoingInt Subtract(const OngoingInt& other) const;
+
+  /// Pointwise minimum; splits segments at crossing points.
+  OngoingInt Min(const OngoingInt& other) const;
+
+  /// Pointwise maximum.
+  OngoingInt Max(const OngoingInt& other) const;
+
+  /// this < other at each reference time, as an ongoing boolean.
+  OngoingBoolean Less(const OngoingInt& other) const;
+
+  /// this <= other.
+  OngoingBoolean LessEqual(const OngoingInt& other) const;
+
+  /// this == other at each reference time.
+  OngoingBoolean EqualTo(const OngoingInt& other) const;
+
+  bool operator==(const OngoingInt& other) const = default;
+
+  /// Renders the piecewise form, e.g. "{(-inf,08/15): 3, [08/15,+inf): rt-17}".
+  std::string ToString() const;
+
+ private:
+  // Invariant: segments cover (-inf,+inf), ascending, gap-free, maximal.
+  std::vector<Segment> segments_;
+};
+
+/// duration([ts, te)) = max(0, ||te||rt - ||ts||rt) as an ongoing integer
+/// (the paper's future-work duration function). The duration of an
+/// interval that instantiates to an empty interval is 0.
+OngoingInt Duration(const OngoingInterval& iv);
+
+}  // namespace ongoingdb

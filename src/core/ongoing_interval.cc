@@ -1,0 +1,15 @@
+#include "core/ongoing_interval.h"
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+
+bool OngoingInterval::IsAlwaysEmpty() const {
+  return NonEmpty(*this).IsAlwaysFalse();
+}
+
+bool OngoingInterval::IsNeverEmpty() const {
+  return NonEmpty(*this).IsAlwaysTrue();
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,93 @@
+// Ongoing time intervals [ts, te) over Omega x Omega (Sec. V-B of the
+// paper). An ongoing time interval instantiates to a fixed time interval
+// by instantiating both endpoints, generalizes fixed, expanding, and
+// shrinking time intervals (Fig. 4), and can be *partially empty*: empty
+// at some reference times and non-empty at others, which is why the
+// interval predicates in operations.h carry explicit non-emptiness checks.
+#pragma once
+
+#include <string>
+
+#include "core/ongoing_point.h"
+
+namespace ongoingdb {
+
+/// The shape classification of an ongoing time interval (Fig. 4).
+enum class IntervalKind {
+  kFixed,      ///< both endpoints fixed: instantiates identically everywhere
+  kExpanding,  ///< fixed start, ongoing end: duration grows with rt
+  kShrinking,  ///< ongoing start, fixed end: duration shrinks with rt
+  kGeneral,    ///< both endpoints ongoing
+};
+
+/// A closed-open time interval [ts, te) with ongoing endpoints.
+class OngoingInterval {
+ public:
+  /// Default: the empty fixed interval [0, 0).
+  OngoingInterval() = default;
+
+  OngoingInterval(OngoingTimePoint ts, OngoingTimePoint te)
+      : ts_(ts), te_(te) {}
+
+  /// The fixed interval [s, e).
+  static OngoingInterval Fixed(TimePoint s, TimePoint e) {
+    return OngoingInterval(OngoingTimePoint::Fixed(s),
+                           OngoingTimePoint::Fixed(e));
+  }
+
+  /// The expanding interval [s, now): open since s, still ongoing.
+  static OngoingInterval SinceUntilNow(TimePoint s) {
+    return OngoingInterval(OngoingTimePoint::Fixed(s),
+                           OngoingTimePoint::Now());
+  }
+
+  /// The shrinking interval [now, e): from the current time until e.
+  static OngoingInterval FromNowUntil(TimePoint e) {
+    return OngoingInterval(OngoingTimePoint::Now(),
+                           OngoingTimePoint::Fixed(e));
+  }
+
+  /// The inclusive start point.
+  const OngoingTimePoint& start() const { return ts_; }
+
+  /// The exclusive end point.
+  const OngoingTimePoint& end() const { return te_; }
+
+  /// The bind operator: [||ts||rt, ||te||rt).
+  FixedInterval Instantiate(TimePoint rt) const {
+    return FixedInterval{ts_.Instantiate(rt), te_.Instantiate(rt)};
+  }
+
+  /// Fig. 4 shape classification.
+  IntervalKind Kind() const {
+    const bool fixed_start = ts_.IsFixed();
+    const bool fixed_end = te_.IsFixed();
+    if (fixed_start && fixed_end) return IntervalKind::kFixed;
+    if (fixed_start) return IntervalKind::kExpanding;
+    if (fixed_end) return IntervalKind::kShrinking;
+    return IntervalKind::kGeneral;
+  }
+
+  /// True iff the interval instantiates to an empty interval at every
+  /// reference time.
+  bool IsAlwaysEmpty() const;
+
+  /// True iff the interval instantiates to a non-empty interval at every
+  /// reference time.
+  bool IsNeverEmpty() const;
+
+  /// Structural equality of the endpoint representations. Time-dependent
+  /// equality is the Equals() Allen predicate in operations.h.
+  bool operator==(const OngoingInterval& other) const = default;
+
+  /// Renders "[ts, te)" in the paper's short endpoint notation.
+  std::string ToString() const {
+    return "[" + ts_.ToString() + ", " + te_.ToString() + ")";
+  }
+
+ private:
+  OngoingTimePoint ts_;
+  OngoingTimePoint te_;
+};
+
+}  // namespace ongoingdb

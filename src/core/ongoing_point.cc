@@ -1,0 +1,28 @@
+#include "core/ongoing_point.h"
+
+#include <cassert>
+
+namespace ongoingdb {
+
+OngoingTimePoint::OngoingTimePoint(TimePoint a, TimePoint b) : a_(a), b_(b) {
+  assert(a <= b && "ongoing time point requires a <= b");
+}
+
+Result<OngoingTimePoint> OngoingTimePoint::Make(TimePoint a, TimePoint b) {
+  if (a > b) {
+    return Status::InvalidArgument(
+        "ongoing time point requires a <= b, got a=" + FormatTimePoint(a) +
+        " b=" + FormatTimePoint(b));
+  }
+  return OngoingTimePoint(a, b);
+}
+
+std::string OngoingTimePoint::ToString() const {
+  if (IsNow()) return "now";
+  if (IsFixed()) return FormatTimePoint(a_);
+  if (IsGrowing()) return FormatTimePoint(a_) + "+";
+  if (IsLimited()) return "+" + FormatTimePoint(b_);
+  return FormatTimePoint(a_) + "+" + FormatTimePoint(b_);
+}
+
+}  // namespace ongoingdb

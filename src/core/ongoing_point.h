@@ -1,0 +1,98 @@
+// Ongoing time points a+b of the ongoing time domain Omega (Def. 1 and 2
+// of the paper). An ongoing time point instantiates, at reference time rt,
+// to
+//     a      if rt <= a
+//     rt     if a < rt < b
+//     b      otherwise,
+// i.e. "not earlier than a, but not later than b". Omega generalizes fixed
+// time points (a = b), the current time point now (-inf + +inf), growing
+// time points a+ (a + +inf), and limited time points +b (-inf + b), and —
+// unlike the time domains of Clifford et al. and Torp et al. — is closed
+// under min and max (Theorem 1).
+#pragma once
+
+#include <string>
+
+#include "core/time.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// An ongoing time point a+b with a <= b.
+class OngoingTimePoint {
+ public:
+  /// Default: the fixed time point 0.
+  OngoingTimePoint() = default;
+
+  /// Constructs a+b. Requires a <= b (asserted in debug builds); use Make
+  /// for checked construction.
+  OngoingTimePoint(TimePoint a, TimePoint b);
+
+  /// Checked construction of a+b; fails if a > b.
+  static Result<OngoingTimePoint> Make(TimePoint a, TimePoint b);
+
+  /// The fixed time point t, i.e. t+t.
+  static OngoingTimePoint Fixed(TimePoint t) {
+    return OngoingTimePoint(t, t);
+  }
+
+  /// The current time point now = -inf + +inf: instantiates to the
+  /// reference time at every reference time.
+  static OngoingTimePoint Now() {
+    return OngoingTimePoint(kMinInfinity, kMaxInfinity);
+  }
+
+  /// The growing time point a+ = a + +inf: "not earlier than a, possibly
+  /// later".
+  static OngoingTimePoint Growing(TimePoint a) {
+    return OngoingTimePoint(a, kMaxInfinity);
+  }
+
+  /// The limited time point +b = -inf + b: "possibly earlier, but not
+  /// later than b".
+  static OngoingTimePoint Limited(TimePoint b) {
+    return OngoingTimePoint(kMinInfinity, b);
+  }
+
+  /// The lower component a ("not earlier than a").
+  TimePoint a() const { return a_; }
+
+  /// The upper component b ("not later than b").
+  TimePoint b() const { return b_; }
+
+  /// The bind operator ||a+b||rt (Def. 2): clamps the reference time into
+  /// [a, b].
+  TimePoint Instantiate(TimePoint rt) const {
+    if (rt <= a_) return a_;
+    if (rt < b_) return rt;
+    return b_;
+  }
+
+  /// True iff the point instantiates to the same value at every reference
+  /// time (a = b).
+  bool IsFixed() const { return a_ == b_; }
+
+  /// True iff this is the current time point now.
+  bool IsNow() const { return a_ <= kMinInfinity && b_ >= kMaxInfinity; }
+
+  /// True iff this is a growing time point a+ with finite a.
+  bool IsGrowing() const { return IsFinite(a_) && b_ >= kMaxInfinity; }
+
+  /// True iff this is a limited time point +b with finite b.
+  bool IsLimited() const { return a_ <= kMinInfinity && IsFinite(b_); }
+
+  /// Structural equality of the representation (a1 = a2 and b1 = b2).
+  /// Note: time-dependent equality is the Equal() predicate in
+  /// operations.h, which yields an ongoing boolean.
+  bool operator==(const OngoingTimePoint& other) const = default;
+
+  /// Renders the paper's short notation: "a" (fixed), "now", "a+"
+  /// (growing), "+b" (limited), "a+b" otherwise.
+  std::string ToString() const;
+
+ private:
+  TimePoint a_ = 0;
+  TimePoint b_ = 0;
+};
+
+}  // namespace ongoingdb

@@ -1,0 +1,189 @@
+#include "core/operations.h"
+
+#include <algorithm>
+
+namespace ongoingdb {
+
+OngoingBoolean Less(const OngoingTimePoint& t1, const OngoingTimePoint& t2) {
+  // The Fig. 6 decision tree. Writing a+b = t1 and c+d = t2, the ordering
+  // invariants a <= b and c <= d reduce Theorem 1's five cases to at most
+  // three fixed-value comparisons.
+  const TimePoint a = t1.a(), b = t1.b();
+  const TimePoint c = t2.a(), d = t2.b();
+  if (b < d) {
+    if (b < c) {
+      // a <= b < c <= d: true at every reference time.
+      return OngoingBoolean::True();
+    }
+    // The "[b+1, inf)" piece degenerates to empty when b+1 reaches the
+    // upper limit of the interval-set universe.
+    const bool tail = b + 1 < kMaxInfinity;
+    if (a < c) {
+      // a < c <= b < d: true before c and from b+1 on.
+      std::vector<FixedInterval> ivs{{kMinInfinity, c}};
+      if (tail) ivs.push_back({b + 1, kMaxInfinity});
+      return OngoingBoolean(IntervalSet(std::move(ivs)));
+    }
+    // c <= a <= b < d: true from b+1 on.
+    if (!tail) return OngoingBoolean::False();
+    return OngoingBoolean(
+        IntervalSet(std::vector<FixedInterval>{{b + 1, kMaxInfinity}}));
+  }
+  if (a < c) {
+    // a < c <= d <= b: true before c.
+    return OngoingBoolean(
+        IntervalSet(std::vector<FixedInterval>{{kMinInfinity, c}}));
+  }
+  // Otherwise: false at every reference time.
+  return OngoingBoolean::False();
+}
+
+OngoingTimePoint Min(const OngoingTimePoint& t1, const OngoingTimePoint& t2) {
+  return OngoingTimePoint(std::min(t1.a(), t2.a()), std::min(t1.b(), t2.b()));
+}
+
+OngoingTimePoint Max(const OngoingTimePoint& t1, const OngoingTimePoint& t2) {
+  return OngoingTimePoint(std::max(t1.a(), t2.a()), std::max(t1.b(), t2.b()));
+}
+
+OngoingBoolean LessEqual(const OngoingTimePoint& t1,
+                         const OngoingTimePoint& t2) {
+  return Less(t2, t1).Not();
+}
+
+OngoingBoolean Greater(const OngoingTimePoint& t1,
+                       const OngoingTimePoint& t2) {
+  return Less(t2, t1);
+}
+
+OngoingBoolean GreaterEqual(const OngoingTimePoint& t1,
+                            const OngoingTimePoint& t2) {
+  return Less(t1, t2).Not();
+}
+
+OngoingBoolean Equal(const OngoingTimePoint& t1, const OngoingTimePoint& t2) {
+  return LessEqual(t1, t2).And(LessEqual(t2, t1));
+}
+
+OngoingBoolean NotEqual(const OngoingTimePoint& t1,
+                        const OngoingTimePoint& t2) {
+  return Less(t1, t2).Or(Less(t2, t1));
+}
+
+OngoingBoolean NonEmpty(const OngoingInterval& iv) {
+  return Less(iv.start(), iv.end());
+}
+
+namespace {
+
+/// Conjunction of the non-emptiness checks of both intervals, shared by
+/// all Allen predicates.
+OngoingBoolean BothNonEmpty(const OngoingInterval& i1,
+                            const OngoingInterval& i2) {
+  return NonEmpty(i1).And(NonEmpty(i2));
+}
+
+}  // namespace
+
+OngoingBoolean Before(const OngoingInterval& i1, const OngoingInterval& i2) {
+  return LessEqual(i1.end(), i2.start()).And(BothNonEmpty(i1, i2));
+}
+
+OngoingBoolean Meets(const OngoingInterval& i1, const OngoingInterval& i2) {
+  return Equal(i1.end(), i2.start()).And(BothNonEmpty(i1, i2));
+}
+
+OngoingBoolean Overlaps(const OngoingInterval& i1, const OngoingInterval& i2) {
+  return Less(i1.start(), i2.end())
+      .And(Less(i2.start(), i1.end()))
+      .And(BothNonEmpty(i1, i2));
+}
+
+OngoingBoolean Starts(const OngoingInterval& i1, const OngoingInterval& i2) {
+  return Equal(i1.start(), i2.start()).And(BothNonEmpty(i1, i2));
+}
+
+OngoingBoolean Finishes(const OngoingInterval& i1, const OngoingInterval& i2) {
+  return Equal(i1.end(), i2.end()).And(BothNonEmpty(i1, i2));
+}
+
+OngoingBoolean During(const OngoingInterval& i1, const OngoingInterval& i2) {
+  OngoingBoolean contained = LessEqual(i2.start(), i1.start())
+                                 .And(LessEqual(i1.end(), i2.end()))
+                                 .And(BothNonEmpty(i1, i2));
+  OngoingBoolean empty_in_nonempty =
+      LessEqual(i1.end(), i1.start()).And(NonEmpty(i2));
+  return contained.Or(empty_in_nonempty);
+}
+
+OngoingBoolean Equals(const OngoingInterval& i1, const OngoingInterval& i2) {
+  OngoingBoolean same = Equal(i1.start(), i2.start())
+                            .And(Equal(i1.end(), i2.end()))
+                            .And(BothNonEmpty(i1, i2));
+  OngoingBoolean both_empty =
+      LessEqual(i1.end(), i1.start()).And(LessEqual(i2.end(), i2.start()));
+  return same.Or(both_empty);
+}
+
+OngoingInterval Intersect(const OngoingInterval& i1,
+                          const OngoingInterval& i2) {
+  return OngoingInterval(Max(i1.start(), i2.start()), Min(i1.end(), i2.end()));
+}
+
+OngoingBoolean Contains(const OngoingInterval& iv,
+                        const OngoingTimePoint& t) {
+  // s <= t ^ t < e; no separate non-emptiness check is needed because
+  // s <= t < e already implies s < e.
+  return LessEqual(iv.start(), t).And(Less(t, iv.end()));
+}
+
+// --------------------------------------------------------------------------
+// Fixed-domain counterparts.
+// --------------------------------------------------------------------------
+
+namespace {
+bool BothNonEmptyF(const FixedInterval& i1, const FixedInterval& i2) {
+  return !i1.empty() && !i2.empty();
+}
+}  // namespace
+
+bool BeforeF(const FixedInterval& i1, const FixedInterval& i2) {
+  return i1.end <= i2.start && BothNonEmptyF(i1, i2);
+}
+
+bool MeetsF(const FixedInterval& i1, const FixedInterval& i2) {
+  return i1.end == i2.start && BothNonEmptyF(i1, i2);
+}
+
+bool OverlapsF(const FixedInterval& i1, const FixedInterval& i2) {
+  return i1.start < i2.end && i2.start < i1.end && BothNonEmptyF(i1, i2);
+}
+
+bool StartsF(const FixedInterval& i1, const FixedInterval& i2) {
+  return i1.start == i2.start && BothNonEmptyF(i1, i2);
+}
+
+bool FinishesF(const FixedInterval& i1, const FixedInterval& i2) {
+  return i1.end == i2.end && BothNonEmptyF(i1, i2);
+}
+
+bool DuringF(const FixedInterval& i1, const FixedInterval& i2) {
+  if (i1.empty()) return !i2.empty();
+  return i2.start <= i1.start && i1.end <= i2.end && !i2.empty();
+}
+
+bool EqualsF(const FixedInterval& i1, const FixedInterval& i2) {
+  if (i1.empty() || i2.empty()) return i1.empty() && i2.empty();
+  return i1.start == i2.start && i1.end == i2.end;
+}
+
+FixedInterval IntersectF(const FixedInterval& i1, const FixedInterval& i2) {
+  return FixedInterval{std::max(i1.start, i2.start),
+                       std::min(i1.end, i2.end)};
+}
+
+bool ContainsF(const FixedInterval& i1, TimePoint t) {
+  return i1.Contains(t);
+}
+
+}  // namespace ongoingdb

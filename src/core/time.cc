@@ -1,0 +1,90 @@
+#include "core/time.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ongoingdb {
+
+CivilDate CivilFromDays(int64_t days) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2)), m, d};
+}
+
+std::string FormatTimePoint(TimePoint t) {
+  if (t <= kMinInfinity) return "-inf";
+  if (t >= kMaxInfinity) return "+inf";
+  CivilDate cd = CivilFromDays(t);
+  char buf[32];
+  if (cd.year == 2019) {
+    std::snprintf(buf, sizeof(buf), "%02u/%02u", cd.month, cd.day);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d/%02u/%02u", cd.year, cd.month,
+                  cd.day);
+  }
+  return buf;
+}
+
+std::string FormatTimestamp(TimePoint t) {
+  if (t <= kMinInfinity) return "-inf";
+  if (t >= kMaxInfinity) return "+inf";
+  int64_t days = t / kMicrosPerDay;
+  int64_t within = t % kMicrosPerDay;
+  if (within < 0) {
+    within += kMicrosPerDay;
+    --days;
+  }
+  CivilDate cd = CivilFromDays(days);
+  int64_t seconds = within / kMicrosPerSecond;
+  int64_t micros = within % kMicrosPerSecond;
+  char buf[48];
+  if (micros == 0) {
+    std::snprintf(buf, sizeof(buf), "%04d/%02u/%02u %02lld:%02lld:%02lld",
+                  cd.year, cd.month, cd.day,
+                  static_cast<long long>(seconds / 3600),
+                  static_cast<long long>((seconds / 60) % 60),
+                  static_cast<long long>(seconds % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%04d/%02u/%02u %02lld:%02lld:%02lld.%06lld", cd.year,
+                  cd.month, cd.day, static_cast<long long>(seconds / 3600),
+                  static_cast<long long>((seconds / 60) % 60),
+                  static_cast<long long>(seconds % 60),
+                  static_cast<long long>(micros));
+  }
+  return buf;
+}
+
+Result<TimePoint> ParseTimePoint(const std::string& text) {
+  if (text == "-inf") return kMinInfinity;
+  if (text == "+inf" || text == "inf") return kMaxInfinity;
+  int a = 0, b = 0, c = 0;
+  if (std::sscanf(text.c_str(), "%d/%d/%d", &a, &b, &c) == 3) {
+    if (b < 1 || b > 12 || c < 1 || c > 31) {
+      return Status::InvalidArgument("bad date: " + text);
+    }
+    return Date(a, static_cast<unsigned>(b), static_cast<unsigned>(c));
+  }
+  if (std::sscanf(text.c_str(), "%d/%d", &a, &b) == 2) {
+    if (a < 1 || a > 12 || b < 1 || b > 31) {
+      return Status::InvalidArgument("bad date: " + text);
+    }
+    return MD(static_cast<unsigned>(a), static_cast<unsigned>(b));
+  }
+  return Status::InvalidArgument("unparseable time point: " + text);
+}
+
+std::string FormatFixedInterval(const FixedInterval& iv) {
+  return "[" + FormatTimePoint(iv.start) + ", " + FormatTimePoint(iv.end) +
+         ")";
+}
+
+}  // namespace ongoingdb

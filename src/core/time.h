@@ -1,0 +1,126 @@
+// The fixed time domain T of the paper (Sec. IV): a linearly ordered,
+// discrete domain with -inf as lower and +inf as upper limit. Time points
+// are int64 ticks; the library is granularity-agnostic (the benchmarks use
+// a granularity of days, mirroring the paper's PostgreSQL `date` variant).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// A fixed time point of domain T. Fixed time points do not change as time
+/// passes by.
+using TimePoint = int64_t;
+
+/// The lower limit -inf of time domain T. Chosen well inside the int64
+/// range so that successor arithmetic (`b + 1` in the less-than decision
+/// tree) can never overflow.
+inline constexpr TimePoint kMinInfinity =
+    std::numeric_limits<int64_t>::min() / 4;
+
+/// The upper limit +inf of time domain T.
+inline constexpr TimePoint kMaxInfinity =
+    std::numeric_limits<int64_t>::max() / 4;
+
+/// True iff `t` is neither -inf nor +inf.
+inline constexpr bool IsFinite(TimePoint t) {
+  return t > kMinInfinity && t < kMaxInfinity;
+}
+
+/// Days since the civil epoch 1970-01-01 for a proleptic Gregorian date.
+/// (Howard Hinnant's `days_from_civil` algorithm.)
+constexpr int64_t DaysFromCivil(int year, unsigned month, unsigned day) {
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+/// A proleptic Gregorian calendar date.
+struct CivilDate {
+  int year;
+  unsigned month;
+  unsigned day;
+};
+
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int64_t days);
+
+/// Constructs the time point for a civil date, interpreting ticks as days.
+inline constexpr TimePoint Date(int year, unsigned month, unsigned day) {
+  return DaysFromCivil(year, month, day);
+}
+
+/// Shorthand for dates in the paper's running-example year 2019:
+/// MD(8, 15) is the paper's time point "08/15".
+inline constexpr TimePoint MD(unsigned month, unsigned day) {
+  return Date(2019, month, day);
+}
+
+// ---------------------------------------------------------------------------
+// Granularities. Like the paper's PostgreSQL implementation, the library
+// supports dates (ticks = days) and timestamps (ticks = microseconds).
+// All ongoing data types are granularity-agnostic; these helpers construct
+// and render ticks of either granularity.
+// ---------------------------------------------------------------------------
+
+inline constexpr int64_t kMicrosPerSecond = 1000000;
+inline constexpr int64_t kMicrosPerDay = 86400LL * kMicrosPerSecond;
+
+/// Constructs a microsecond-granularity time point.
+inline constexpr TimePoint Timestamp(int year, unsigned month, unsigned day,
+                                     unsigned hour = 0, unsigned minute = 0,
+                                     unsigned second = 0,
+                                     int64_t micros = 0) {
+  return DaysFromCivil(year, month, day) * kMicrosPerDay +
+         (static_cast<int64_t>(hour) * 3600 +
+          static_cast<int64_t>(minute) * 60 + second) *
+             kMicrosPerSecond +
+         micros;
+}
+
+/// Formats a microsecond-granularity time point as
+/// "yyyy/mm/dd hh:mm:ss[.uuuuuu]".
+std::string FormatTimestamp(TimePoint t);
+
+/// Formats a time point as the paper renders them: "-inf"/"+inf" for the
+/// limits, "mm/dd" for dates in 2019, "yyyy/mm/dd" otherwise.
+std::string FormatTimePoint(TimePoint t);
+
+/// Parses "mm/dd" (year 2019 implied) or "yyyy/mm/dd".
+Result<TimePoint> ParseTimePoint(const std::string& text);
+
+/// A half-open fixed time interval [start, end) over T. Empty iff
+/// start >= end.
+struct FixedInterval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  /// True iff the interval contains no time points.
+  constexpr bool empty() const { return start >= end; }
+
+  /// True iff `t` lies inside the interval.
+  constexpr bool Contains(TimePoint t) const { return start <= t && t < end; }
+
+  /// True iff this interval and `other` share at least one time point.
+  constexpr bool Intersects(const FixedInterval& other) const {
+    return start < other.end && other.start < end && !empty() &&
+           !other.empty();
+  }
+
+  friend constexpr bool operator==(const FixedInterval&,
+                                   const FixedInterval&) = default;
+};
+
+/// Formats "[start, end)" with FormatTimePoint endpoints.
+std::string FormatFixedInterval(const FixedInterval& iv);
+
+}  // namespace ongoingdb

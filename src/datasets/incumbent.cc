@@ -1,0 +1,54 @@
+#include "datasets/incumbent.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace datasets {
+
+OngoingRelation GenerateIncumbent(const IncumbentOptions& options) {
+  Schema schema({{"EmpID", ValueType::kInt64},
+                 {"Project", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+  OngoingRelation relation(schema);
+  relation.Reserve(static_cast<size_t>(options.cardinality));
+
+  Rng rng(options.seed);
+  const TimePoint history_end = options.history_end;
+  const TimePoint history_start =
+      history_end - static_cast<int64_t>(options.history_years) * 365;
+  const TimePoint last_year = history_end - 365;
+
+  for (int64_t i = 0; i < options.cardinality; ++i) {
+    const bool ongoing = rng.UniformReal() < options.ongoing_fraction;
+    OngoingInterval vt;
+    if (ongoing) {
+      // All ongoing project assignments started within the last year of
+      // the history (Fig. 7, bottom right).
+      TimePoint start = last_year + rng.Uniform(0, history_end - last_year - 1);
+      vt = OngoingInterval::SinceUntilNow(start);
+    } else {
+      TimePoint start =
+          history_start + rng.Uniform(0, history_end - history_start - 30);
+      TimePoint end = start + rng.Uniform(30, 720);  // one month - two years
+      vt = OngoingInterval::Fixed(start, std::min(end, history_end));
+    }
+    relation.AppendUnchecked(
+        Tuple({Value::Int64(rng.Uniform(0, options.num_employees - 1)),
+               Value::String("P" + std::to_string(
+                                       rng.Uniform(0, options.num_projects - 1))),
+               Value::Ongoing(vt)}));
+  }
+  return relation;
+}
+
+OngoingRelation GenerateIncumbent(int64_t cardinality, uint64_t seed) {
+  IncumbentOptions options;
+  options.cardinality = cardinality;
+  options.seed = seed;
+  return GenerateIncumbent(options);
+}
+
+}  // namespace datasets
+}  // namespace ongoingdb

@@ -1,0 +1,35 @@
+// A synthetic stand-in for the Incumbent data set [33] (University
+// Information System, TimeCenter CD-1): valid-time periods during which
+// projects are assigned to university employees. Published
+// characteristics reproduced (Table III, Fig. 7):
+//
+//   83,852 rows, 19% ongoing ([a, now)), 16-year history
+//   (1981/07 - 1997/10); all ongoing assignments started within the
+//   last year of the history.
+#pragma once
+
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace ongoingdb {
+namespace datasets {
+
+struct IncumbentOptions {
+  int64_t cardinality = 83852;
+  double ongoing_fraction = 0.19;
+  int history_years = 16;
+  TimePoint history_end = Date(1997, 10, 1);
+  int64_t num_employees = 5000;
+  int64_t num_projects = 800;
+  uint64_t seed = 11;
+};
+
+/// Schema: (EmpID: int64, Project: string, VT: ongoing_interval).
+OngoingRelation GenerateIncumbent(const IncumbentOptions& options);
+
+/// Convenience: default characteristics scaled to `cardinality` rows.
+OngoingRelation GenerateIncumbent(int64_t cardinality, uint64_t seed = 11);
+
+}  // namespace datasets
+}  // namespace ongoingdb

@@ -1,0 +1,146 @@
+#include "datasets/mozilla.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace datasets {
+
+namespace {
+
+constexpr std::array<const char*, 6> kProducts = {
+    "Firefox", "Thunderbird", "SeaMonkey", "Core", "Toolkit", "Bugzilla"};
+constexpr std::array<const char*, 8> kComponents = {
+    "Spam filter", "Rendering", "JavaScript", "Networking",
+    "UI",          "Storage",   "Security",   "Build"};
+constexpr std::array<const char*, 5> kOperatingSystems = {
+    "Linux", "Windows", "macOS", "Android", "All"};
+constexpr std::array<const char*, 5> kSeverities = {"trivial", "minor",
+                                                    "normal", "major",
+                                                    "critical"};
+
+// Draws the start point of an ongoing bug: 50% within the last two years
+// of the history (the Fig. 7 cumulative distribution), the rest spread
+// over the older history with increasing density toward the present.
+TimePoint OngoingStart(Rng& rng, TimePoint history_start,
+                       TimePoint history_end) {
+  const TimePoint two_years_ago = history_end - 2 * 365;
+  if (rng.Bernoulli(0.5)) {
+    return two_years_ago + rng.Uniform(0, history_end - two_years_ago - 1);
+  }
+  // Older half: skewed toward the recent end of the older region.
+  return rng.SkewedTowardsHigh(history_start, two_years_ago - 1, 2.5);
+}
+
+}  // namespace
+
+MozillaBugs GenerateMozillaBugs(const MozillaOptions& options) {
+  Schema b_schema({{"ID", ValueType::kInt64},
+                   {"Product", ValueType::kString},
+                   {"Component", ValueType::kString},
+                   {"OS", ValueType::kString},
+                   {"Description", ValueType::kString},
+                   {"VT", ValueType::kOngoingInterval}});
+  Schema a_schema({{"ID", ValueType::kInt64},
+                   {"Email", ValueType::kString},
+                   {"VT", ValueType::kOngoingInterval}});
+  Schema s_schema({{"ID", ValueType::kInt64},
+                   {"Severity", ValueType::kString},
+                   {"VT", ValueType::kOngoingInterval}});
+
+  MozillaBugs data{OngoingRelation(b_schema), OngoingRelation(a_schema),
+                   OngoingRelation(s_schema), 0, 0};
+  data.history_end = options.history_end;
+  data.history_start =
+      options.history_end - static_cast<int64_t>(options.history_years) * 365;
+
+  Rng rng(options.seed);
+  data.bug_info.Reserve(static_cast<size_t>(options.num_bugs));
+
+  for (int64_t id = 0; id < options.num_bugs; ++id) {
+    const bool ongoing = rng.UniformReal() < options.ongoing_fraction_b;
+    TimePoint start;
+    OngoingInterval vt;
+    if (ongoing) {
+      start = OngoingStart(rng, data.history_start, data.history_end);
+      vt = OngoingInterval::SinceUntilNow(start);
+    } else {
+      start = data.history_start +
+              rng.Uniform(0, data.history_end - data.history_start - 200);
+      TimePoint end = start + rng.Uniform(1, 180);
+      vt = OngoingInterval::Fixed(start, std::min(end, data.history_end));
+    }
+    data.bug_info.AppendUnchecked(Tuple(
+        {Value::Int64(id),
+         Value::String(kProducts[rng.Uniform(0, kProducts.size() - 1)]),
+         Value::String(kComponents[rng.Uniform(0, kComponents.size() - 1)]),
+         Value::String(
+             kOperatingSystems[rng.Uniform(0, kOperatingSystems.size() - 1)]),
+         Value::String(rng.String(static_cast<size_t>(
+             rng.Uniform(options.description_bytes / 2,
+                         options.description_bytes * 3 / 2)))),
+         Value::Ongoing(vt)}));
+
+    // Assignment and severity histories: a run of consecutive intervals
+    // per bug; the last one is ongoing iff the bug is ongoing (the
+    // paper: "the last assignment and last severity of bugs with
+    // ongoing valid times have ongoing valid times as well").
+    auto emit_history = [&](OngoingRelation* out, double rows_per_bug,
+                            auto make_values) {
+      int rows = 1;
+      double extra = rows_per_bug - 1.0;
+      while (extra > 0 && rng.UniformReal() < extra) {
+        ++rows;
+        extra -= 1.0;
+      }
+      const OngoingInterval& bug_vt = vt;
+      TimePoint cursor = start;
+      for (int k = 0; k < rows; ++k) {
+        const bool last = k == rows - 1;
+        OngoingInterval row_vt;
+        if (last) {
+          TimePoint bug_end = bug_vt.end().b();
+          row_vt = ongoing ? OngoingInterval::SinceUntilNow(cursor)
+                           : OngoingInterval::Fixed(
+                                 cursor, std::max(bug_end, cursor + 1));
+        } else {
+          TimePoint seg_end = cursor + rng.Uniform(1, 60);
+          row_vt = OngoingInterval::Fixed(cursor, seg_end);
+          cursor = seg_end;
+        }
+        out->AppendUnchecked(Tuple(make_values(row_vt)));
+      }
+    };
+
+    emit_history(&data.bug_assignment, options.rows_per_bug_a,
+                 [&](const OngoingInterval& row_vt) {
+                   return std::vector<Value>{
+                       Value::Int64(id),
+                       Value::String("dev" +
+                                     std::to_string(rng.Uniform(0, 499)) +
+                                     "@mozilla.org"),
+                       Value::Ongoing(row_vt)};
+                 });
+    emit_history(&data.bug_severity, options.rows_per_bug_s,
+                 [&](const OngoingInterval& row_vt) {
+                   return std::vector<Value>{
+                       Value::Int64(id),
+                       Value::String(
+                           kSeverities[rng.Uniform(0, kSeverities.size() - 1)]),
+                       Value::Ongoing(row_vt)};
+                 });
+  }
+  return data;
+}
+
+MozillaBugs GenerateMozillaBugs(int64_t num_bugs, uint64_t seed) {
+  MozillaOptions options;
+  options.num_bugs = num_bugs;
+  options.seed = seed;
+  return GenerateMozillaBugs(options);
+}
+
+}  // namespace datasets
+}  // namespace ongoingdb

@@ -1,0 +1,109 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace datasets {
+
+OngoingRelation GenerateSynthetic(const SyntheticOptions& options) {
+  Schema schema({{"ID", ValueType::kInt64},
+                 {"K", ValueType::kInt64},
+                 {"VT", ValueType::kOngoingInterval}});
+  OngoingRelation relation(schema);
+  relation.Reserve(static_cast<size_t>(options.cardinality));
+
+  Rng rng(options.seed);
+  const TimePoint history_end = options.history_end;
+  const TimePoint history_start =
+      history_end - static_cast<int64_t>(options.history_years) * 365;
+  const int64_t span = history_end - history_start;
+  const int64_t segment_span = span / options.segments;
+
+  for (int64_t i = 0; i < options.cardinality; ++i) {
+    const bool ongoing = rng.UniformReal() < options.ongoing_fraction;
+    OngoingInterval vt;
+    if (ongoing) {
+      // The fixed endpoint of the ongoing interval: placed in the chosen
+      // segment, or anywhere in the history.
+      TimePoint anchor;
+      if (options.ongoing_segment >= 0) {
+        TimePoint seg_start =
+            history_start + options.ongoing_segment * segment_span;
+        anchor = seg_start + rng.Uniform(0, segment_span - 1);
+      } else {
+        anchor = history_start + rng.Uniform(0, span - 1);
+      }
+      vt = options.kind == OngoingKind::kExpanding
+               ? OngoingInterval::SinceUntilNow(anchor)
+               : OngoingInterval::FromNowUntil(anchor);
+    } else {
+      TimePoint start = history_start + rng.Uniform(0, span - 1);
+      TimePoint end = start + rng.Uniform(1, options.max_duration_days);
+      vt = OngoingInterval::Fixed(start, std::min(end, history_end));
+    }
+    relation.AppendUnchecked(
+        Tuple({Value::Int64(i),
+               Value::Int64(rng.Uniform(0, options.key_cardinality - 1)),
+               Value::Ongoing(vt)}));
+  }
+  return relation;
+}
+
+OngoingRelation GenerateDex(int64_t cardinality, int ongoing_segment,
+                            uint64_t seed) {
+  SyntheticOptions options;
+  options.cardinality = cardinality;
+  options.ongoing_fraction = 0.15;
+  options.kind = OngoingKind::kExpanding;
+  options.ongoing_segment = ongoing_segment;
+  options.seed = seed;
+  return GenerateSynthetic(options);
+}
+
+OngoingRelation GenerateDsh(int64_t cardinality, int ongoing_segment,
+                            uint64_t seed) {
+  SyntheticOptions options;
+  options.cardinality = cardinality;
+  options.ongoing_fraction = 0.15;
+  options.kind = OngoingKind::kShrinking;
+  options.ongoing_segment = ongoing_segment;
+  options.seed = seed;
+  return GenerateSynthetic(options);
+}
+
+OngoingRelation GenerateDsc(int64_t cardinality, uint64_t seed) {
+  SyntheticOptions options;
+  options.cardinality = cardinality;
+  options.ongoing_fraction = 0.20;
+  options.kind = OngoingKind::kExpanding;
+  options.seed = seed;
+  return GenerateSynthetic(options);
+}
+
+Result<DatasetAudit> AuditDataset(const OngoingRelation& r) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt_idx, r.schema().IndexOf("VT"));
+  DatasetAudit audit;
+  audit.cardinality = static_cast<int64_t>(r.size());
+  for (const Tuple& t : r.tuples()) {
+    const Value& v = t.value(vt_idx);
+    if (v.type() == ValueType::kOngoingInterval) {
+      const OngoingInterval& iv = v.AsOngoingInterval();
+      if (iv.Kind() != IntervalKind::kFixed) ++audit.ongoing_tuples;
+      auto consider = [&audit](TimePoint p) {
+        if (!IsFinite(p)) return;
+        audit.min_point = std::min(audit.min_point, p);
+        audit.max_point = std::max(audit.max_point, p);
+      };
+      consider(iv.start().a());
+      consider(iv.start().b());
+      consider(iv.end().a());
+      consider(iv.end().b());
+    }
+  }
+  return audit;
+}
+
+}  // namespace datasets
+}  // namespace ongoingdb

@@ -1,0 +1,80 @@
+// Synthetic data sets Dex, Dsh, Dsc of the paper's evaluation (Table
+// III): relations with a non-temporal join attribute and a valid-time
+// interval, a configurable share of ongoing intervals ([a, now) for
+// expanding, [now, b) for shrinking), a 10-year history, and optional
+// placement of the ongoing intervals' fixed endpoints into one of five
+// 2-year segments (the Fig. 9 "location" experiment).
+//
+// Defaults are laptop-scale; the paper's 10M/35M cardinalities are
+// reproduced in shape, not in absolute size.
+#pragma once
+
+#include <cstdint>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+namespace datasets {
+
+/// Which ongoing interval shape the data set uses.
+enum class OngoingKind {
+  kExpanding,  ///< [a, now) — Dex, Dsc
+  kShrinking,  ///< [now, b) — Dsh
+};
+
+/// Generator parameters.
+struct SyntheticOptions {
+  int64_t cardinality = 100000;
+  double ongoing_fraction = 0.15;      ///< Dex/Dsh: 15%, Dsc: 20%
+  OngoingKind kind = OngoingKind::kExpanding;
+  int history_years = 10;
+  TimePoint history_end = Date(2019, 1, 1);
+  /// Segment (0..segments-1) holding the fixed endpoints of ongoing
+  /// intervals; -1 distributes them uniformly over the history.
+  int ongoing_segment = -1;
+  int segments = 5;
+  /// Number of distinct join-key values of the non-temporal attribute
+  /// (theta_N equality selectivity).
+  int64_t key_cardinality = 1000;
+  /// Maximum duration of fixed intervals, in days.
+  int64_t max_duration_days = 90;
+  uint64_t seed = 42;
+};
+
+/// Schema: (ID: int64, K: int64, VT: ongoing_interval).
+/// Fixed tuples carry fixed intervals; ongoing tuples carry [a, now) or
+/// [now, b) per `kind`.
+OngoingRelation GenerateSynthetic(const SyntheticOptions& options);
+
+/// The Dex data set of Table III (expanding, 15% ongoing).
+OngoingRelation GenerateDex(int64_t cardinality, int ongoing_segment = -1,
+                            uint64_t seed = 42);
+
+/// The Dsh data set of Table III (shrinking, 15% ongoing).
+OngoingRelation GenerateDsh(int64_t cardinality, int ongoing_segment = -1,
+                            uint64_t seed = 42);
+
+/// The Dsc data set of Table III (expanding, 20% ongoing), used for the
+/// Fig. 10 scalability experiment.
+OngoingRelation GenerateDsc(int64_t cardinality, uint64_t seed = 42);
+
+/// Audit counters used by the Table III reproduction.
+struct DatasetAudit {
+  int64_t cardinality = 0;
+  int64_t ongoing_tuples = 0;
+  TimePoint min_point = kMaxInfinity;
+  TimePoint max_point = kMinInfinity;
+
+  double OngoingFraction() const {
+    return cardinality == 0
+               ? 0.0
+               : static_cast<double>(ongoing_tuples) / cardinality;
+  }
+};
+
+/// Computes the audit for a relation with a `VT` interval attribute.
+Result<DatasetAudit> AuditDataset(const OngoingRelation& r);
+
+}  // namespace datasets
+}  // namespace ongoingdb

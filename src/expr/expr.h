@@ -1,0 +1,187 @@
+// A composable predicate/scalar expression language over tuples of
+// ongoing relations. Expressions evaluate in two modes:
+//
+//  * ongoing evaluation — yields ongoing booleans / ongoing values; used
+//    by the ongoing algebra to restrict tuple reference times (Sec. VII);
+//  * fixed evaluation — evaluates against an already instantiated tuple
+//    with ordinary fixed semantics; used by the Clifford baseline, which
+//    instantiates first and evaluates fixed predicates afterwards.
+//
+// The optimizer (Sec. VIII "Query Optimization") splits conjunctive
+// predicates into a part that only references fixed attributes (evaluated
+// as an ordinary WHERE filter) and a part referencing ongoing attributes
+// (used to compute the result tuples' reference times); see Split().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators on scalar operands.
+enum class CompareOp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+/// Allen interval predicates (Table II).
+enum class AllenOp {
+  kBefore,
+  kMeets,
+  kOverlaps,
+  kStarts,
+  kFinishes,
+  kDuring,
+  kEquals,
+};
+
+/// Expression node kinds.
+enum class ExprKind {
+  kColumn,     ///< attribute reference by name
+  kLiteral,    ///< constant value
+  kCompare,    ///< scalar comparison
+  kAllen,      ///< Allen predicate on intervals
+  kAnd,
+  kOr,
+  kNot,
+  kIntersect,  ///< interval intersection (scalar-valued)
+  kContains,   ///< interval CONTAINS time point (timeslice predicate)
+  kDurationCmp,///< DURATION(interval) <op> constant (ongoing-int predicate)
+};
+
+/// An immutable expression tree node.
+class Expr : public std::enable_shared_from_this<Expr> {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// True iff the subtree references no ongoing attribute of `schema`
+  /// and no ongoing literal (such a predicate does not depend on the
+  /// reference time).
+  virtual bool IsFixedOnly(const Schema& schema) const = 0;
+
+  /// Ongoing evaluation of a predicate expression against a tuple.
+  virtual Result<OngoingBoolean> EvalPredicate(const Schema& schema,
+                                               const Tuple& tuple) const;
+
+  /// Ongoing evaluation of a scalar expression against a tuple.
+  virtual Result<Value> EvalScalar(const Schema& schema,
+                                   const Tuple& tuple) const;
+
+  /// Fixed evaluation of a predicate against an *instantiated* tuple
+  /// (all ongoing attribute values already replaced by fixed values).
+  /// Ongoing literals are instantiated at `rt` when accessed — the
+  /// Clifford semantics of Sec. III.
+  virtual Result<bool> EvalPredicateFixed(const Schema& schema,
+                                          const Tuple& tuple,
+                                          TimePoint rt = 0) const;
+
+  /// Fixed evaluation of a scalar against an instantiated tuple.
+  virtual Result<Value> EvalScalarFixed(const Schema& schema,
+                                        const Tuple& tuple,
+                                        TimePoint rt = 0) const;
+
+  /// Appends the names of all columns referenced in this subtree.
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  /// Returns a copy of this subtree with every column name replaced by
+  /// rename(name). Used by the optimizer when pushing predicates below
+  /// joins (qualified names like "L.K" become the child's "K").
+  virtual ExprPtr RewriteColumns(
+      const std::function<std::string(const std::string&)>& rename) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+// --- Builders --------------------------------------------------------------
+
+/// Attribute reference, resolved by name at evaluation time ("VT",
+/// "B.VT").
+ExprPtr Col(std::string name);
+
+/// Constant of any supported value type.
+ExprPtr Lit(Value value);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(const char* v);
+ExprPtr Lit(OngoingInterval v);
+ExprPtr Lit(OngoingTimePoint v);
+
+/// Scalar comparison lhs op rhs. Works on fixed scalars (ints, strings,
+/// time points) and on ongoing time points (yielding time-dependent
+/// booleans).
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+
+/// Allen predicate lhs op rhs on interval-valued operands.
+ExprPtr Allen(AllenOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr BeforeExpr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr OverlapsExpr(ExprPtr lhs, ExprPtr rhs);
+
+/// Logical connectives.
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+
+/// Interval intersection lhs n rhs (scalar-valued).
+ExprPtr IntersectExpr(ExprPtr lhs, ExprPtr rhs);
+
+/// Containment predicate: interval `lhs` contains time point `rhs`.
+ExprPtr ContainsExpr(ExprPtr lhs, ExprPtr rhs);
+
+/// Duration predicate DURATION(interval) <op> ticks: the duration of an
+/// ongoing interval is an ongoing integer (core/ongoing_int.h), so the
+/// comparison yields a time-dependent boolean. Empty instantiations have
+/// duration 0.
+ExprPtr DurationCompare(CompareOp op, ExprPtr interval, int64_t ticks);
+
+// --- Conjunction splitting (Sec. VIII) -------------------------------------
+
+/// The two halves of a conjunctive predicate: `fixed_part` references
+/// only fixed attributes and can be evaluated in the WHERE clause;
+/// `ongoing_part` references ongoing attributes and restricts the result
+/// tuples' reference times. Either may be null (meaning `true`).
+struct SplitPredicate {
+  ExprPtr fixed_part;
+  ExprPtr ongoing_part;
+};
+
+/// Splits a conjunctive predicate by classifying each top-level conjunct
+/// (Sec. VIII "Query Optimization").
+SplitPredicate Split(const ExprPtr& predicate, const Schema& schema);
+
+// --- Introspection (used by the join-key extraction in query/join.cc) ------
+
+/// The parts of a comparison node; nullopt if `expr` is not a comparison.
+struct CompareParts {
+  CompareOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+std::optional<CompareParts> AsCompare(const ExprPtr& expr);
+
+/// The referenced attribute name; nullopt if `expr` is not a column
+/// reference.
+std::optional<std::string> AsColumnName(const ExprPtr& expr);
+
+/// Appends the top-level conjuncts of `expr` (flattening nested ANDs).
+void CollectTopLevelConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Conjunction of `conjuncts`; nullptr when the list is empty.
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace ongoingdb

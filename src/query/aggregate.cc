@@ -1,0 +1,181 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ongoingdb {
+
+int64_t StepFunction::At(TimePoint rt) const {
+  for (const Step& step : steps) {
+    if (rt < step.range.end) return step.value;
+  }
+  return steps.empty() ? 0 : steps.back().value;
+}
+
+int64_t StepFunction::Max() const {
+  int64_t best = 0;
+  for (const Step& step : steps) best = std::max(best, step.value);
+  return best;
+}
+
+std::string StepFunction::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += FormatFixedInterval(steps[i].range) + ": " +
+         std::to_string(steps[i].value);
+  }
+  s += "}";
+  return s;
+}
+
+StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
+  // Sweep over interval boundaries: +1 at each RT interval start, -1 at
+  // each end.
+  std::map<TimePoint, int64_t> deltas;
+  for (const Tuple& t : r.tuples()) {
+    for (const FixedInterval& iv : t.rt().intervals()) {
+      deltas[iv.start] += 1;
+      deltas[iv.end] -= 1;
+    }
+  }
+  StepFunction fn;
+  TimePoint cursor = kMinInfinity;
+  int64_t count = 0;
+  for (const auto& [point, delta] : deltas) {
+    if (delta == 0) continue;
+    if (point > cursor) {
+      fn.steps.push_back({FixedInterval{cursor, point}, count});
+      cursor = point;
+    }
+    count += delta;
+  }
+  if (cursor < kMaxInfinity) {
+    fn.steps.push_back({FixedInterval{cursor, kMaxInfinity}, count});
+  }
+  // Merge adjacent equal-valued steps (maximality).
+  std::vector<StepFunction::Step> merged;
+  for (const auto& step : fn.steps) {
+    if (!merged.empty() && merged.back().value == step.value) {
+      merged.back().range.end = step.range.end;
+    } else {
+      merged.push_back(step);
+    }
+  }
+  fn.steps = std::move(merged);
+  return fn;
+}
+
+Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,
+                                                 const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
+  if (IsOngoingType(r.schema().attribute(idx).type)) {
+    return Status::NotImplemented(
+        "grouping by ongoing attributes requires time-dependent groups");
+  }
+  // Partition tuples by group value, then aggregate each partition.
+  std::map<std::string, OngoingRelation> groups;
+  std::map<std::string, Value> group_values;
+  for (const Tuple& t : r.tuples()) {
+    std::string key = t.value(idx).ToString();
+    auto [it, inserted] = groups.try_emplace(key, r.schema());
+    if (inserted) group_values.emplace(key, t.value(idx));
+    it->second.AppendUnchecked(t);
+  }
+  std::vector<GroupedCount> result;
+  result.reserve(groups.size());
+  for (auto& [key, relation] : groups) {
+    result.push_back(
+        GroupedCount{group_values.at(key), CountAtEachReferenceTime(relation)});
+  }
+  return result;
+}
+
+namespace {
+
+// Shared skeleton for the weighted sweeps: collects per-boundary deltas
+// of `column` values and emits a step function.
+Result<size_t> CheckInt64Column(const OngoingRelation& r,
+                                const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
+  if (r.schema().attribute(idx).type != ValueType::kInt64) {
+    return Status::TypeError("aggregate requires an int64 attribute, got " +
+                             std::string(ValueTypeToString(
+                                 r.schema().attribute(idx).type)));
+  }
+  return idx;
+}
+
+StepFunction MergeSteps(std::vector<StepFunction::Step> steps) {
+  StepFunction fn;
+  for (auto& step : steps) {
+    if (step.range.empty()) continue;
+    if (!fn.steps.empty() && fn.steps.back().value == step.value) {
+      fn.steps.back().range.end = step.range.end;
+    } else {
+      fn.steps.push_back(step);
+    }
+  }
+  return fn;
+}
+
+// Generic boundary sweep: for each maximal range between RT boundaries,
+// computes `combine` over the values of the tuples alive in that range.
+template <typename Combine>
+Result<StepFunction> SweepAggregate(const OngoingRelation& r,
+                                    const std::string& column,
+                                    int64_t empty_value, Combine&& combine) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, CheckInt64Column(r, column));
+  // Collect all boundaries.
+  std::vector<TimePoint> boundaries{kMinInfinity, kMaxInfinity};
+  for (const Tuple& t : r.tuples()) {
+    for (const FixedInterval& iv : t.rt().intervals()) {
+      boundaries.push_back(iv.start);
+      boundaries.push_back(iv.end);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  std::vector<StepFunction::Step> steps;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    FixedInterval range{boundaries[i], boundaries[i + 1]};
+    bool any = false;
+    int64_t acc = empty_value;
+    for (const Tuple& t : r.tuples()) {
+      if (!t.rt().Contains(range.start)) continue;
+      int64_t v = t.value(idx).AsInt64();
+      acc = any ? combine(acc, v) : v;
+      any = true;
+    }
+    steps.push_back({range, any ? acc : empty_value});
+  }
+  if (steps.empty()) {
+    steps.push_back({FixedInterval{kMinInfinity, kMaxInfinity}, empty_value});
+  }
+  return MergeSteps(std::move(steps));
+}
+
+}  // namespace
+
+Result<StepFunction> SumAtEachReferenceTime(const OngoingRelation& r,
+                                            const std::string& column) {
+  return SweepAggregate(r, column, 0,
+                        [](int64_t a, int64_t b) { return a + b; });
+}
+
+Result<StepFunction> MinAtEachReferenceTime(const OngoingRelation& r,
+                                            const std::string& column,
+                                            int64_t empty_value) {
+  return SweepAggregate(r, column, empty_value,
+                        [](int64_t a, int64_t b) { return std::min(a, b); });
+}
+
+Result<StepFunction> MaxAtEachReferenceTime(const OngoingRelation& r,
+                                            const std::string& column,
+                                            int64_t empty_value) {
+  return SweepAggregate(r, column, empty_value,
+                        [](int64_t a, int64_t b) { return std::max(a, b); });
+}
+
+}  // namespace ongoingdb

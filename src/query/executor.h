@@ -1,0 +1,27 @@
+// Plan execution. Two modes:
+//
+//  * Execute — ongoing semantics: predicates evaluate to ongoing
+//    booleans that restrict tuple reference times; the result remains
+//    valid as time passes by. Conjunctive predicates are split per
+//    Sec. VIII: the fixed part is evaluated as an ordinary filter, the
+//    ongoing part restricts RT.
+//
+//  * ExecuteAtReferenceTime — Clifford semantics [3]: base relations are
+//    instantiated at the given reference time and all predicates are
+//    evaluated with fixed semantics. The result is valid at that
+//    reference time only (re-evaluation is required as time passes by).
+#pragma once
+
+#include "query/plan.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// Evaluates a plan with ongoing semantics.
+Result<OngoingRelation> Execute(const PlanPtr& plan);
+
+/// Evaluates a plan with Clifford semantics at reference time rt.
+Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
+                                               TimePoint rt);
+
+}  // namespace ongoingdb

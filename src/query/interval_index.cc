@@ -1,0 +1,123 @@
+#include "query/interval_index.h"
+
+#include <algorithm>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+
+namespace {
+
+// Resolves the indexed column on `r`; assumes the index was built on it
+// (the Build factory validated the type).
+Result<size_t> IntervalColumn(const OngoingRelation& r) {
+  for (size_t i = 0; i < r.schema().num_attributes(); ++i) {
+    ValueType type = r.schema().attribute(i).type;
+    if (type == ValueType::kOngoingInterval ||
+        type == ValueType::kFixedInterval) {
+      return i;
+    }
+  }
+  return Status::NotFound("relation has no interval attribute");
+}
+
+OngoingInterval LiftIntervalValue(const Value& v) {
+  if (v.type() == ValueType::kFixedInterval) {
+    FixedInterval f = v.AsInterval();
+    return OngoingInterval::Fixed(f.start, f.end);
+  }
+  return v.AsOngoingInterval();
+}
+
+}  // namespace
+
+Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
+                                           const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
+  ValueType type = r.schema().attribute(idx).type;
+  if (type != ValueType::kOngoingInterval &&
+      type != ValueType::kFixedInterval) {
+    return Status::TypeError("interval index requires an interval attribute");
+  }
+  IntervalIndex index;
+  index.entries_.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Value& v = r.tuple(i).value(idx);
+    Entry e;
+    if (v.type() == ValueType::kFixedInterval) {
+      FixedInterval f = v.AsInterval();
+      e = Entry{f.start, f.start, f.end, f.end, i};
+    } else {
+      const OngoingInterval& iv = v.AsOngoingInterval();
+      e = Entry{iv.start().a(), iv.start().b(), iv.end().a(), iv.end().b(), i};
+    }
+    index.entries_.push_back(e);
+  }
+  std::sort(index.entries_.begin(), index.entries_.end(),
+            [](const Entry& x, const Entry& y) {
+              return x.min_start < y.min_start;
+            });
+  return index;
+}
+
+std::vector<size_t> IntervalIndex::OverlapCandidates(
+    const FixedInterval& probe) const {
+  // Overlap at some rt requires the interval to be able to start before
+  // the probe ends (min_start < probe.end) and to be able to end after
+  // the probe starts (max_end > probe.start). The first condition is a
+  // prefix of the min_start-sorted list found by binary search.
+  std::vector<size_t> candidates;
+  auto end_it = std::lower_bound(
+      entries_.begin(), entries_.end(), probe.end,
+      [](const Entry& e, TimePoint v) { return e.min_start < v; });
+  for (auto it = entries_.begin(); it != end_it; ++it) {
+    if (it->max_end > probe.start) candidates.push_back(it->tuple_index);
+  }
+  return candidates;
+}
+
+std::vector<size_t> IntervalIndex::BeforeCandidates(
+    const FixedInterval& probe) const {
+  // Before at some rt requires the interval to be able to end no later
+  // than the probe's start: min_end <= probe.start. Its start then also
+  // precedes the probe (non-empty check happens in the exact predicate).
+  std::vector<size_t> candidates;
+  for (const Entry& e : entries_) {
+    if (e.min_start >= probe.start) break;  // sorted by min_start
+    if (e.min_end <= probe.start) candidates.push_back(e.tuple_index);
+  }
+  return candidates;
+}
+
+Result<OngoingRelation> IntervalIndex::SelectOverlaps(
+    const OngoingRelation& r, const FixedInterval& probe) const {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, IntervalColumn(r));
+  OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+  OngoingRelation result(r.schema());
+  for (size_t i : OverlapCandidates(probe)) {
+    const Tuple& t = r.tuple(i);
+    OngoingBoolean pred =
+        Overlaps(LiftIntervalValue(t.value(vt)), probe_iv);
+    IntervalSet rt = t.rt().Intersect(pred.st());
+    if (rt.IsEmpty()) continue;
+    result.AppendUnchecked(Tuple(t.values(), std::move(rt)));
+  }
+  return result;
+}
+
+Result<OngoingRelation> IntervalIndex::SelectBefore(
+    const OngoingRelation& r, const FixedInterval& probe) const {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, IntervalColumn(r));
+  OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+  OngoingRelation result(r.schema());
+  for (size_t i : BeforeCandidates(probe)) {
+    const Tuple& t = r.tuple(i);
+    OngoingBoolean pred = Before(LiftIntervalValue(t.value(vt)), probe_iv);
+    IntervalSet rt = t.rt().Intersect(pred.st());
+    if (rt.IsEmpty()) continue;
+    result.AppendUnchecked(Tuple(t.values(), std::move(rt)));
+  }
+  return result;
+}
+
+}  // namespace ongoingdb

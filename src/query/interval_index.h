@@ -1,0 +1,66 @@
+// An index access method for ongoing time intervals — the paper's third
+// future-work item (Sec. X). The index stores, per tuple, conservative
+// bounds of one ongoing interval attribute:
+//
+//   min_start = start.a  (the earliest the interval can ever start)
+//   max_end   = end.b    (the latest it can ever end)
+//
+// For a fixed probe interval [ts, te), any tuple whose ongoing interval
+// can overlap/precede/follow the probe at *some* reference time must
+// satisfy simple bound conditions (e.g. overlap requires min_start < te
+// and ts < max_end). The index answers these with binary searches over
+// sorted bound lists and returns a candidate set; the exact ongoing
+// predicate is then evaluated only on the candidates.
+#pragma once
+
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// A sorted-bounds index over one ongoing/fixed interval attribute.
+class IntervalIndex {
+ public:
+  /// Builds the index over `column` of `r` (borrowed; the relation must
+  /// outlive the index).
+  static Result<IntervalIndex> Build(const OngoingRelation& r,
+                                     const std::string& column);
+
+  /// Tuple indices whose interval could overlap [ts, te) at some
+  /// reference time (superset of the exact answer).
+  std::vector<size_t> OverlapCandidates(const FixedInterval& probe) const;
+
+  /// Tuple indices whose interval could be strictly before [ts, te) at
+  /// some reference time.
+  std::vector<size_t> BeforeCandidates(const FixedInterval& probe) const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Index-accelerated ongoing selection: equivalent to
+  /// Select(r, pred(VT, probe)) for pred in {overlaps, before}, but the
+  /// exact ongoing predicate is evaluated only on the index's candidate
+  /// set. `r` must be the relation the index was built on.
+  Result<OngoingRelation> SelectOverlaps(const OngoingRelation& r,
+                                         const FixedInterval& probe) const;
+  Result<OngoingRelation> SelectBefore(const OngoingRelation& r,
+                                       const FixedInterval& probe) const;
+
+ private:
+  struct Entry {
+    TimePoint min_start;  // earliest possible start
+    TimePoint max_start;  // latest possible start
+    TimePoint min_end;    // earliest possible end
+    TimePoint max_end;    // latest possible end
+    size_t tuple_index;
+  };
+
+  IntervalIndex() = default;
+
+  // Entries sorted by min_start; by_min_start_[k] holds the k-th
+  // smallest.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ongoingdb

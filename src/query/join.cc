@@ -1,0 +1,240 @@
+#include "query/join.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "relation/algebra.h"
+
+namespace ongoingdb {
+
+namespace {
+
+// Resolves a (possibly prefix-qualified) column name against one join
+// side: "K" matches attribute K directly; "L.K" matches attribute K of
+// the side with prefix "L".
+std::optional<size_t> ResolveSide(const Schema& schema,
+                                  const std::string& prefix,
+                                  const std::string& name) {
+  if (auto idx = schema.IndexOf(name); idx.ok()) return *idx;
+  const std::string qualifier = prefix + ".";
+  if (name.size() > qualifier.size() &&
+      name.compare(0, qualifier.size(), qualifier) == 0) {
+    if (auto idx = schema.IndexOf(name.substr(qualifier.size())); idx.ok()) {
+      return *idx;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status ExtractEquiConjuncts(const ExprPtr& predicate,
+                            const Schema& left_schema,
+                            const Schema& right_schema,
+                            const std::string& left_prefix,
+                            const std::string& right_prefix,
+                            std::vector<EquiKey>* keys, ExprPtr* residual) {
+  std::vector<ExprPtr> conjuncts;
+  CollectTopLevelConjuncts(predicate, &conjuncts);
+  std::vector<ExprPtr> residual_conjuncts;
+  auto fixed_at = [](const Schema& schema, size_t idx) {
+    return !IsOngoingType(schema.attribute(idx).type);
+  };
+  for (const ExprPtr& conjunct : conjuncts) {
+    auto cmp = AsCompare(conjunct);
+    bool is_key = false;
+    if (cmp && cmp->op == CompareOp::kEq) {
+      auto lcol = AsColumnName(cmp->lhs);
+      auto rcol = AsColumnName(cmp->rhs);
+      if (lcol && rcol) {
+        // A usable key binds one operand to exactly one side (fixed
+        // attribute) and the other operand to the other side.
+        auto classify = [&](const std::string& name)
+            -> std::pair<std::optional<size_t>, std::optional<size_t>> {
+          return {ResolveSide(left_schema, left_prefix, name),
+                  ResolveSide(right_schema, right_prefix, name)};
+        };
+        auto [l_of_l, r_of_l] = classify(*lcol);
+        auto [l_of_r, r_of_r] = classify(*rcol);
+        if (l_of_l && !r_of_l && r_of_r && !l_of_r &&
+            fixed_at(left_schema, *l_of_l) &&
+            fixed_at(right_schema, *r_of_r)) {
+          keys->push_back(EquiKey{*l_of_l, *r_of_r});
+          is_key = true;
+        } else if (l_of_r && !r_of_r && r_of_l && !l_of_l &&
+                   fixed_at(left_schema, *l_of_r) &&
+                   fixed_at(right_schema, *r_of_l)) {
+          keys->push_back(EquiKey{*l_of_r, *r_of_l});
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) residual_conjuncts.push_back(conjunct);
+  }
+  *residual = AndAll(residual_conjuncts);
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<Value> ConcatValues(const Tuple& r, const Tuple& s) {
+  std::vector<Value> values;
+  values.reserve(r.num_values() + s.num_values());
+  for (const Value& v : r.values()) values.push_back(v);
+  for (const Value& v : s.values()) values.push_back(v);
+  return values;
+}
+
+// Hashable string key of a tuple's values at the given attribute
+// indices.
+std::string KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
+  std::string key;
+  for (size_t i : indices) {
+    key += t.value(i).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+// Emits the joined tuple for a candidate pair if its reference time is
+// non-empty under the residual predicate.
+Status EmitIfMatching(const Schema& joined_schema, const Tuple& lt,
+                      const Tuple& rt, const ExprPtr& residual,
+                      OngoingRelation* out) {
+  IntervalSet rt_set = lt.rt().Intersect(rt.rt());
+  if (rt_set.IsEmpty()) return Status::OK();
+  std::vector<Value> values = ConcatValues(lt, rt);
+  if (residual != nullptr) {
+    Tuple combined(std::move(values), rt_set);
+    ONGOINGDB_ASSIGN_OR_RETURN(
+        OngoingBoolean pred, residual->EvalPredicate(joined_schema, combined));
+    rt_set = rt_set.Intersect(pred.st());
+    if (rt_set.IsEmpty()) return Status::OK();
+    out->AppendUnchecked(Tuple(combined.values(), std::move(rt_set)));
+    return Status::OK();
+  }
+  out->AppendUnchecked(Tuple(std::move(values), std::move(rt_set)));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
+                                       const OngoingRelation& right,
+                                       const ExprPtr& predicate,
+                                       const std::string& left_prefix,
+                                       const std::string& right_prefix) {
+  Schema joined =
+      left.schema().Concat(right.schema(), left_prefix, right_prefix);
+  OngoingRelation result(joined);
+  for (const Tuple& lt : left.tuples()) {
+    for (const Tuple& rt : right.tuples()) {
+      ONGOINGDB_RETURN_NOT_OK(
+          EmitIfMatching(joined, lt, rt, predicate, &result));
+    }
+  }
+  return result;
+}
+
+Result<OngoingRelation> HashJoin(const OngoingRelation& left,
+                                 const OngoingRelation& right,
+                                 const ExprPtr& predicate,
+                                 const std::string& left_prefix,
+                                 const std::string& right_prefix) {
+  std::vector<EquiKey> keys;
+  ExprPtr residual;
+  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
+                                               right.schema(), left_prefix,
+                                               right_prefix, &keys,
+                                               &residual));
+  if (keys.empty()) {
+    return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
+  }
+  std::vector<size_t> left_idx, right_idx;
+  for (const EquiKey& key : keys) {
+    left_idx.push_back(key.left_index);
+    right_idx.push_back(key.right_index);
+  }
+  Schema joined =
+      left.schema().Concat(right.schema(), left_prefix, right_prefix);
+  OngoingRelation result(joined);
+  // Build on the left input, probe with the right.
+  std::unordered_multimap<std::string, size_t> table;
+  table.reserve(left.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    table.emplace(KeyOf(left.tuple(i), left_idx), i);
+  }
+  for (const Tuple& rt : right.tuples()) {
+    auto [begin, end] = table.equal_range(KeyOf(rt, right_idx));
+    for (auto it = begin; it != end; ++it) {
+      ONGOINGDB_RETURN_NOT_OK(EmitIfMatching(joined, left.tuple(it->second),
+                                             rt, residual, &result));
+    }
+  }
+  return result;
+}
+
+Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
+                                      const OngoingRelation& right,
+                                      const ExprPtr& predicate,
+                                      const std::string& left_prefix,
+                                      const std::string& right_prefix) {
+  std::vector<EquiKey> keys;
+  ExprPtr residual;
+  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
+                                               right.schema(), left_prefix,
+                                               right_prefix, &keys,
+                                               &residual));
+  if (keys.empty()) {
+    return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
+  }
+  std::vector<size_t> left_idx, right_idx;
+  for (const EquiKey& key : keys) {
+    left_idx.push_back(key.left_index);
+    right_idx.push_back(key.right_index);
+  }
+  Schema joined =
+      left.schema().Concat(right.schema(), left_prefix, right_prefix);
+  OngoingRelation result(joined);
+
+  // Sort row indices of both inputs by key (the log-linear component).
+  std::vector<std::pair<std::string, size_t>> ls, rs;
+  ls.reserve(left.size());
+  rs.reserve(right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    ls.emplace_back(KeyOf(left.tuple(i), left_idx), i);
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    rs.emplace_back(KeyOf(right.tuple(i), right_idx), i);
+  }
+  std::sort(ls.begin(), ls.end());
+  std::sort(rs.begin(), rs.end());
+
+  size_t li = 0, ri = 0;
+  while (li < ls.size() && ri < rs.size()) {
+    if (ls[li].first < rs[ri].first) {
+      ++li;
+    } else if (rs[ri].first < ls[li].first) {
+      ++ri;
+    } else {
+      // Equal-key groups: emit the cross product of the groups.
+      size_t lg = li;
+      while (lg < ls.size() && ls[lg].first == ls[li].first) ++lg;
+      size_t rg = ri;
+      while (rg < rs.size() && rs[rg].first == rs[ri].first) ++rg;
+      for (size_t i = li; i < lg; ++i) {
+        for (size_t j = ri; j < rg; ++j) {
+          ONGOINGDB_RETURN_NOT_OK(
+              EmitIfMatching(joined, left.tuple(ls[i].second),
+                             right.tuple(rs[j].second), residual, &result));
+        }
+      }
+      li = lg;
+      ri = rg;
+    }
+  }
+  return result;
+}
+
+}  // namespace ongoingdb

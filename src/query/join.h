@@ -1,0 +1,61 @@
+// Physical join algorithms on ongoing relations. All three produce the
+// algebra's theta-join result (RT = r.RT ^ s.RT ^ theta(r, s)); they
+// differ in how candidate pairs are enumerated:
+//
+//  * nested-loop: any predicate, O(|R| * |S|);
+//  * hash: linear build/probe on fixed equality conjuncts, residual
+//    predicate evaluated per candidate pair;
+//  * sort-merge: log-linear sort on the same keys — the algorithm the
+//    paper's Fig. 11 discussion attributes the ongoing plan's extra
+//    logarithmic component to.
+#pragma once
+
+#include "expr/expr.h"
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// One fixed-attribute equality conjunct usable as a join key, resolved
+/// to attribute indices of the two inputs.
+struct EquiKey {
+  size_t left_index;
+  size_t right_index;
+};
+
+/// Splits a conjunctive join predicate into equality conjuncts on fixed
+/// attributes (hash/merge keys) and the residual predicate (nullptr when
+/// everything was a key). Column names may be qualified with the join
+/// prefixes ("L.K") or unqualified when unambiguous. Conjuncts that do
+/// not fit the key pattern stay in the residual.
+Status ExtractEquiConjuncts(const ExprPtr& predicate,
+                            const Schema& left_schema,
+                            const Schema& right_schema,
+                            const std::string& left_prefix,
+                            const std::string& right_prefix,
+                            std::vector<EquiKey>* keys, ExprPtr* residual);
+
+/// Nested-loop theta join (ongoing semantics).
+Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
+                                       const OngoingRelation& right,
+                                       const ExprPtr& predicate,
+                                       const std::string& left_prefix,
+                                       const std::string& right_prefix);
+
+/// Hash join on extracted fixed equality conjuncts; falls back to
+/// nested-loop when no key exists.
+Result<OngoingRelation> HashJoin(const OngoingRelation& left,
+                                 const OngoingRelation& right,
+                                 const ExprPtr& predicate,
+                                 const std::string& left_prefix,
+                                 const std::string& right_prefix);
+
+/// Sort-merge join on extracted fixed equality conjuncts; falls back to
+/// nested-loop when no key exists.
+Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
+                                      const OngoingRelation& right,
+                                      const ExprPtr& predicate,
+                                      const std::string& left_prefix,
+                                      const std::string& right_prefix);
+
+}  // namespace ongoingdb

@@ -1,0 +1,16 @@
+#include "query/materialized_view.h"
+
+namespace ongoingdb {
+
+Result<MaterializedView> MaterializedView::Create(PlanPtr plan) {
+  MaterializedView view(std::move(plan));
+  ONGOINGDB_RETURN_NOT_OK(view.Refresh());
+  return view;
+}
+
+Status MaterializedView::Refresh() {
+  ONGOINGDB_ASSIGN_OR_RETURN(result_, Execute(plan_));
+  return Status::OK();
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,175 @@
+#include "query/optimizer.h"
+
+#include "query/join.h"
+
+namespace ongoingdb {
+
+Result<Schema> OutputSchema(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return static_cast<const ScanNode*>(plan.get())->relation().schema();
+    case PlanKind::kFilter:
+      return OutputSchema(
+          static_cast<const FilterNode*>(plan.get())->child());
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema child, OutputSchema(node->child()));
+      std::vector<size_t> indices;
+      for (const std::string& name : node->names()) {
+        ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, child.IndexOf(name));
+        indices.push_back(idx);
+      }
+      return child.Project(indices);
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema left, OutputSchema(node->left()));
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema right, OutputSchema(node->right()));
+      return left.Concat(right, node->left_prefix(), node->right_prefix());
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+namespace {
+
+// Resolves a column name against one join input: either directly, or by
+// stripping the side's qualification prefix ("L.K" -> "K"). Returns the
+// name valid inside that input, or nullopt.
+std::optional<std::string> ResolveName(const Schema& schema,
+                                       const std::string& prefix,
+                                       const std::string& name) {
+  if (schema.IndexOf(name).ok()) return name;
+  const std::string qualifier = prefix + ".";
+  if (name.size() > qualifier.size() &&
+      name.compare(0, qualifier.size(), qualifier) == 0) {
+    std::string rest = name.substr(qualifier.size());
+    if (schema.IndexOf(rest).ok()) return rest;
+  }
+  return std::nullopt;
+}
+
+// If every column of `conjunct` resolves in the join input, returns the
+// conjunct rewritten to the input's attribute names; nullopt otherwise.
+std::optional<ExprPtr> TryRewriteForSide(const ExprPtr& conjunct,
+                                         const Schema& schema,
+                                         const std::string& prefix) {
+  std::vector<std::string> columns;
+  conjunct->CollectColumns(&columns);
+  if (columns.empty()) return std::nullopt;
+  for (const std::string& column : columns) {
+    if (!ResolveName(schema, prefix, column)) return std::nullopt;
+  }
+  return conjunct->RewriteColumns([&schema, &prefix](const std::string& name) {
+    return *ResolveName(schema, prefix, name);
+  });
+}
+
+}  // namespace
+
+Result<PlanPtr> PushDownFilters(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return plan;
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 PushDownFilters(node->child()));
+      return ProjectPlan(std::move(child), node->names());
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr left, PushDownFilters(node->left()));
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr right,
+                                 PushDownFilters(node->right()));
+      return Join(std::move(left), std::move(right), node->predicate(),
+                  node->left_prefix(), node->right_prefix(),
+                  node->algorithm());
+    }
+    case PlanKind::kFilter: {
+      const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 PushDownFilters(node->child()));
+      if (child->kind() != PlanKind::kJoin) {
+        return Filter(std::move(child), node->predicate());
+      }
+      const auto* join = static_cast<const JoinNode*>(child.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema,
+                                 OutputSchema(join->left()));
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema,
+                                 OutputSchema(join->right()));
+      std::vector<ExprPtr> conjuncts;
+      CollectTopLevelConjuncts(node->predicate(), &conjuncts);
+      std::vector<ExprPtr> to_left, to_right, stay;
+      for (const ExprPtr& conjunct : conjuncts) {
+        if (auto rewritten = TryRewriteForSide(conjunct, left_schema,
+                                               join->left_prefix())) {
+          to_left.push_back(*rewritten);
+        } else if (auto rewritten2 = TryRewriteForSide(
+                       conjunct, right_schema, join->right_prefix())) {
+          to_right.push_back(*rewritten2);
+        } else {
+          stay.push_back(conjunct);
+        }
+      }
+      PlanPtr new_left = join->left();
+      PlanPtr new_right = join->right();
+      if (!to_left.empty()) new_left = Filter(new_left, AndAll(to_left));
+      if (!to_right.empty()) new_right = Filter(new_right, AndAll(to_right));
+      PlanPtr new_join =
+          Join(std::move(new_left), std::move(new_right), join->predicate(),
+               join->left_prefix(), join->right_prefix(), join->algorithm());
+      if (stay.empty()) return new_join;
+      return Filter(std::move(new_join), AndAll(stay));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<PlanPtr> ChooseJoinAlgorithms(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return plan;
+    case PlanKind::kFilter: {
+      const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 ChooseJoinAlgorithms(node->child()));
+      return Filter(std::move(child), node->predicate());
+    }
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 ChooseJoinAlgorithms(node->child()));
+      return ProjectPlan(std::move(child), node->names());
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr left,
+                                 ChooseJoinAlgorithms(node->left()));
+      ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr right,
+                                 ChooseJoinAlgorithms(node->right()));
+      JoinAlgorithm algorithm = node->algorithm();
+      if (algorithm == JoinAlgorithm::kAuto) {
+        ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema, OutputSchema(left));
+        ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(right));
+        std::vector<EquiKey> keys;
+        ExprPtr residual;
+        ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(
+            node->predicate(), left_schema, right_schema,
+            node->left_prefix(), node->right_prefix(), &keys, &residual));
+        algorithm =
+            keys.empty() ? JoinAlgorithm::kNestedLoop : JoinAlgorithm::kHash;
+      }
+      return Join(std::move(left), std::move(right), node->predicate(),
+                  node->left_prefix(), node->right_prefix(), algorithm);
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<PlanPtr> Optimize(const PlanPtr& plan) {
+  ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr pushed, PushDownFilters(plan));
+  return ChooseJoinAlgorithms(pushed);
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,29 @@
+// Rule-based plan rewriting (Sec. VIII "Query Optimization"). The same
+// rewrite rules hold for operators on ongoing relations as for fixed
+// relations: conjunctive selections split and push below joins, and join
+// algorithms are chosen from the available fixed-attribute equality
+// conjuncts. The ongoing/fixed predicate split itself happens inside the
+// executor via expr::Split.
+#pragma once
+
+#include "query/plan.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// The output schema a plan will produce (computed without executing).
+Result<Schema> OutputSchema(const PlanPtr& plan);
+
+/// Pushes filter conjuncts below joins when all referenced columns
+/// resolve in one join input (sigma_{theta1 ^ theta2}(R) ==
+/// sigma_theta1(sigma_theta2(R)) plus commuting with join inputs).
+Result<PlanPtr> PushDownFilters(const PlanPtr& plan);
+
+/// Replaces JoinAlgorithm::kAuto with kHash when fixed equality
+/// conjuncts exist and kNestedLoop otherwise.
+Result<PlanPtr> ChooseJoinAlgorithms(const PlanPtr& plan);
+
+/// Applies all rewrite rules.
+Result<PlanPtr> Optimize(const PlanPtr& plan);
+
+}  // namespace ongoingdb

@@ -1,0 +1,43 @@
+#include "relation/bitemporal.h"
+
+namespace ongoingdb {
+
+Status BitemporalRelation::Insert(std::vector<Value> values, TimePoint tt) {
+  ONGOINGDB_RETURN_NOT_OK(data_.Insert(std::move(values)));
+  tt_.push_back(FixedInterval{tt, kUntilChanged});
+  return Status::OK();
+}
+
+size_t BitemporalRelation::Delete(
+    const std::function<bool(const Tuple&)>& filter, TimePoint tt) {
+  size_t deleted = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (tt_[i].end != kUntilChanged) continue;  // already superseded
+    if (!filter(data_.tuple(i))) continue;
+    tt_[i].end = tt;
+    ++deleted;
+  }
+  return deleted;
+}
+
+OngoingRelation BitemporalRelation::Current() const {
+  OngoingRelation result(data_.schema());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (tt_[i].end == kUntilChanged) {
+      result.AppendUnchecked(data_.tuple(i));
+    }
+  }
+  return result;
+}
+
+OngoingRelation BitemporalRelation::AsOf(TimePoint tt) const {
+  OngoingRelation result(data_.schema());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (tt_[i].Contains(tt)) {
+      result.AppendUnchecked(data_.tuple(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,65 @@
+// Bitemporal bookkeeping: transaction time alongside valid time and
+// reference time. The paper's preliminaries (Sec. IV) distinguish the
+// three concepts:
+//
+//   valid time VT        — when a fact holds in the real world; set by
+//                          the user; may be ongoing,
+//   transaction time TT  — when the tuple was current in the database;
+//                          set by the system through modifications,
+//   reference time RT    — when the tuple belongs to the instantiated
+//                          relations; set by the system through
+//                          predicates on ongoing attributes.
+//
+// BitemporalRelation wraps an OngoingRelation (which carries VT and RT)
+// and maintains, per tuple, a transaction-time interval
+// [inserted, superseded) where `superseded` = until-changed (+inf) for
+// current versions. Logical deletes close TT; time travel recovers the
+// relation as the database knew it at any past transaction time.
+#pragma once
+
+#include <functional>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// The until-changed marker for current tuple versions.
+inline constexpr TimePoint kUntilChanged = kMaxInfinity;
+
+/// An ongoing relation with system-maintained transaction time.
+class BitemporalRelation {
+ public:
+  explicit BitemporalRelation(Schema schema) : data_(std::move(schema)) {}
+
+  /// Inserts a tuple at transaction time tt: TT = [tt, until-changed).
+  Status Insert(std::vector<Value> values, TimePoint tt);
+
+  /// Logically deletes matching current tuples at transaction time tt:
+  /// their TT ends at tt. The tuples remain recoverable via AsOf.
+  /// Returns the number of deleted tuples.
+  size_t Delete(const std::function<bool(const Tuple&)>& filter,
+                TimePoint tt);
+
+  /// The current state: tuples whose TT contains `tt` = now (i.e. is
+  /// until-changed).
+  OngoingRelation Current() const;
+
+  /// Time travel: the ongoing relation as the database knew it at
+  /// transaction time tt.
+  OngoingRelation AsOf(TimePoint tt) const;
+
+  /// Total versions stored, including superseded ones.
+  size_t num_versions() const { return data_.size(); }
+
+  const Schema& schema() const { return data_.schema(); }
+
+  /// The transaction-time interval of version `i`.
+  FixedInterval TransactionTime(size_t i) const { return tt_[i]; }
+
+ private:
+  OngoingRelation data_;
+  std::vector<FixedInterval> tt_;
+};
+
+}  // namespace ongoingdb

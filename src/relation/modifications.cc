@@ -1,0 +1,96 @@
+#include "relation/modifications.h"
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+
+namespace {
+
+Status CheckVtIndex(const OngoingRelation& r, size_t vt_index) {
+  if (vt_index >= r.schema().num_attributes()) {
+    return Status::OutOfRange("valid-time attribute index out of range");
+  }
+  if (r.schema().attribute(vt_index).type != ValueType::kOngoingInterval) {
+    return Status::TypeError(
+        "temporal modifications require an ongoing interval valid-time "
+        "attribute");
+  }
+  return Status::OK();
+}
+
+// end := min(end, tc), the Torp deletion semantics.
+OngoingInterval CloseAt(const OngoingInterval& vt, TimePoint tc) {
+  return OngoingInterval(vt.start(),
+                         Min(vt.end(), OngoingTimePoint::Fixed(tc)));
+}
+
+}  // namespace
+
+Status TemporalInsert(OngoingRelation* r, std::vector<Value> values,
+                      size_t vt_index, TimePoint tc) {
+  ONGOINGDB_RETURN_NOT_OK(CheckVtIndex(*r, vt_index));
+  if (vt_index >= values.size()) {
+    return Status::OutOfRange("valid-time index exceeds value count");
+  }
+  values[vt_index] = Value::Ongoing(OngoingInterval(
+      OngoingTimePoint::Fixed(tc), OngoingTimePoint::Now()));
+  return r->Insert(std::move(values));
+}
+
+Result<size_t> TemporalDelete(OngoingRelation* r, size_t vt_index,
+                              TimePoint tc,
+                              const ModificationFilter& filter) {
+  ONGOINGDB_RETURN_NOT_OK(CheckVtIndex(*r, vt_index));
+  OngoingRelation updated(r->schema());
+  updated.Reserve(r->size());
+  size_t modified = 0;
+  for (const Tuple& t : r->tuples()) {
+    if (!filter(t)) {
+      updated.AppendUnchecked(t);
+      continue;
+    }
+    ++modified;
+    OngoingInterval closed =
+        CloseAt(t.value(vt_index).AsOngoingInterval(), tc);
+    if (closed.IsAlwaysEmpty()) continue;  // never valid: remove entirely
+    std::vector<Value> values = t.values();
+    values[vt_index] = Value::Ongoing(closed);
+    updated.AppendUnchecked(Tuple(std::move(values), t.rt()));
+  }
+  *r = std::move(updated);
+  return modified;
+}
+
+Result<size_t> TemporalUpdate(
+    OngoingRelation* r, size_t vt_index, TimePoint tc,
+    const ModificationFilter& filter,
+    const std::function<std::vector<Value>(const Tuple&)>& updater) {
+  ONGOINGDB_RETURN_NOT_OK(CheckVtIndex(*r, vt_index));
+  OngoingRelation updated(r->schema());
+  updated.Reserve(r->size());
+  size_t modified = 0;
+  for (const Tuple& t : r->tuples()) {
+    if (!filter(t)) {
+      updated.AppendUnchecked(t);
+      continue;
+    }
+    ++modified;
+    // Close the old version at tc.
+    OngoingInterval closed =
+        CloseAt(t.value(vt_index).AsOngoingInterval(), tc);
+    if (!closed.IsAlwaysEmpty()) {
+      std::vector<Value> old_values = t.values();
+      old_values[vt_index] = Value::Ongoing(closed);
+      updated.AppendUnchecked(Tuple(std::move(old_values), t.rt()));
+    }
+    // The new version is valid from tc on.
+    std::vector<Value> new_values = updater(t);
+    new_values[vt_index] = Value::Ongoing(OngoingInterval(
+        OngoingTimePoint::Fixed(tc), OngoingTimePoint::Now()));
+    updated.AppendUnchecked(Tuple(std::move(new_values), t.rt()));
+  }
+  *r = std::move(updated);
+  return modified;
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,74 @@
+// Ongoing relations (Def. 5 of the paper): finite sets of tuples over a
+// schema of fixed and ongoing attributes, each tuple carrying a reference
+// time attribute RT. The bind operator ||R||rt instantiates the relation
+// at a reference time, keeping exactly the tuples whose RT contains rt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// A relation with fixed and ongoing attributes and a reference time
+/// attribute per tuple.
+class OngoingRelation {
+ public:
+  OngoingRelation() = default;
+  explicit OngoingRelation(Schema schema) : schema_(std::move(schema)) {}
+  OngoingRelation(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Inserts a base tuple (RT is set to the trivial reference time by the
+  /// system). Fails on arity or type mismatch with the schema.
+  Status Insert(std::vector<Value> values);
+
+  /// Inserts a tuple with an explicit reference time. Tuples with an
+  /// empty RT are rejected: they belong to no instantiated relation.
+  Status InsertWithRt(std::vector<Value> values, IntervalSet rt);
+
+  /// Appends a pre-validated tuple (used by operators on already typed
+  /// intermediate results). Tuples with empty RT are silently dropped,
+  /// matching the algebra's x.RT != {} conditions.
+  void AppendUnchecked(Tuple tuple);
+
+  /// Reserves capacity for n tuples.
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
+  /// The union of all reference times at which some tuple belongs to the
+  /// instantiated relation.
+  IntervalSet CoveredReferenceTimes() const;
+
+  /// Renders the relation as an aligned table (for the examples).
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Status ValidateValues(const std::vector<Value>& values) const;
+
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// The bind operator ||R||rt on relations (Sec. VII-A): instantiates the
+/// ongoing attributes of every tuple whose RT contains rt and omits all
+/// other tuples. The result is a fixed relation represented as an ongoing
+/// relation with instantiated schema and trivial reference times.
+OngoingRelation InstantiateRelation(const OngoingRelation& r, TimePoint rt);
+
+/// Set-semantics comparison of two *instantiated* relations: equal iff
+/// they contain the same set of attribute-value lists (RT ignored,
+/// duplicates collapsed). Used to verify snapshot equivalence
+/// ||Q(D)||rt == Q(||D||rt).
+bool InstantiatedRelationsEqual(const OngoingRelation& a,
+                                const OngoingRelation& b);
+
+}  // namespace ongoingdb

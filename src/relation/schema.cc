@@ -1,0 +1,125 @@
+#include "relation/schema.h"
+
+namespace ongoingdb {
+
+Status Schema::AddAttribute(std::string name, ValueType type) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("attribute '" + name + "' already exists");
+  }
+  attributes_.push_back(Attribute{std::move(name), type});
+  return Status::OK();
+}
+
+namespace {
+
+// True iff `name` is the unqualified suffix of qualified `candidate`,
+// e.g. "VT" matches "B.VT".
+bool UnqualifiedMatch(const std::string& candidate, const std::string& name) {
+  if (candidate.size() <= name.size()) return false;
+  if (candidate.compare(candidate.size() - name.size(), name.size(), name) !=
+      0) {
+    return false;
+  }
+  return candidate[candidate.size() - name.size() - 1] == '.';
+}
+
+}  // namespace
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  // Fall back to unambiguous unqualified matching.
+  size_t found = attributes_.size();
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (UnqualifiedMatch(attributes_[i].name, name)) {
+      if (found != attributes_.size()) {
+        return Status::InvalidArgument("ambiguous attribute name '" + name +
+                                       "'");
+      }
+      found = i;
+    }
+  }
+  if (found == attributes_.size()) {
+    return Status::NotFound("no attribute named '" + name + "' in " +
+                            ToString());
+  }
+  return found;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& left_prefix,
+                      const std::string& right_prefix) const {
+  // Every attribute is qualified with its side's prefix (unless already
+  // qualified), so that join predicates can reference either side
+  // unambiguously ("B.VT", "L.VT") even when the base names do not
+  // clash.
+  auto qualify = [](const std::string& prefix, const std::string& name) {
+    if (prefix.empty() || name.find('.') != std::string::npos) return name;
+    return prefix + "." + name;
+  };
+  Schema result;
+  for (const Attribute& attr : attributes_) {
+    std::string name = qualify(left_prefix, attr.name);
+    while (result.Contains(name)) name += "_";
+    result.attributes_.push_back(Attribute{std::move(name), attr.type});
+  }
+  for (const Attribute& attr : other.attributes_) {
+    std::string name = qualify(right_prefix, attr.name);
+    while (result.Contains(name)) name += "_";
+    result.attributes_.push_back(Attribute{std::move(name), attr.type});
+  }
+  return result;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  Schema result;
+  for (size_t i : indices) {
+    result.attributes_.push_back(attributes_[i]);
+  }
+  return result;
+}
+
+bool Schema::TypeCompatible(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].type != other.attributes_[i].type) return false;
+  }
+  return true;
+}
+
+bool Schema::HasOngoingAttributes() const {
+  for (const Attribute& attr : attributes_) {
+    if (IsOngoingType(attr.type)) return true;
+  }
+  return false;
+}
+
+Schema Schema::Instantiated() const {
+  Schema result;
+  for (const Attribute& attr : attributes_) {
+    result.attributes_.push_back(
+        Attribute{attr.name, InstantiatedType(attr.type)});
+  }
+  return result;
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += attributes_[i].name;
+    s += ": ";
+    s += ValueTypeToString(attributes_[i].type);
+  }
+  s += ", RT)";
+  return s;
+}
+
+}  // namespace ongoingdb

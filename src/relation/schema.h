@@ -1,0 +1,73 @@
+// Schemas of ongoing relations (Def. 5 of the paper): a list of fixed and
+// ongoing attributes A1..An plus the implicit reference time attribute RT.
+// RT is not part of the attribute list — it is maintained by the system on
+// every tuple (relation.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// One named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// The schema (A, RT) of an ongoing relation; holds the explicit
+/// attribute list A.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Appends an attribute. Fails if the name is already present.
+  Status AddAttribute(std::string name, ValueType type);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute with the given name. Unqualified lookups
+  /// ("VT") also match qualified names ("B.VT") when unambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True iff an attribute with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Schema of the cartesian product: this schema's attributes followed
+  /// by `other`'s, with name clashes qualified by the given relation
+  /// prefixes (e.g. "VT" -> "B.VT" and "P.VT").
+  Schema Concat(const Schema& other, const std::string& left_prefix,
+                const std::string& right_prefix) const;
+
+  /// Schema of a projection onto the given attribute indices.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// True iff attribute count and types match positionally (names may
+  /// differ); the compatibility required by union and difference.
+  bool TypeCompatible(const Schema& other) const;
+
+  /// True iff any attribute has an ongoing type.
+  bool HasOngoingAttributes() const;
+
+  /// Schema with every ongoing attribute type replaced by its fixed
+  /// instantiation type (the schema of ||R||rt).
+  Schema Instantiated() const;
+
+  bool operator==(const Schema& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ongoingdb

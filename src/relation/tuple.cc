@@ -1,0 +1,26 @@
+#include "relation/tuple.h"
+
+namespace ongoingdb {
+
+std::vector<Value> Tuple::InstantiateValues(TimePoint rt) const {
+  std::vector<Value> out;
+  out.reserve(values_.size());
+  for (const Value& v : values_) {
+    out.push_back(v.Instantiate(rt));
+  }
+  return out;
+}
+
+std::string Tuple::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += values_[i].ToString();
+  }
+  if (!values_.empty()) s += ", ";
+  s += rt_.ToString();
+  s += ")";
+  return s;
+}
+
+}  // namespace ongoingdb

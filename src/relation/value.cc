@@ -1,0 +1,234 @@
+#include "relation/value.h"
+
+#include <cassert>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kTimePoint:
+      return "timepoint";
+    case ValueType::kFixedInterval:
+      return "interval";
+    case ValueType::kOngoingTimePoint:
+      return "ongoing_timepoint";
+    case ValueType::kOngoingInterval:
+      return "ongoing_interval";
+  }
+  return "unknown";
+}
+
+ValueType InstantiatedType(ValueType type) {
+  switch (type) {
+    case ValueType::kOngoingTimePoint:
+      return ValueType::kTimePoint;
+    case ValueType::kOngoingInterval:
+      return ValueType::kFixedInterval;
+    default:
+      return type;
+  }
+}
+
+Value Value::Int64(int64_t v) {
+  Value x;
+  x.type_ = ValueType::kInt64;
+  x.data_ = v;
+  return x;
+}
+
+Value Value::Double(double v) {
+  Value x;
+  x.type_ = ValueType::kDouble;
+  x.data_ = v;
+  return x;
+}
+
+Value Value::String(std::string v) {
+  Value x;
+  x.type_ = ValueType::kString;
+  x.data_ = std::move(v);
+  return x;
+}
+
+Value Value::Bool(bool v) {
+  Value x;
+  x.type_ = ValueType::kBool;
+  x.data_ = v;
+  return x;
+}
+
+Value Value::Time(TimePoint v) {
+  Value x;
+  x.type_ = ValueType::kTimePoint;
+  x.data_ = static_cast<int64_t>(v);
+  return x;
+}
+
+Value Value::Interval(FixedInterval v) {
+  Value x;
+  x.type_ = ValueType::kFixedInterval;
+  x.data_ = v;
+  return x;
+}
+
+Value Value::Ongoing(OngoingTimePoint v) {
+  Value x;
+  x.type_ = ValueType::kOngoingTimePoint;
+  x.data_ = v;
+  return x;
+}
+
+Value Value::Ongoing(OngoingInterval v) {
+  Value x;
+  x.type_ = ValueType::kOngoingInterval;
+  x.data_ = v;
+  return x;
+}
+
+int64_t Value::AsInt64() const {
+  assert(type_ == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  assert(type_ == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+bool Value::AsBool() const {
+  assert(type_ == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+TimePoint Value::AsTime() const {
+  assert(type_ == ValueType::kTimePoint);
+  return std::get<int64_t>(data_);
+}
+
+FixedInterval Value::AsInterval() const {
+  assert(type_ == ValueType::kFixedInterval);
+  return std::get<FixedInterval>(data_);
+}
+
+const OngoingTimePoint& Value::AsOngoingPoint() const {
+  assert(type_ == ValueType::kOngoingTimePoint);
+  return std::get<OngoingTimePoint>(data_);
+}
+
+const OngoingInterval& Value::AsOngoingInterval() const {
+  assert(type_ == ValueType::kOngoingInterval);
+  return std::get<OngoingInterval>(data_);
+}
+
+Value Value::Instantiate(TimePoint rt) const {
+  switch (type_) {
+    case ValueType::kOngoingTimePoint:
+      return Value::Time(AsOngoingPoint().Instantiate(rt));
+    case ValueType::kOngoingInterval:
+      return Value::Interval(AsOngoingInterval().Instantiate(rt));
+    default:
+      return *this;
+  }
+}
+
+size_t Value::ByteWidth() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+    case ValueType::kTimePoint:
+      return 8;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kString:
+      // varlena-style: 4-byte length header plus payload.
+      return 4 + AsString().size();
+    case ValueType::kFixedInterval:
+      return 16;
+    case ValueType::kOngoingTimePoint:
+      return 16;  // two fixed time points (the paper's doubling)
+    case ValueType::kOngoingInterval:
+      return 32;  // two ongoing time points
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kTimePoint:
+      return FormatTimePoint(AsTime());
+    case ValueType::kFixedInterval:
+      return FormatFixedInterval(AsInterval());
+    case ValueType::kOngoingTimePoint:
+      return AsOngoingPoint().ToString();
+    case ValueType::kOngoingInterval:
+      return AsOngoingInterval().ToString();
+  }
+  return "?";
+}
+
+OngoingBoolean OngoingValueEqual(const Value& v1, const Value& v2) {
+  // Lift fixed values into their ongoing generalizations where needed so
+  // that mixed fixed/ongoing comparisons (e.g. a timepoint column against
+  // an ongoing timepoint column) instantiate correctly.
+  const ValueType t1 = v1.type(), t2 = v2.type();
+  auto as_point = [](const Value& v) {
+    return v.type() == ValueType::kTimePoint
+               ? OngoingTimePoint::Fixed(v.AsTime())
+               : v.AsOngoingPoint();
+  };
+  auto as_interval = [](const Value& v) {
+    if (v.type() == ValueType::kFixedInterval) {
+      FixedInterval f = v.AsInterval();
+      return OngoingInterval::Fixed(f.start, f.end);
+    }
+    return v.AsOngoingInterval();
+  };
+  const bool points1 =
+      t1 == ValueType::kTimePoint || t1 == ValueType::kOngoingTimePoint;
+  const bool points2 =
+      t2 == ValueType::kTimePoint || t2 == ValueType::kOngoingTimePoint;
+  if (points1 && points2) {
+    return Equal(as_point(v1), as_point(v2));
+  }
+  const bool ivs1 =
+      t1 == ValueType::kFixedInterval || t1 == ValueType::kOngoingInterval;
+  const bool ivs2 =
+      t2 == ValueType::kFixedInterval || t2 == ValueType::kOngoingInterval;
+  if (ivs1 && ivs2) {
+    OngoingInterval a = as_interval(v1), b = as_interval(v2);
+    return Equal(a.start(), b.start()).And(Equal(a.end(), b.end()));
+  }
+  // Fixed value families: constant equality.
+  return OngoingBoolean::FromBool(v1 == v2);
+}
+
+}  // namespace ongoingdb

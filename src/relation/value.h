@@ -1,0 +1,101 @@
+// Typed attribute values for ongoing relations. A relation schema mixes
+// fixed attributes (integers, strings, booleans, fixed time points and
+// intervals) with ongoing attributes (ongoing time points and intervals);
+// Value is the runtime representation of one attribute of one tuple.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/ongoing_boolean.h"
+#include "core/ongoing_interval.h"
+#include "core/ongoing_point.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// The type of an attribute value.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+  kTimePoint,        ///< fixed time point of T
+  kFixedInterval,    ///< fixed time interval [s, e)
+  kOngoingTimePoint, ///< ongoing time point a+b of Omega
+  kOngoingInterval,  ///< ongoing time interval of Omega x Omega
+};
+
+/// Returns a short lowercase name, e.g. "int64".
+const char* ValueTypeToString(ValueType type);
+
+/// True for types whose values can change as time passes by.
+inline bool IsOngoingType(ValueType type) {
+  return type == ValueType::kOngoingTimePoint ||
+         type == ValueType::kOngoingInterval;
+}
+
+/// The fixed type an ongoing type instantiates to (identity on fixed
+/// types).
+ValueType InstantiatedType(ValueType type);
+
+/// One attribute value: a tagged union over the supported types.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Bool(bool v);
+  static Value Time(TimePoint v);
+  static Value Interval(FixedInterval v);
+  static Value Ongoing(OngoingTimePoint v);
+  static Value Ongoing(OngoingInterval v);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+  TimePoint AsTime() const;
+  FixedInterval AsInterval() const;
+  const OngoingTimePoint& AsOngoingPoint() const;
+  const OngoingInterval& AsOngoingInterval() const;
+
+  /// The bind operator on values: ongoing values instantiate to their
+  /// fixed counterparts at rt; fixed values are returned unchanged.
+  Value Instantiate(TimePoint rt) const;
+
+  /// Structural equality (same type, same representation). For ongoing
+  /// values this is representation equality, not time-dependent
+  /// equality; see OngoingValueEqual for the latter.
+  bool operator==(const Value& other) const = default;
+
+  /// Approximate serialized width in bytes; used by the storage layer.
+  size_t ByteWidth() const;
+
+  std::string ToString() const;
+
+ private:
+  ValueType type_ = ValueType::kNull;
+  std::variant<std::monostate, int64_t, double, std::string, bool,
+               FixedInterval, OngoingTimePoint, OngoingInterval>
+      data_;
+};
+
+/// Time-dependent equality of two values as an ongoing boolean: at each
+/// reference time rt, true iff ||v1||rt equals ||v2||rt. Fixed values
+/// yield constant booleans; ongoing time points use the Table II `=`
+/// equivalence; ongoing intervals compare endpoint-wise (structural
+/// instantiated equality — see DESIGN.md). Values of different value
+/// families never compare equal.
+OngoingBoolean OngoingValueEqual(const Value& v1, const Value& v2);
+
+}  // namespace ongoingdb

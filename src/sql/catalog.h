@@ -1,0 +1,59 @@
+// The catalog: named ongoing relations that SQL queries can reference in
+// FROM clauses. Relations are owned by the catalog; plans scan them in
+// place.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+namespace sql {
+
+/// A registry of named base relations.
+class Catalog {
+ public:
+  /// Registers (or replaces) a relation under `name`.
+  void Register(const std::string& name, OngoingRelation relation) {
+    relations_[name] =
+        std::make_unique<OngoingRelation>(std::move(relation));
+  }
+
+  /// Looks up a relation; the pointer stays valid until the relation is
+  /// replaced or the catalog is destroyed.
+  Result<const OngoingRelation*> Get(const std::string& name) const {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      return Status::NotFound("no relation named '" + name + "'");
+    }
+    return const_cast<const OngoingRelation*>(it->second.get());
+  }
+
+  /// Mutable access for modification statements.
+  Result<OngoingRelation*> GetMutable(const std::string& name) {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      return Status::NotFound("no relation named '" + name + "'");
+    }
+    return it->second.get();
+  }
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    for (const auto& [name, _] : relations_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<OngoingRelation>> relations_;
+};
+
+}  // namespace sql
+}  // namespace ongoingdb

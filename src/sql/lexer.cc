@@ -1,0 +1,110 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace ongoingdb {
+namespace sql {
+
+namespace {
+
+constexpr std::array<const char*, 24> kKeywords = {
+    "SELECT", "FROM",     "WHERE",  "JOIN",   "ON",     "AND",
+    "OR",     "NOT",      "AS",     "DATE",   "PERIOD", "NOW",
+    "OVERLAPS", "BEFORE", "MEETS",  "STARTS", "FINISHES", "DURING",
+    "EQUALS", "TRUE",     "FALSE",  "HASH",   "CONTAINS", "DURATION",
+};
+
+bool IsKeyword(const std::string& upper) {
+  return std::find_if(kKeywords.begin(), kKeywords.end(),
+                      [&upper](const char* kw) { return upper == kw; }) !=
+         kKeywords.end();
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      tokens.push_back(
+          {TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') value += input[i++];
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, value, start});
+      continue;
+    }
+    // Multi-char operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        tokens.push_back(
+            {TokenType::kOperator, two == "<>" ? "!=" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    if (c == '=' || c == '<' || c == '>') {
+      tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == '[' || c == ']' || c == ',' ||
+        c == '*' || c == ';') {
+      tokens.push_back({TokenType::kPunct, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace ongoingdb

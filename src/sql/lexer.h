@@ -1,0 +1,48 @@
+// Lexer for the SQL-like query language over ongoing relations. The
+// paper's prototype extends PostgreSQL's SQL with ongoing data types;
+// this module provides the equivalent textual interface for this
+// library: SELECT/FROM/JOIN/WHERE with the Table II interval predicates
+// and literals for ongoing time points (NOW, DATE '08/15') and ongoing
+// intervals (PERIOD ['01/25', NOW)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ongoingdb {
+namespace sql {
+
+/// Token categories.
+enum class TokenType {
+  kIdentifier,   ///< table / column names (possibly qualified a.b)
+  kKeyword,      ///< SELECT, FROM, ... (uppercased in `text`)
+  kNumber,       ///< integer literal
+  kString,       ///< 'quoted'
+  kOperator,     ///< = != < <= > >=
+  kPunct,        ///< ( ) [ ] , . *
+  kEnd,          ///< end of input
+};
+
+/// One token with its source position (for error messages).
+struct Token {
+  TokenType type;
+  std::string text;
+  size_t position;
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsPunct(const std::string& p) const {
+    return type == TokenType::kPunct && text == p;
+  }
+};
+
+/// Tokenizes a query string. Keywords are recognized case-insensitively
+/// and normalized to uppercase; identifiers keep their case.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace ongoingdb

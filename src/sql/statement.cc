@@ -1,0 +1,302 @@
+#include "sql/statement.h"
+
+#include <algorithm>
+
+#include "relation/modifications.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace ongoingdb {
+namespace sql {
+
+namespace {
+
+Status FailAt(const std::vector<Token>& tokens, size_t pos,
+              const std::string& message) {
+  const Token& t = tokens[std::min(pos, tokens.size() - 1)];
+  return Status::InvalidArgument(
+      message + " near position " + std::to_string(t.position) +
+      (t.text.empty() ? "" : " ('" + t.text + "')"));
+}
+
+Result<ValueType> TypeFromName(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (name == "INT" || name == "INTEGER" || name == "BIGINT") {
+    return ValueType::kInt64;
+  }
+  if (name == "DOUBLE" || name == "FLOAT") return ValueType::kDouble;
+  if (name == "TEXT" || name == "VARCHAR" || name == "STRING") {
+    return ValueType::kString;
+  }
+  if (name == "BOOL" || name == "BOOLEAN") return ValueType::kBool;
+  if (name == "DATE") return ValueType::kTimePoint;
+  if (name == "INTERVAL") return ValueType::kFixedInterval;
+  if (name == "PERIOD") return ValueType::kOngoingInterval;
+  return Status::InvalidArgument("unknown column type '" + name + "'");
+}
+
+// The column-type token may be a keyword (DATE, PERIOD) or identifier.
+Result<ValueType> ParseColumnType(const std::vector<Token>& tokens,
+                                  size_t* pos) {
+  const Token& t = tokens[*pos];
+  if (t.Is(TokenType::kIdentifier) || t.Is(TokenType::kKeyword)) {
+    ++*pos;
+    return TypeFromName(t.text);
+  }
+  return FailAt(tokens, *pos, "expected column type");
+}
+
+// CREATE TABLE name (col TYPE, ...)
+Result<StatementResult> RunCreateTable(const std::vector<Token>& tokens,
+                                       size_t pos, Catalog* catalog) {
+  if (!tokens[pos].Is(TokenType::kIdentifier) ||
+      tokens[pos].text != "TABLE") {
+    // "TABLE" is not a reserved keyword; accept identifier spelling.
+    std::string upper = tokens[pos].text;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper != "TABLE") return FailAt(tokens, pos, "expected TABLE");
+  }
+  ++pos;
+  if (!tokens[pos].Is(TokenType::kIdentifier)) {
+    return FailAt(tokens, pos, "expected table name");
+  }
+  std::string name = tokens[pos++].text;
+  if (catalog->Contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (!tokens[pos].IsPunct("(")) return FailAt(tokens, pos, "expected '('");
+  ++pos;
+  Schema schema;
+  while (true) {
+    if (!tokens[pos].Is(TokenType::kIdentifier)) {
+      return FailAt(tokens, pos, "expected column name");
+    }
+    std::string column = tokens[pos++].text;
+    ONGOINGDB_ASSIGN_OR_RETURN(ValueType type,
+                               ParseColumnType(tokens, &pos));
+    ONGOINGDB_RETURN_NOT_OK(schema.AddAttribute(std::move(column), type));
+    if (tokens[pos].IsPunct(",")) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (!tokens[pos].IsPunct(")")) return FailAt(tokens, pos, "expected ')'");
+  ++pos;
+  catalog->Register(name, OngoingRelation(std::move(schema)));
+  StatementResult result;
+  result.message = "table '" + name + "' created";
+  return result;
+}
+
+// INSERT INTO name VALUES (lit, ...)
+Result<StatementResult> RunInsert(const std::vector<Token>& tokens,
+                                  size_t pos, Catalog* catalog) {
+  std::string upper = tokens[pos].text;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper != "INTO") return FailAt(tokens, pos, "expected INTO");
+  ++pos;
+  if (!tokens[pos].Is(TokenType::kIdentifier)) {
+    return FailAt(tokens, pos, "expected table name");
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                             catalog->GetMutable(tokens[pos].text));
+  ++pos;
+  upper = tokens[pos].text;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper != "VALUES") return FailAt(tokens, pos, "expected VALUES");
+  ++pos;
+  if (!tokens[pos].IsPunct("(")) return FailAt(tokens, pos, "expected '('");
+  ++pos;
+  std::vector<Value> values;
+  while (true) {
+    ONGOINGDB_ASSIGN_OR_RETURN(Value v, ParseLiteralFragment(tokens, &pos));
+    values.push_back(std::move(v));
+    if (tokens[pos].IsPunct(",")) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (!tokens[pos].IsPunct(")")) return FailAt(tokens, pos, "expected ')'");
+  ++pos;
+  if (tokens[pos].IsPunct(";")) ++pos;
+  if (!tokens[pos].Is(TokenType::kEnd)) {
+    return FailAt(tokens, pos, "unexpected trailing input");
+  }
+  ONGOINGDB_RETURN_NOT_OK(relation->Insert(std::move(values)));
+  StatementResult result;
+  result.message = "1 row inserted";
+  result.affected = 1;
+  return result;
+}
+
+// Shared by DELETE/UPDATE: parses [WHERE expr] AT DATE 'tc', returning
+// the (fixed-only) filter and commit time.
+Result<std::pair<ExprPtr, TimePoint>> ParseWhereAt(
+    const std::vector<Token>& tokens, size_t* pos, const Schema& schema) {
+  ExprPtr predicate;
+  if (tokens[*pos].IsKeyword("WHERE")) {
+    ++*pos;
+    ONGOINGDB_ASSIGN_OR_RETURN(predicate,
+                               ParseExpressionFragment(tokens, pos));
+    if (!predicate->IsFixedOnly(schema)) {
+      return Status::InvalidArgument(
+          "modification predicates must reference fixed attributes only");
+    }
+  }
+  std::string upper = tokens[*pos].text;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper != "AT") return FailAt(tokens, *pos, "expected AT");
+  ++*pos;
+  if (!tokens[*pos].IsKeyword("DATE")) {
+    return FailAt(tokens, *pos, "expected DATE");
+  }
+  ++*pos;
+  if (!tokens[*pos].Is(TokenType::kString)) {
+    return FailAt(tokens, *pos, "expected date string");
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(TimePoint tc,
+                             ParseTimePoint(tokens[*pos].text));
+  ++*pos;
+  return std::make_pair(predicate, tc);
+}
+
+Result<size_t> VtIndexOf(const Schema& schema) {
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.attribute(i).type == ValueType::kOngoingInterval) return i;
+  }
+  return Status::InvalidArgument(
+      "temporal modification requires a PERIOD (ongoing interval) column");
+}
+
+ModificationFilter MakeFilter(const ExprPtr& predicate,
+                              const Schema& schema) {
+  if (predicate == nullptr) return [](const Tuple&) { return true; };
+  return [predicate, &schema](const Tuple& t) {
+    auto keep = predicate->EvalPredicateFixed(schema, t);
+    return keep.ok() && *keep;
+  };
+}
+
+// DELETE FROM name [WHERE pred] AT DATE 'tc'
+Result<StatementResult> RunDelete(const std::vector<Token>& tokens,
+                                  size_t pos, Catalog* catalog) {
+  if (!tokens[pos].IsKeyword("FROM")) {
+    return FailAt(tokens, pos, "expected FROM");
+  }
+  ++pos;
+  if (!tokens[pos].Is(TokenType::kIdentifier)) {
+    return FailAt(tokens, pos, "expected table name");
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                             catalog->GetMutable(tokens[pos].text));
+  ++pos;
+  ONGOINGDB_ASSIGN_OR_RETURN(auto where_at,
+                             ParseWhereAt(tokens, &pos, relation->schema()));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, VtIndexOf(relation->schema()));
+  const Schema& schema = relation->schema();
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      size_t deleted,
+      TemporalDelete(relation, vt, where_at.second,
+                     MakeFilter(where_at.first, schema)));
+  StatementResult result;
+  result.affected = deleted;
+  result.message = std::to_string(deleted) + " row(s) logically deleted";
+  return result;
+}
+
+// UPDATE name SET col = lit [, ...] [WHERE pred] AT DATE 'tc'
+Result<StatementResult> RunUpdate(const std::vector<Token>& tokens,
+                                  size_t pos, Catalog* catalog) {
+  if (!tokens[pos].Is(TokenType::kIdentifier)) {
+    return FailAt(tokens, pos, "expected table name");
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                             catalog->GetMutable(tokens[pos].text));
+  ++pos;
+  std::string upper = tokens[pos].text;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper != "SET") return FailAt(tokens, pos, "expected SET");
+  ++pos;
+  std::vector<std::pair<size_t, Value>> assignments;
+  while (true) {
+    if (!tokens[pos].Is(TokenType::kIdentifier)) {
+      return FailAt(tokens, pos, "expected column name");
+    }
+    ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
+                               relation->schema().IndexOf(tokens[pos].text));
+    ++pos;
+    if (!tokens[pos].Is(TokenType::kOperator) || tokens[pos].text != "=") {
+      return FailAt(tokens, pos, "expected '='");
+    }
+    ++pos;
+    ONGOINGDB_ASSIGN_OR_RETURN(Value v, ParseLiteralFragment(tokens, &pos));
+    if (v.type() != relation->schema().attribute(idx).type) {
+      return Status::TypeError("assignment type mismatch for column '" +
+                               relation->schema().attribute(idx).name + "'");
+    }
+    assignments.emplace_back(idx, std::move(v));
+    if (tokens[pos].IsPunct(",")) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(auto where_at,
+                             ParseWhereAt(tokens, &pos, relation->schema()));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, VtIndexOf(relation->schema()));
+  const Schema& schema = relation->schema();
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      size_t updated,
+      TemporalUpdate(relation, vt, where_at.second,
+                     MakeFilter(where_at.first, schema),
+                     [&assignments](const Tuple& t) {
+                       std::vector<Value> values = t.values();
+                       for (const auto& [idx, value] : assignments) {
+                         values[idx] = value;
+                       }
+                       return values;
+                     }));
+  StatementResult result;
+  result.affected = updated;
+  result.message = std::to_string(updated) + " row(s) updated";
+  return result;
+}
+
+}  // namespace
+
+Result<StatementResult> RunStatement(const std::string& statement,
+                                     Catalog* catalog) {
+  ONGOINGDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  if (tokens.empty() || tokens[0].Is(TokenType::kEnd)) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (tokens[0].IsKeyword("SELECT")) {
+    ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation relation,
+                               RunQuery(statement, *catalog));
+    StatementResult result;
+    result.affected = relation.size();
+    result.message = std::to_string(relation.size()) + " row(s)";
+    result.relation = std::move(relation);
+    return result;
+  }
+  std::string first = tokens[0].text;
+  std::transform(first.begin(), first.end(), first.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (first == "CREATE") return RunCreateTable(tokens, 1, catalog);
+  if (first == "INSERT") return RunInsert(tokens, 1, catalog);
+  if (first == "DELETE") return RunDelete(tokens, 1, catalog);
+  if (first == "UPDATE") return RunUpdate(tokens, 1, catalog);
+  return Status::InvalidArgument("unknown statement '" + tokens[0].text +
+                                 "'");
+}
+
+}  // namespace sql
+}  // namespace ongoingdb

@@ -1,0 +1,43 @@
+// SQL statements beyond SELECT: DDL and temporal DML against a catalog.
+//
+//   CREATE TABLE name (col TYPE, ...)        TYPE: INT, TEXT, BOOL,
+//                                            DATE, INTERVAL, PERIOD
+//   INSERT INTO name VALUES (lit, ...)       literals as in SELECT
+//   DELETE FROM name [WHERE pred] AT DATE 'tc'
+//   UPDATE name SET col = lit [, ...] [WHERE pred] AT DATE 'tc'
+//   SELECT ...                               (delegates to parser.h)
+//
+// DELETE and UPDATE use the Torp temporal modification semantics
+// (relation/modifications.h): the commit time tc closes valid times with
+// min(end, tc), which stays exact because Omega is closed under min. The
+// WHERE predicate of a modification must reference fixed attributes only
+// (the modification applies to the *tuple*, not to reference times).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "relation/relation.h"
+#include "sql/catalog.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+namespace sql {
+
+/// Outcome of one statement.
+struct StatementResult {
+  /// Result relation for SELECT statements; nullopt for DDL/DML.
+  std::optional<OngoingRelation> relation;
+  /// Human-readable summary ("1 row inserted", "2 rows deleted", ...).
+  std::string message;
+  /// Rows affected by DML; rows returned by SELECT.
+  size_t affected = 0;
+};
+
+/// Parses and executes one statement against (and possibly mutating)
+/// `catalog`.
+Result<StatementResult> RunStatement(const std::string& statement,
+                                     Catalog* catalog);
+
+}  // namespace sql
+}  // namespace ongoingdb

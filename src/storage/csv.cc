@@ -1,0 +1,274 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ongoingdb {
+
+namespace {
+
+// Quotes a cell if it contains separators or quotes.
+std::string QuoteCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+// Splits one CSV line into cells, honoring double-quote quoting.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line: " + line);
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  size_t end = s.find_last_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  return s.substr(begin, end - begin + 1);
+}
+
+// Parses one endpoint of an interval rendering; accepts "-inf"/"+inf".
+Result<TimePoint> ParseEndpoint(const std::string& text) {
+  return ParseTimePoint(Trim(text));
+}
+
+// Parses "[a, b)" / "(-inf, b)" into a fixed interval.
+Result<FixedInterval> ParseFixedIntervalText(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.size() < 4 || (t.front() != '[' && t.front() != '(') ||
+      t.back() != ')') {
+    return Status::InvalidArgument("bad interval: " + text);
+  }
+  std::string inner = t.substr(1, t.size() - 2);
+  size_t comma = inner.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("bad interval: " + text);
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(TimePoint start,
+                             ParseEndpoint(inner.substr(0, comma)));
+  ONGOINGDB_ASSIGN_OR_RETURN(TimePoint end,
+                             ParseEndpoint(inner.substr(comma + 1)));
+  return FixedInterval{start, end};
+}
+
+}  // namespace
+
+Result<OngoingTimePoint> ParseOngoingPointText(const std::string& text) {
+  std::string t = Trim(text);
+  if (t == "now") return OngoingTimePoint::Now();
+  size_t plus = t.find('+');
+  // "+inf"/"-inf" are plain endpoints, not ongoing notation.
+  if (t == "+inf" || t == "-inf") {
+    ONGOINGDB_ASSIGN_OR_RETURN(TimePoint tp, ParseTimePoint(t));
+    return OngoingTimePoint::Fixed(tp);
+  }
+  if (plus == std::string::npos) {
+    ONGOINGDB_ASSIGN_OR_RETURN(TimePoint tp, ParseTimePoint(t));
+    return OngoingTimePoint::Fixed(tp);
+  }
+  if (plus == 0) {
+    // "+b": limited.
+    ONGOINGDB_ASSIGN_OR_RETURN(TimePoint b, ParseTimePoint(t.substr(1)));
+    return OngoingTimePoint::Limited(b);
+  }
+  if (plus == t.size() - 1) {
+    // "a+": growing.
+    ONGOINGDB_ASSIGN_OR_RETURN(TimePoint a,
+                               ParseTimePoint(t.substr(0, plus)));
+    return OngoingTimePoint::Growing(a);
+  }
+  // "a+b".
+  ONGOINGDB_ASSIGN_OR_RETURN(TimePoint a, ParseTimePoint(t.substr(0, plus)));
+  ONGOINGDB_ASSIGN_OR_RETURN(TimePoint b, ParseTimePoint(t.substr(plus + 1)));
+  return OngoingTimePoint::Make(a, b);
+}
+
+Result<IntervalSet> ParseIntervalSetText(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.size() < 2 || t.front() != '{' || t.back() != '}') {
+    return Status::InvalidArgument("bad interval set: " + text);
+  }
+  std::string inner = t.substr(1, t.size() - 2);
+  std::vector<FixedInterval> intervals;
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    size_t close = inner.find(')', pos);
+    if (close == std::string::npos) break;
+    ONGOINGDB_ASSIGN_OR_RETURN(
+        FixedInterval iv,
+        ParseFixedIntervalText(inner.substr(pos, close - pos + 1)));
+    intervals.push_back(iv);
+    pos = close + 1;
+    while (pos < inner.size() && (inner[pos] == ',' || inner[pos] == ' ')) {
+      ++pos;
+    }
+  }
+  return IntervalSet::FromUnsorted(std::move(intervals));
+}
+
+Result<Value> ParseValueText(ValueType type, const std::string& text) {
+  std::string t = Trim(text);
+  if (t == "NULL") return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64:
+      return Value::Int64(std::strtoll(t.c_str(), nullptr, 10));
+    case ValueType::kDouble:
+      return Value::Double(std::strtod(t.c_str(), nullptr));
+    case ValueType::kString:
+      return Value::String(text);  // untrimmed: strings keep spaces
+    case ValueType::kBool:
+      if (t == "true") return Value::Bool(true);
+      if (t == "false") return Value::Bool(false);
+      return Status::InvalidArgument("bad bool: " + text);
+    case ValueType::kTimePoint: {
+      ONGOINGDB_ASSIGN_OR_RETURN(TimePoint tp, ParseTimePoint(t));
+      return Value::Time(tp);
+    }
+    case ValueType::kFixedInterval: {
+      ONGOINGDB_ASSIGN_OR_RETURN(FixedInterval iv, ParseFixedIntervalText(t));
+      return Value::Interval(iv);
+    }
+    case ValueType::kOngoingTimePoint: {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingTimePoint p,
+                                 ParseOngoingPointText(t));
+      return Value::Ongoing(p);
+    }
+    case ValueType::kOngoingInterval: {
+      if (t.size() < 4 || t.front() != '[' || t.back() != ')') {
+        return Status::InvalidArgument("bad ongoing interval: " + text);
+      }
+      std::string inner = t.substr(1, t.size() - 2);
+      // The endpoint separator is the comma *outside* any nested form;
+      // ongoing point notation contains no commas, so the first comma
+      // separates the endpoints.
+      size_t comma = inner.find(',');
+      if (comma == std::string::npos) {
+        return Status::InvalidArgument("bad ongoing interval: " + text);
+      }
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          OngoingTimePoint start,
+          ParseOngoingPointText(inner.substr(0, comma)));
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          OngoingTimePoint end,
+          ParseOngoingPointText(inner.substr(comma + 1)));
+      return Value::Ongoing(OngoingInterval(start, end));
+    }
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+Status WriteCsv(const OngoingRelation& r, std::ostream& out) {
+  const Schema& schema = r.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteCell(schema.attribute(i).name);
+  }
+  if (schema.num_attributes() > 0) out << ',';
+  out << "RT\n";
+  for (const Tuple& t : r.tuples()) {
+    for (size_t i = 0; i < t.num_values(); ++i) {
+      if (i > 0) out << ',';
+      out << QuoteCell(t.value(i).ToString());
+    }
+    if (t.num_values() > 0) out << ',';
+    out << QuoteCell(t.rt().ToString()) << '\n';
+  }
+  return Status::OK();
+}
+
+Result<std::string> ToCsvString(const OngoingRelation& r) {
+  std::ostringstream os;
+  ONGOINGDB_RETURN_NOT_OK(WriteCsv(r, os));
+  return os.str();
+}
+
+Result<OngoingRelation> ReadCsv(const Schema& schema, std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV input");
+  }
+  ONGOINGDB_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                             SplitCsvLine(line));
+  if (header.size() != schema.num_attributes() + 1 ||
+      header.back() != "RT") {
+    return Status::SchemaMismatch("CSV header does not match schema " +
+                                  schema.ToString());
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (header[i] != schema.attribute(i).name) {
+      return Status::SchemaMismatch("CSV header column '" + header[i] +
+                                    "' does not match attribute '" +
+                                    schema.attribute(i).name + "'");
+    }
+  }
+  OngoingRelation result(schema);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ONGOINGDB_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                               SplitCsvLine(line));
+    if (cells.size() != schema.num_attributes() + 1) {
+      return Status::InvalidArgument("CSV row has " +
+                                     std::to_string(cells.size()) +
+                                     " cells, expected " +
+                                     std::to_string(schema.num_attributes() +
+                                                    1));
+    }
+    std::vector<Value> values;
+    values.reserve(schema.num_attributes());
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          Value v, ParseValueText(schema.attribute(i).type, cells[i]));
+      values.push_back(std::move(v));
+    }
+    ONGOINGDB_ASSIGN_OR_RETURN(IntervalSet rt,
+                               ParseIntervalSetText(cells.back()));
+    ONGOINGDB_RETURN_NOT_OK(result.InsertWithRt(std::move(values),
+                                                std::move(rt)));
+  }
+  return result;
+}
+
+Result<OngoingRelation> FromCsvString(const Schema& schema,
+                                      const std::string& csv) {
+  std::istringstream is(csv);
+  return ReadCsv(schema, is);
+}
+
+}  // namespace ongoingdb

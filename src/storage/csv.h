@@ -1,0 +1,42 @@
+// CSV import/export for ongoing relations. Ongoing values use the
+// paper's notation: time points "now", "10/17", "10/17+", "+10/17",
+// "10/17+10/19"; intervals "[01/25, now)"; the RT attribute is written
+// as its interval-set rendering "{[01/26, 08/16)}". Strings containing
+// separators are quoted with double quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// Writes `r` as CSV: a header line of attribute names plus "RT", then
+/// one line per tuple.
+Status WriteCsv(const OngoingRelation& r, std::ostream& out);
+
+/// Convenience: renders the CSV into a string.
+Result<std::string> ToCsvString(const OngoingRelation& r);
+
+/// Reads a CSV previously produced by WriteCsv (or hand-written in the
+/// same format) into a relation with the given schema. The header line
+/// is validated against the schema's attribute names.
+Result<OngoingRelation> ReadCsv(const Schema& schema, std::istream& in);
+
+/// Convenience: parses a CSV string.
+Result<OngoingRelation> FromCsvString(const Schema& schema,
+                                      const std::string& csv);
+
+/// Parses one value of the given type from its CSV cell text.
+Result<Value> ParseValueText(ValueType type, const std::string& text);
+
+/// Parses an ongoing time point in the paper's notation ("now",
+/// "10/17", "10/17+", "+10/17", "10/17+10/19", "1994/09/01+...").
+Result<OngoingTimePoint> ParseOngoingPointText(const std::string& text);
+
+/// Parses an interval-set rendering "{[a, b), [c, d)}" or "{}".
+Result<IntervalSet> ParseIntervalSetText(const std::string& text);
+
+}  // namespace ongoingdb

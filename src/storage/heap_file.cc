@@ -1,0 +1,63 @@
+#include "storage/heap_file.h"
+
+namespace ongoingdb {
+
+bool HeapPage::Append(const std::vector<uint8_t>& tuple_bytes) {
+  const size_t needed = tuple_bytes.size() + kSlotBytes;
+  if (BytesUsed() + needed > page_size_) return false;
+  slots_.push_back(Slot{static_cast<uint32_t>(data_.size()),
+                        static_cast<uint32_t>(tuple_bytes.size())});
+  data_.insert(data_.end(), tuple_bytes.begin(), tuple_bytes.end());
+  return true;
+}
+
+size_t HeapPage::BytesUsed() const {
+  return kHeaderBytes + slots_.size() * kSlotBytes + data_.size();
+}
+
+std::vector<uint8_t> HeapPage::Read(size_t slot) const {
+  const Slot& s = slots_[slot];
+  return std::vector<uint8_t>(data_.begin() + s.offset,
+                              data_.begin() + s.offset + s.length);
+}
+
+Status HeapFile::Append(const Tuple& tuple) {
+  std::vector<uint8_t> bytes = SerializeTuple(tuple);
+  if (pages_.empty() || !pages_.back().Append(bytes)) {
+    pages_.emplace_back(page_size_);
+    if (!pages_.back().Append(bytes)) {
+      return Status::OutOfRange("tuple of " + std::to_string(bytes.size()) +
+                                " bytes exceeds page capacity");
+    }
+  }
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status HeapFile::Load(const OngoingRelation& relation) {
+  for (const Tuple& t : relation.tuples()) {
+    ONGOINGDB_RETURN_NOT_OK(Append(t));
+  }
+  return Status::OK();
+}
+
+Result<OngoingRelation> HeapFile::Scan() const {
+  OngoingRelation result(schema_);
+  result.Reserve(num_tuples_);
+  for (const HeapPage& page : pages_) {
+    for (size_t slot = 0; slot < page.num_tuples(); ++slot) {
+      ONGOINGDB_ASSIGN_OR_RETURN(Tuple t,
+                                 DeserializeTuple(schema_, page.Read(slot)));
+      result.AppendUnchecked(std::move(t));
+    }
+  }
+  return result;
+}
+
+size_t HeapFile::UsedBytes() const {
+  size_t total = 0;
+  for (const HeapPage& page : pages_) total += page.BytesUsed();
+  return total;
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,27 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+
+#include "storage/serializer.h"
+
+namespace ongoingdb {
+
+StorageStats ComputeStorageStats(const OngoingRelation& r) {
+  StorageStats stats;
+  stats.tuple_count = r.size();
+  for (const Tuple& t : r.tuples()) {
+    stats.total_bytes += SerializedTupleSize(t);
+    stats.rt_bytes += SerializedRtSize(t.rt());
+    stats.max_rt_cardinality = std::max(
+        stats.max_rt_cardinality, static_cast<double>(t.rt().IntervalCount()));
+    // Fixed baseline: instantiated value widths, no RT attribute.
+    size_t fixed = 4;
+    for (const Value& v : t.values()) {
+      fixed += 1 + v.Instantiate(0).ByteWidth();
+    }
+    stats.fixed_total_bytes += fixed;
+  }
+  return stats;
+}
+
+}  // namespace ongoingdb

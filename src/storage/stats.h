@@ -1,0 +1,43 @@
+// Per-tuple storage accounting for the paper's Table V: average tuple
+// size, RT attribute share, and the ongoing/fixed size ratio.
+#pragma once
+
+#include "relation/relation.h"
+
+namespace ongoingdb {
+
+/// Aggregated storage statistics of one relation.
+struct StorageStats {
+  size_t tuple_count = 0;
+  size_t total_bytes = 0;       ///< serialized bytes of all tuples
+  size_t rt_bytes = 0;          ///< bytes of the RT attribute across tuples
+  size_t fixed_total_bytes = 0; ///< bytes if every ongoing value were fixed
+                                ///< and RT dropped (the paper's baseline)
+  double max_rt_cardinality = 0;
+
+  double AvgTupleBytes() const {
+    return tuple_count == 0 ? 0.0
+                            : static_cast<double>(total_bytes) / tuple_count;
+  }
+  double AvgRtBytes() const {
+    return tuple_count == 0 ? 0.0
+                            : static_cast<double>(rt_bytes) / tuple_count;
+  }
+  /// RT share of the tuple size (Table V's percentage column).
+  double RtShare() const {
+    return total_bytes == 0
+               ? 0.0
+               : static_cast<double>(rt_bytes) / total_bytes;
+  }
+  /// ongoing/fixed size ratio (Table V's bottom row).
+  double OngoingOverFixed() const {
+    return fixed_total_bytes == 0
+               ? 0.0
+               : static_cast<double>(total_bytes) / fixed_total_bytes;
+  }
+};
+
+/// Computes storage statistics by serializing each tuple.
+StorageStats ComputeStorageStats(const OngoingRelation& r);
+
+}  // namespace ongoingdb

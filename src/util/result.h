@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. Use for
+// fallible functions that produce a value.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ongoingdb {
+
+/// Either a value of type T or an error Status.
+///
+/// A Result constructed from an OK status is invalid; fallible factories
+/// must return either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `st` must not be OK.
+  Result(Status st) : repr_(std::move(st)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Alias for ValueOrDie, mirroring arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace ongoingdb
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define ONGOINGDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ONGOINGDB_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  ONGOINGDB_ASSIGN_OR_RETURN_IMPL(                                           \
+      ONGOINGDB_CONCAT_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+#define ONGOINGDB_CONCAT_NAME_INNER(a, b) a##b
+#define ONGOINGDB_CONCAT_NAME(a, b) ONGOINGDB_CONCAT_NAME_INNER(a, b)

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random generation helpers used by the data-set
+// generators and the property-based tests. All benchmarks and tests seed
+// explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace ongoingdb {
+
+/// A seeded Mersenne-Twister wrapper with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Geometric-ish skewed draw in [lo, hi]: mass concentrated near `hi`
+  /// with exponent `skew` (used to reproduce the Fig. 7 cumulative
+  /// start-point distributions where ongoing tuples cluster late).
+  int64_t SkewedTowardsHigh(int64_t lo, int64_t hi, double skew) {
+    double u = UniformReal();
+    double v = 1.0 - std::pow(1.0 - u, skew);
+    return lo + static_cast<int64_t>(v * static_cast<double>(hi - lo));
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(size_t length) {
+    std::string s(length, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(0, 25));
+    return s;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ongoingdb

@@ -1,0 +1,103 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Apache Arrow / RocksDB. Functions that can fail return a Status (or a
+// Result<T>, see result.h) instead of throwing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ongoingdb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kNotImplemented,
+  kTypeError,
+  kSchemaMismatch,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "Invalid
+/// argument" for StatusCode::kInvalidArgument.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK or an error code plus message.
+///
+/// The OK state is represented without allocation; error states carry a
+/// heap-allocated message. Statuses are cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& st);
+
+}  // namespace ongoingdb
+
+/// Propagates a non-OK Status to the caller.
+#define ONGOINGDB_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::ongoingdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (false)

@@ -1,0 +1,63 @@
+// Fixed-width table rendering used by the benchmark harnesses to print the
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ongoingdb {
+
+/// Accumulates rows of string cells and prints them as an aligned table.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to `os` with a separator line under the header.
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths;
+    auto update = [&widths](const std::vector<std::string>& row) {
+      if (row.size() > widths.size()) widths.resize(row.size(), 0);
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    };
+    update(header_);
+    for (const auto& row : rows_) update(row);
+
+    auto print_row = [&widths, &os](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+           << row[i];
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (default 4 significant
+/// decimals), for benchmark output cells.
+inline std::string FormatDouble(double v, int precision = 4) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace ongoingdb

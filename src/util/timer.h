@@ -1,0 +1,54 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ongoingdb {
+
+/// Measures elapsed wall-clock time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `repetitions` times and returns the median elapsed seconds.
+/// Benchmark harnesses use the median to suppress scheduler noise.
+template <typename Fn>
+double MedianSeconds(Fn&& fn, int repetitions = 3) {
+  double best[16];
+  if (repetitions > 16) repetitions = 16;
+  for (int i = 0; i < repetitions; ++i) {
+    Timer t;
+    fn();
+    best[i] = t.ElapsedSeconds();
+  }
+  // Insertion sort: repetitions is tiny.
+  for (int i = 1; i < repetitions; ++i) {
+    double v = best[i];
+    int j = i - 1;
+    while (j >= 0 && best[j] > v) {
+      best[j + 1] = best[j];
+      --j;
+    }
+    best[j + 1] = v;
+  }
+  return best[repetitions / 2];
+}
+
+}  // namespace ongoingdb

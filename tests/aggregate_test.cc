@@ -1,0 +1,170 @@
+// Tests of temporal aggregation over ongoing relations (future-work
+// extension): COUNT as a step function of the reference time.
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+OngoingRelation MakeRelation(std::vector<IntervalSet> rts) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"Grp", ValueType::kString}}));
+  int64_t id = 0;
+  for (IntervalSet& rt : rts) {
+    EXPECT_TRUE(r.InsertWithRt({Value::Int64(id), Value::String(
+                                    id % 2 == 0 ? "even" : "odd")},
+                               std::move(rt))
+                    .ok());
+    ++id;
+  }
+  return r;
+}
+
+TEST(AggregateTest, CountOfEmptyRelationIsZeroEverywhere) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64}}));
+  StepFunction count = CountAtEachReferenceTime(r);
+  ASSERT_EQ(count.steps.size(), 1u);
+  EXPECT_EQ(count.At(0), 0);
+  EXPECT_EQ(count.Max(), 0);
+}
+
+TEST(AggregateTest, CountStepsAtReferenceTimeBoundaries) {
+  OngoingRelation r = MakeRelation({IntervalSet{{0, 10}},
+                                    IntervalSet{{5, 15}},
+                                    IntervalSet{{20, 30}}});
+  StepFunction count = CountAtEachReferenceTime(r);
+  EXPECT_EQ(count.At(-1), 0);
+  EXPECT_EQ(count.At(0), 1);
+  EXPECT_EQ(count.At(5), 2);
+  EXPECT_EQ(count.At(12), 1);
+  EXPECT_EQ(count.At(17), 0);
+  EXPECT_EQ(count.At(25), 1);
+  EXPECT_EQ(count.At(100), 0);
+  EXPECT_EQ(count.Max(), 2);
+}
+
+TEST(AggregateTest, CountMatchesInstantiatedCardinality) {
+  // Snapshot equivalence for the aggregate: count.At(rt) ==
+  // |InstantiateRelation(r, rt)| at every reference time.
+  Rng rng(17);
+  std::vector<IntervalSet> rts;
+  for (int i = 0; i < 40; ++i) {
+    TimePoint s = rng.Uniform(-30, 30);
+    rts.push_back(IntervalSet{{s, s + rng.Uniform(1, 25)}});
+  }
+  OngoingRelation r = MakeRelation(std::move(rts));
+  StepFunction count = CountAtEachReferenceTime(r);
+  for (TimePoint rt = -40; rt <= 70; ++rt) {
+    EXPECT_EQ(count.At(rt),
+              static_cast<int64_t>(InstantiateRelation(r, rt).size()))
+        << rt;
+  }
+}
+
+TEST(AggregateTest, StepsAreMaximalAndGapFree) {
+  OngoingRelation r = MakeRelation({IntervalSet{{0, 10}},
+                                    IntervalSet{{0, 10}}});
+  StepFunction count = CountAtEachReferenceTime(r);
+  // Cover (-inf, +inf) with no gaps.
+  EXPECT_EQ(count.steps.front().range.start, kMinInfinity);
+  EXPECT_EQ(count.steps.back().range.end, kMaxInfinity);
+  for (size_t i = 1; i < count.steps.size(); ++i) {
+    EXPECT_EQ(count.steps[i - 1].range.end, count.steps[i].range.start);
+    EXPECT_NE(count.steps[i - 1].value, count.steps[i].value);  // maximal
+  }
+  EXPECT_EQ(count.Max(), 2);
+}
+
+TEST(AggregateTest, CountWithTrivialReferenceTimes) {
+  OngoingRelation r = MakeRelation({IntervalSet::All(), IntervalSet::All()});
+  StepFunction count = CountAtEachReferenceTime(r);
+  ASSERT_EQ(count.steps.size(), 1u);
+  EXPECT_EQ(count.At(12345), 2);
+}
+
+TEST(AggregateTest, GroupedCount) {
+  OngoingRelation r = MakeRelation({IntervalSet{{0, 10}},    // even
+                                    IntervalSet{{5, 15}},    // odd
+                                    IntervalSet{{8, 20}}});  // even
+  auto grouped = CountGroupedBy(r, "Grp");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->size(), 2u);
+  for (const GroupedCount& g : *grouped) {
+    if (g.group.AsString() == "even") {
+      EXPECT_EQ(g.count.At(9), 2);
+      EXPECT_EQ(g.count.At(12), 1);
+    } else {
+      EXPECT_EQ(g.count.At(9), 1);
+      EXPECT_EQ(g.count.At(20), 0);
+    }
+  }
+}
+
+TEST(AggregateTest, SumMatchesInstantiatedSum) {
+  Rng rng(23);
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"W", ValueType::kInt64}}));
+  for (int i = 0; i < 30; ++i) {
+    TimePoint s = rng.Uniform(-20, 20);
+    ASSERT_TRUE(r.InsertWithRt({Value::Int64(i),
+                                Value::Int64(rng.Uniform(-5, 10))},
+                               IntervalSet{{s, s + rng.Uniform(1, 20)}})
+                    .ok());
+  }
+  auto sum = SumAtEachReferenceTime(r, "W");
+  ASSERT_TRUE(sum.ok());
+  for (TimePoint rt = -30; rt <= 50; ++rt) {
+    int64_t expect = 0;
+    for (const Tuple& t : r.tuples()) {
+      if (t.rt().Contains(rt)) expect += t.value(1).AsInt64();
+    }
+    EXPECT_EQ(sum->At(rt), expect) << rt;
+  }
+}
+
+TEST(AggregateTest, MinMaxMatchInstantiatedExtremes) {
+  Rng rng(29);
+  OngoingRelation r(Schema({{"W", ValueType::kInt64}}));
+  for (int i = 0; i < 25; ++i) {
+    TimePoint s = rng.Uniform(-15, 15);
+    ASSERT_TRUE(r.InsertWithRt({Value::Int64(rng.Uniform(-50, 50))},
+                               IntervalSet{{s, s + rng.Uniform(1, 15)}})
+                    .ok());
+  }
+  auto mn = MinAtEachReferenceTime(r, "W", /*empty_value=*/999);
+  auto mx = MaxAtEachReferenceTime(r, "W", /*empty_value=*/-999);
+  ASSERT_TRUE(mn.ok());
+  ASSERT_TRUE(mx.ok());
+  for (TimePoint rt = -25; rt <= 40; ++rt) {
+    int64_t expect_min = 999, expect_max = -999;
+    bool any = false;
+    for (const Tuple& t : r.tuples()) {
+      if (!t.rt().Contains(rt)) continue;
+      int64_t v = t.value(0).AsInt64();
+      expect_min = any ? std::min(expect_min, v) : v;
+      expect_max = any ? std::max(expect_max, v) : v;
+      any = true;
+    }
+    EXPECT_EQ(mn->At(rt), expect_min) << rt;
+    EXPECT_EQ(mx->At(rt), expect_max) << rt;
+  }
+}
+
+TEST(AggregateTest, SumRequiresInt64Column) {
+  OngoingRelation r(Schema({{"S", ValueType::kString}}));
+  ASSERT_TRUE(r.Insert({Value::String("x")}).ok());
+  EXPECT_FALSE(SumAtEachReferenceTime(r, "S").ok());
+  EXPECT_FALSE(SumAtEachReferenceTime(r, "Missing").ok());
+}
+
+TEST(AggregateTest, GroupingByOngoingAttributeIsRejected) {
+  OngoingRelation r(Schema({{"T", ValueType::kOngoingTimePoint}}));
+  ASSERT_TRUE(r.Insert({Value::Ongoing(OngoingTimePoint::Now())}).ok());
+  EXPECT_FALSE(CountGroupedBy(r, "T").ok());
+}
+
+}  // namespace
+}  // namespace ongoingdb

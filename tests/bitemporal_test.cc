@@ -1,0 +1,84 @@
+// Tests of the bitemporal wrapper: valid time, transaction time, and
+// reference time are orthogonal (Sec. IV of the paper).
+#include "relation/bitemporal.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace {
+
+Schema BugSchema() {
+  return Schema({{"BID", ValueType::kInt64},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+std::vector<Value> Bug(int64_t id, TimePoint since) {
+  return {Value::Int64(id),
+          Value::Ongoing(OngoingInterval::SinceUntilNow(since))};
+}
+
+TEST(BitemporalTest, InsertSetsUntilChangedTransactionTime) {
+  BitemporalRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert(Bug(500, MD(1, 25)), MD(1, 26)).ok());
+  EXPECT_EQ(r.num_versions(), 1u);
+  EXPECT_EQ(r.TransactionTime(0),
+            (FixedInterval{MD(1, 26), kUntilChanged}));
+  EXPECT_EQ(r.Current().size(), 1u);
+}
+
+TEST(BitemporalTest, DeleteClosesTransactionTimeButKeepsHistory) {
+  BitemporalRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert(Bug(500, MD(1, 25)), MD(1, 26)).ok());
+  ASSERT_TRUE(r.Insert(Bug(501, MD(3, 30)), MD(3, 31)).ok());
+  size_t deleted = r.Delete(
+      [](const Tuple& t) { return t.value(0).AsInt64() == 500; }, MD(6, 1));
+  EXPECT_EQ(deleted, 1u);
+  // The version is gone from the current state but still stored.
+  EXPECT_EQ(r.Current().size(), 1u);
+  EXPECT_EQ(r.num_versions(), 2u);
+  EXPECT_EQ(r.TransactionTime(0), (FixedInterval{MD(1, 26), MD(6, 1)}));
+  // Deleting again matches nothing (already superseded).
+  EXPECT_EQ(r.Delete([](const Tuple&) { return true; }, MD(7, 1)), 1u);
+}
+
+TEST(BitemporalTest, AsOfTimeTravel) {
+  BitemporalRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert(Bug(500, MD(1, 25)), MD(1, 26)).ok());
+  ASSERT_TRUE(r.Insert(Bug(501, MD(3, 30)), MD(3, 31)).ok());
+  r.Delete([](const Tuple& t) { return t.value(0).AsInt64() == 500; },
+           MD(6, 1));
+  // Before the first insert: empty.
+  EXPECT_EQ(r.AsOf(MD(1, 20)).size(), 0u);
+  // Between the inserts: only bug 500.
+  EXPECT_EQ(r.AsOf(MD(2, 15)).size(), 1u);
+  // Between the second insert and the delete: both.
+  EXPECT_EQ(r.AsOf(MD(5, 1)).size(), 2u);
+  // After the delete: only bug 501.
+  OngoingRelation after = r.AsOf(MD(8, 1));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after.tuple(0).value(0).AsInt64(), 501);
+}
+
+TEST(BitemporalTest, ValidTimeStaysOngoingAcrossTransactionTime) {
+  // TT bookkeeping does not instantiate VT: a recovered version still
+  // carries [a, now) and still instantiates per reference time.
+  BitemporalRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert(Bug(500, MD(1, 25)), MD(1, 26)).ok());
+  r.Delete([](const Tuple&) { return true; }, MD(6, 1));
+  OngoingRelation historical = r.AsOf(MD(3, 1));
+  ASSERT_EQ(historical.size(), 1u);
+  const OngoingInterval& vt =
+      historical.tuple(0).value(1).AsOngoingInterval();
+  EXPECT_EQ(vt.ToString(), "[01/25, now)");
+  EXPECT_EQ(vt.Instantiate(MD(9, 9)),
+            (FixedInterval{MD(1, 25), MD(9, 9)}));
+}
+
+TEST(BitemporalTest, InsertValidatesSchema) {
+  BitemporalRelation r(BugSchema());
+  EXPECT_FALSE(r.Insert({Value::String("wrong")}, 0).ok());
+  EXPECT_EQ(r.num_versions(), 0u);
+}
+
+}  // namespace
+}  // namespace ongoingdb

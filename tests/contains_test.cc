@@ -1,0 +1,83 @@
+// Tests of the contains (timeslice) predicate across layers.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "expr/expr.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(ContainsTest, FixedIntervalFixedPoint) {
+  OngoingInterval iv = OngoingInterval::Fixed(MD(3, 1), MD(6, 1));
+  EXPECT_TRUE(Contains(iv, OngoingTimePoint::Fixed(MD(4, 1))).IsAlwaysTrue());
+  EXPECT_TRUE(Contains(iv, OngoingTimePoint::Fixed(MD(3, 1))).IsAlwaysTrue());
+  // End point is exclusive.
+  EXPECT_TRUE(
+      Contains(iv, OngoingTimePoint::Fixed(MD(6, 1))).IsAlwaysFalse());
+  EXPECT_TRUE(
+      Contains(iv, OngoingTimePoint::Fixed(MD(2, 1))).IsAlwaysFalse());
+}
+
+TEST(ContainsTest, OngoingIntervalContainsFixedPoint) {
+  // [03/01, now) contains 04/15 from 04/16 on (once now passed it).
+  OngoingInterval iv = OngoingInterval::SinceUntilNow(MD(3, 1));
+  OngoingBoolean b = Contains(iv, OngoingTimePoint::Fixed(MD(4, 15)));
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(4, 16), kMaxInfinity}}));
+}
+
+TEST(ContainsTest, IntervalContainsNow) {
+  // [03/01, 06/01) contains now exactly while 03/01 <= rt < 06/01.
+  OngoingInterval iv = OngoingInterval::Fixed(MD(3, 1), MD(6, 1));
+  OngoingBoolean b = Contains(iv, OngoingTimePoint::Now());
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(3, 1), MD(6, 1)}}));
+}
+
+TEST(ContainsTest, EmptyIntervalContainsNothing) {
+  OngoingInterval empty = OngoingInterval::Fixed(MD(5, 1), MD(5, 1));
+  EXPECT_TRUE(
+      Contains(empty, OngoingTimePoint::Fixed(MD(5, 1))).IsAlwaysFalse());
+  EXPECT_TRUE(Contains(empty, OngoingTimePoint::Now()).IsAlwaysFalse());
+}
+
+TEST(ContainsTest, SnapshotEquivalenceSweep) {
+  for (TimePoint a = -3; a <= 3; ++a) {
+    for (TimePoint b = a; b <= 4; ++b) {
+      for (TimePoint c = -3; c <= 3; ++c) {
+        for (TimePoint d = c; d <= 4; ++d) {
+          OngoingInterval iv(OngoingTimePoint(a, b), OngoingTimePoint(c, d));
+          for (TimePoint p = -4; p <= 5; ++p) {
+            OngoingBoolean contains =
+                Contains(iv, OngoingTimePoint::Fixed(p));
+            for (TimePoint rt = -6; rt <= 7; ++rt) {
+              EXPECT_EQ(contains.Instantiate(rt),
+                        ContainsF(iv.Instantiate(rt), p))
+                  << iv.ToString() << " contains " << p << " at rt=" << rt;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ContainsTest, ExprLayer) {
+  Schema schema({{"VT", ValueType::kOngoingInterval},
+                 {"T", ValueType::kTimePoint}});
+  Tuple t({Value::Ongoing(OngoingInterval::SinceUntilNow(MD(3, 1))),
+           Value::Time(MD(4, 15))});
+  auto b = ContainsExpr(Col("VT"), Col("T"))->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->st(), (IntervalSet{{MD(4, 16), kMaxInfinity}}));
+  // Fixed mode on instantiated tuples.
+  Tuple inst(t.InstantiateValues(MD(5, 1)));
+  auto fixed = ContainsExpr(Col("VT"), Col("T"))
+                   ->EvalPredicateFixed(schema.Instantiated(), inst);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(*fixed);
+  // Type errors.
+  EXPECT_FALSE(
+      ContainsExpr(Col("T"), Col("VT"))->EvalPredicate(schema, t).ok());
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,160 @@
+// Randomized property tests of the paper's central correctness criterion
+// (Def. 4) for *all* operations on ongoing data types:
+//
+//     forall rt:  ||op(x1, ..., xn)||rt == opF(||x1||rt, ..., ||xn||rt)
+//
+// Each test draws random ongoing operands (mixing fixed, now, growing,
+// limited and general a+b shapes) and sweeps reference times across and
+// beyond the operand range.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+OngoingTimePoint RandomPoint(Rng& rng) {
+  switch (rng.Uniform(0, 4)) {
+    case 0:
+      return OngoingTimePoint::Fixed(rng.Uniform(-25, 25));
+    case 1:
+      return OngoingTimePoint::Now();
+    case 2:
+      return OngoingTimePoint::Growing(rng.Uniform(-25, 25));
+    case 3:
+      return OngoingTimePoint::Limited(rng.Uniform(-25, 25));
+    default: {
+      TimePoint a = rng.Uniform(-25, 25);
+      return OngoingTimePoint(a, a + rng.Uniform(0, 20));
+    }
+  }
+}
+
+OngoingInterval RandomInterval(Rng& rng) {
+  return OngoingInterval(RandomPoint(rng), RandomPoint(rng));
+}
+
+class CorePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static constexpr TimePoint kRtLo = -60;
+  static constexpr TimePoint kRtHi = 60;
+};
+
+TEST_P(CorePropertyTest, PointOperations) {
+  Rng rng(GetParam() * 2654435761u + 1);
+  OngoingTimePoint t1 = RandomPoint(rng);
+  OngoingTimePoint t2 = RandomPoint(rng);
+  OngoingBoolean lt = Less(t1, t2);
+  OngoingTimePoint mn = Min(t1, t2);
+  OngoingTimePoint mx = Max(t1, t2);
+  for (TimePoint rt = kRtLo; rt <= kRtHi; ++rt) {
+    TimePoint v1 = t1.Instantiate(rt), v2 = t2.Instantiate(rt);
+    EXPECT_EQ(lt.Instantiate(rt), v1 < v2);
+    EXPECT_EQ(mn.Instantiate(rt), std::min(v1, v2));
+    EXPECT_EQ(mx.Instantiate(rt), std::max(v1, v2));
+  }
+}
+
+TEST_P(CorePropertyTest, LogicalConnectives) {
+  Rng rng(GetParam() * 2654435761u + 2);
+  OngoingBoolean b1 = Less(RandomPoint(rng), RandomPoint(rng));
+  OngoingBoolean b2 = Less(RandomPoint(rng), RandomPoint(rng));
+  OngoingBoolean conj = b1.And(b2);
+  OngoingBoolean disj = b1.Or(b2);
+  OngoingBoolean neg = b1.Not();
+  for (TimePoint rt = kRtLo; rt <= kRtHi; ++rt) {
+    bool v1 = b1.Instantiate(rt), v2 = b2.Instantiate(rt);
+    EXPECT_EQ(conj.Instantiate(rt), v1 && v2);
+    EXPECT_EQ(disj.Instantiate(rt), v1 || v2);
+    EXPECT_EQ(neg.Instantiate(rt), !v1);
+  }
+}
+
+TEST_P(CorePropertyTest, AllenPredicates) {
+  Rng rng(GetParam() * 2654435761u + 3);
+  OngoingInterval i1 = RandomInterval(rng);
+  OngoingInterval i2 = RandomInterval(rng);
+  OngoingBoolean before = Before(i1, i2);
+  OngoingBoolean meets = Meets(i1, i2);
+  OngoingBoolean overlaps = Overlaps(i1, i2);
+  OngoingBoolean starts = Starts(i1, i2);
+  OngoingBoolean finishes = Finishes(i1, i2);
+  OngoingBoolean during = During(i1, i2);
+  OngoingBoolean equals = Equals(i1, i2);
+  for (TimePoint rt = kRtLo; rt <= kRtHi; ++rt) {
+    FixedInterval f1 = i1.Instantiate(rt), f2 = i2.Instantiate(rt);
+    EXPECT_EQ(before.Instantiate(rt), BeforeF(f1, f2)) << rt;
+    EXPECT_EQ(meets.Instantiate(rt), MeetsF(f1, f2)) << rt;
+    EXPECT_EQ(overlaps.Instantiate(rt), OverlapsF(f1, f2)) << rt;
+    EXPECT_EQ(starts.Instantiate(rt), StartsF(f1, f2)) << rt;
+    EXPECT_EQ(finishes.Instantiate(rt), FinishesF(f1, f2)) << rt;
+    EXPECT_EQ(during.Instantiate(rt), DuringF(f1, f2)) << rt;
+    EXPECT_EQ(equals.Instantiate(rt), EqualsF(f1, f2)) << rt;
+  }
+}
+
+TEST_P(CorePropertyTest, IntervalIntersection) {
+  Rng rng(GetParam() * 2654435761u + 4);
+  OngoingInterval i1 = RandomInterval(rng);
+  OngoingInterval i2 = RandomInterval(rng);
+  OngoingInterval inter = Intersect(i1, i2);
+  for (TimePoint rt = kRtLo; rt <= kRtHi; ++rt) {
+    FixedInterval expect =
+        IntersectF(i1.Instantiate(rt), i2.Instantiate(rt));
+    FixedInterval got = inter.Instantiate(rt);
+    // Intersections of instantiated intervals and instantiations of the
+    // ongoing intersection must be the same point set (empty intervals
+    // may differ in representation).
+    if (expect.empty()) {
+      EXPECT_TRUE(got.empty()) << rt;
+    } else {
+      EXPECT_EQ(got, expect) << rt;
+    }
+  }
+}
+
+TEST_P(CorePropertyTest, ComposedPredicateExpressions) {
+  // Deeper expressions: (i1 overlaps i2) ^ not(p1 < p2) v (i1 before i2).
+  Rng rng(GetParam() * 2654435761u + 5);
+  OngoingInterval i1 = RandomInterval(rng);
+  OngoingInterval i2 = RandomInterval(rng);
+  OngoingTimePoint p1 = RandomPoint(rng);
+  OngoingTimePoint p2 = RandomPoint(rng);
+  OngoingBoolean expr =
+      Overlaps(i1, i2).And(Less(p1, p2).Not()).Or(Before(i1, i2));
+  for (TimePoint rt = kRtLo; rt <= kRtHi; ++rt) {
+    bool expect = (OverlapsF(i1.Instantiate(rt), i2.Instantiate(rt)) &&
+                   !(p1.Instantiate(rt) < p2.Instantiate(rt))) ||
+                  BeforeF(i1.Instantiate(rt), i2.Instantiate(rt));
+    EXPECT_EQ(expr.Instantiate(rt), expect) << rt;
+  }
+}
+
+TEST_P(CorePropertyTest, MinMaxClosureAndMonotonicity) {
+  Rng rng(GetParam() * 2654435761u + 6);
+  OngoingTimePoint t1 = RandomPoint(rng);
+  OngoingTimePoint t2 = RandomPoint(rng);
+  OngoingTimePoint mn = Min(t1, t2);
+  OngoingTimePoint mx = Max(t1, t2);
+  // Closure: results are valid elements of Omega.
+  EXPECT_LE(mn.a(), mn.b());
+  EXPECT_LE(mx.a(), mx.b());
+  // min <= max pointwise.
+  for (TimePoint rt = kRtLo; rt <= kRtHi; rt += 5) {
+    EXPECT_LE(mn.Instantiate(rt), mx.Instantiate(rt));
+  }
+  // Instantiations are monotone in rt (clamp functions are monotone).
+  TimePoint prev = t1.Instantiate(kRtLo);
+  for (TimePoint rt = kRtLo + 1; rt <= kRtHi; ++rt) {
+    TimePoint cur = t1.Instantiate(rt);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CorePropertyTest,
+                         ::testing::Range<uint64_t>(0, 100));
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,180 @@
+// Tests of CSV import/export, including round trips of the paper's
+// ongoing-value notation.
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+Schema BugSchema() {
+  return Schema({{"BID", ValueType::kInt64},
+                 {"C", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+TEST(CsvValueTest, ParseOngoingPointNotations) {
+  auto now = ParseOngoingPointText("now");
+  ASSERT_TRUE(now.ok());
+  EXPECT_TRUE(now->IsNow());
+
+  auto fixed = ParseOngoingPointText("10/17");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(*fixed, OngoingTimePoint::Fixed(MD(10, 17)));
+
+  auto growing = ParseOngoingPointText("10/17+");
+  ASSERT_TRUE(growing.ok());
+  EXPECT_EQ(*growing, OngoingTimePoint::Growing(MD(10, 17)));
+
+  auto limited = ParseOngoingPointText("+10/17");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(*limited, OngoingTimePoint::Limited(MD(10, 17)));
+
+  auto general = ParseOngoingPointText("10/17+10/19");
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(*general, OngoingTimePoint(MD(10, 17), MD(10, 19)));
+
+  auto with_year = ParseOngoingPointText("1994/09/01+1995/01/01");
+  ASSERT_TRUE(with_year.ok());
+  EXPECT_EQ(with_year->a(), Date(1994, 9, 1));
+
+  EXPECT_FALSE(ParseOngoingPointText("garbage").ok());
+  EXPECT_FALSE(ParseOngoingPointText("10/19+10/17").ok());  // a > b
+}
+
+TEST(CsvValueTest, PointNotationRoundTripsThroughToString) {
+  const OngoingTimePoint points[] = {
+      OngoingTimePoint::Now(), OngoingTimePoint::Fixed(MD(8, 15)),
+      OngoingTimePoint::Growing(MD(1, 2)), OngoingTimePoint::Limited(MD(12, 31)),
+      OngoingTimePoint(MD(3, 4), MD(5, 6))};
+  for (const OngoingTimePoint& p : points) {
+    auto parsed = ParseOngoingPointText(p.ToString());
+    ASSERT_TRUE(parsed.ok()) << p.ToString();
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(CsvValueTest, ParseIntervalSet) {
+  auto all = ParseIntervalSetText("{(-inf, +inf)}");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->IsAll());
+
+  auto empty = ParseIntervalSetText("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->IsEmpty());
+
+  auto two = ParseIntervalSetText("{[01/26, 08/16), [09/01, 09/10)}");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, (IntervalSet{{MD(1, 26), MD(8, 16)}, {MD(9, 1), MD(9, 10)}}));
+
+  EXPECT_FALSE(ParseIntervalSetText("[01/26, 08/16)").ok());  // no braces
+}
+
+TEST(CsvValueTest, ParseTypedValues) {
+  auto i = ParseValueText(ValueType::kInt64, "42");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->AsInt64(), 42);
+  auto b = ParseValueText(ValueType::kBool, "true");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->AsBool());
+  auto tp = ParseValueText(ValueType::kTimePoint, "08/15");
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->AsTime(), MD(8, 15));
+  auto iv = ParseValueText(ValueType::kOngoingInterval, "[01/25, now)");
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->AsOngoingInterval().ToString(), "[01/25, now)");
+  auto fi = ParseValueText(ValueType::kFixedInterval, "[01/25, 08/16)");
+  ASSERT_TRUE(fi.ok());
+  EXPECT_EQ(fi->AsInterval(), (FixedInterval{MD(1, 25), MD(8, 16)}));
+  EXPECT_FALSE(ParseValueText(ValueType::kBool, "maybe").ok());
+}
+
+TEST(CsvTest, WriteProducesHeaderAndQuotedCells) {
+  OngoingRelation r(BugSchema());
+  ASSERT_TRUE(r.InsertWithRt(
+                   {Value::Int64(500), Value::String("Spam, \"filter\""),
+                    Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))},
+                   IntervalSet{{MD(1, 26), MD(8, 16)}})
+                  .ok());
+  auto csv = ToCsvString(r);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_NE(csv->find("BID,C,VT,RT"), std::string::npos);
+  // Comma-bearing cells are quoted, inner quotes doubled.
+  EXPECT_NE(csv->find("\"Spam, \"\"filter\"\"\""), std::string::npos);
+  EXPECT_NE(csv->find("\"[01/25, now)\""), std::string::npos);
+  EXPECT_NE(csv->find("\"{[01/26, 08/16)}\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  OngoingRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert({Value::Int64(500), Value::String("Spam filter"),
+                        Value::Ongoing(OngoingInterval::SinceUntilNow(
+                            MD(1, 25)))})
+                  .ok());
+  ASSERT_TRUE(r.InsertWithRt(
+                   {Value::Int64(501), Value::String("UI, misc"),
+                    Value::Ongoing(OngoingInterval::Fixed(MD(3, 30),
+                                                          MD(8, 21)))},
+                   IntervalSet{{MD(4, 1), MD(9, 1)}})
+                  .ok());
+  auto csv = ToCsvString(r);
+  ASSERT_TRUE(csv.ok());
+  auto restored = FromCsvString(BugSchema(), *csv);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(restored->tuple(i), r.tuple(i)) << "tuple " << i;
+  }
+}
+
+TEST(CsvTest, RandomizedRoundTrip) {
+  Rng rng(99);
+  Schema schema({{"A", ValueType::kInt64},
+                 {"T", ValueType::kOngoingTimePoint},
+                 {"VT", ValueType::kOngoingInterval},
+                 {"W", ValueType::kFixedInterval}});
+  OngoingRelation r(schema);
+  for (int i = 0; i < 60; ++i) {
+    TimePoint a = rng.Uniform(0, 5000);
+    OngoingTimePoint p(a, a + rng.Uniform(0, 400));
+    TimePoint s = rng.Uniform(0, 5000);
+    OngoingInterval vt(OngoingTimePoint(s, s + rng.Uniform(0, 100)),
+                       OngoingTimePoint::Growing(s + rng.Uniform(100, 300)));
+    TimePoint rt0 = rng.Uniform(0, 4000);
+    ASSERT_TRUE(r.InsertWithRt(
+                     {Value::Int64(rng.Uniform(0, 1000)), Value::Ongoing(p),
+                      Value::Ongoing(vt),
+                      Value::Interval({s, s + rng.Uniform(1, 50)})},
+                     IntervalSet{{rt0, rt0 + rng.Uniform(1, 500)}})
+                    .ok());
+  }
+  auto csv = ToCsvString(r);
+  ASSERT_TRUE(csv.ok());
+  auto restored = FromCsvString(schema, *csv);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(restored->tuple(i), r.tuple(i)) << "tuple " << i;
+  }
+}
+
+TEST(CsvTest, ReadRejectsMalformedInput) {
+  Schema schema = BugSchema();
+  EXPECT_FALSE(FromCsvString(schema, "").ok());
+  EXPECT_FALSE(FromCsvString(schema, "X,Y,Z\n").ok());  // wrong header
+  EXPECT_FALSE(
+      FromCsvString(schema, "BID,C,VT,RT\n1,2\n").ok());  // short row
+  EXPECT_FALSE(FromCsvString(schema,
+                             "BID,C,VT,RT\n"
+                             "1,x,\"[01/25, now)\",\"not a set\"\n")
+                   .ok());
+  EXPECT_FALSE(FromCsvString(schema,
+                             "BID,C,VT,RT\n"
+                             "1,x,\"[01/25, now)\",\"{}\"\n")
+                   .ok());  // empty RT rejected by InsertWithRt
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,170 @@
+// Tests that the data-set generators reproduce the published
+// characteristics of Table III and the Fig. 7 start-point distributions.
+#include <gtest/gtest.h>
+
+#include "datasets/incumbent.h"
+#include "datasets/mozilla.h"
+#include "datasets/synthetic.h"
+
+namespace ongoingdb {
+namespace datasets {
+namespace {
+
+TEST(SyntheticTest, DexCharacteristics) {
+  OngoingRelation dex = GenerateDex(20000);
+  auto audit = AuditDataset(dex);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->cardinality, 20000);
+  // 15% ongoing (Table III), within sampling tolerance.
+  EXPECT_NEAR(audit->OngoingFraction(), 0.15, 0.02);
+  // 10-year history.
+  EXPECT_GE(audit->max_point - audit->min_point, 9 * 365);
+  EXPECT_LE(audit->max_point - audit->min_point, 10 * 365 + 1);
+}
+
+TEST(SyntheticTest, DexUsesExpandingAndDshShrinkingIntervals) {
+  OngoingRelation dex = GenerateDex(2000);
+  OngoingRelation dsh = GenerateDsh(2000);
+  auto check = [](const OngoingRelation& r, IntervalKind expected) {
+    size_t vt = *r.schema().IndexOf("VT");
+    for (const Tuple& t : r.tuples()) {
+      IntervalKind kind = t.value(vt).AsOngoingInterval().Kind();
+      if (kind != IntervalKind::kFixed) {
+        EXPECT_EQ(kind, expected);
+      }
+    }
+  };
+  check(dex, IntervalKind::kExpanding);
+  check(dsh, IntervalKind::kShrinking);
+}
+
+TEST(SyntheticTest, DscHasTwentyPercentOngoing) {
+  auto audit = AuditDataset(GenerateDsc(20000));
+  ASSERT_TRUE(audit.ok());
+  EXPECT_NEAR(audit->OngoingFraction(), 0.20, 0.02);
+}
+
+TEST(SyntheticTest, OngoingSegmentPlacement) {
+  // Fig. 9 setup: ongoing anchors confined to one of five 2-year
+  // segments.
+  for (int segment = 0; segment < 5; ++segment) {
+    OngoingRelation r = GenerateDex(3000, segment);
+    size_t vt = *r.schema().IndexOf("VT");
+    TimePoint history_end = Date(2019, 1, 1);
+    TimePoint history_start = history_end - 10 * 365;
+    TimePoint seg_span = (history_end - history_start) / 5;
+    for (const Tuple& t : r.tuples()) {
+      const OngoingInterval& iv = t.value(vt).AsOngoingInterval();
+      if (iv.Kind() == IntervalKind::kExpanding) {
+        TimePoint anchor = iv.start().a();
+        EXPECT_GE(anchor, history_start + segment * seg_span);
+        EXPECT_LT(anchor, history_start + (segment + 1) * seg_span);
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicUnderSeed) {
+  OngoingRelation a = GenerateDex(500, -1, 99);
+  OngoingRelation b = GenerateDex(500, -1, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuple(i), b.tuple(i));
+  }
+}
+
+TEST(MozillaTest, TableIIICharacteristics) {
+  MozillaBugs data = GenerateMozillaBugs(5000);
+  // Row ratios: A ~1.475x, S ~1.10x the bugs.
+  EXPECT_NEAR(static_cast<double>(data.bug_assignment.size()) /
+                  data.bug_info.size(),
+              1.475, 0.1);
+  EXPECT_NEAR(static_cast<double>(data.bug_severity.size()) /
+                  data.bug_info.size(),
+              1.099, 0.1);
+  auto audit_b = AuditDataset(data.bug_info);
+  ASSERT_TRUE(audit_b.ok());
+  EXPECT_NEAR(audit_b->OngoingFraction(), 0.15, 0.02);
+}
+
+TEST(MozillaTest, Fig7HalfOfOngoingStartsInLastTwoYears) {
+  MozillaBugs data = GenerateMozillaBugs(8000);
+  size_t vt = *data.bug_info.schema().IndexOf("VT");
+  const TimePoint two_years_ago = data.history_end - 2 * 365;
+  int64_t ongoing = 0, recent = 0;
+  for (const Tuple& t : data.bug_info.tuples()) {
+    const OngoingInterval& iv = t.value(vt).AsOngoingInterval();
+    if (iv.Kind() != IntervalKind::kExpanding) continue;
+    ++ongoing;
+    if (iv.start().a() >= two_years_ago) ++recent;
+  }
+  ASSERT_GT(ongoing, 0);
+  EXPECT_NEAR(static_cast<double>(recent) / ongoing, 0.5, 0.05);
+}
+
+TEST(MozillaTest, TupleWidthsMatchTableV) {
+  MozillaBugs data = GenerateMozillaBugs(2000);
+  auto avg_width = [](const OngoingRelation& r) {
+    size_t total = 0;
+    for (const Tuple& t : r.tuples()) {
+      for (const Value& v : t.values()) total += v.ByteWidth();
+    }
+    return static_cast<double>(total) / r.size();
+  };
+  // B ~968 B (dominated by the description), A ~90 B, S ~86 B.
+  EXPECT_NEAR(avg_width(data.bug_info), 968, 150);
+  EXPECT_NEAR(avg_width(data.bug_assignment), 90, 40);
+  EXPECT_NEAR(avg_width(data.bug_severity), 86, 40);
+}
+
+TEST(MozillaTest, OngoingBugsHaveOngoingLastAssignmentAndSeverity) {
+  MozillaBugs data = GenerateMozillaBugs(1000);
+  size_t b_vt = *data.bug_info.schema().IndexOf("VT");
+  size_t a_id = *data.bug_assignment.schema().IndexOf("ID");
+  size_t a_vt = *data.bug_assignment.schema().IndexOf("VT");
+  // Collect ongoing bug ids.
+  std::set<int64_t> ongoing_bugs;
+  for (const Tuple& t : data.bug_info.tuples()) {
+    if (t.value(b_vt).AsOngoingInterval().Kind() == IntervalKind::kExpanding) {
+      ongoing_bugs.insert(t.value(0).AsInt64());
+    }
+  }
+  // Every ongoing bug has at least one ongoing assignment row.
+  std::set<int64_t> bugs_with_ongoing_assignment;
+  for (const Tuple& t : data.bug_assignment.tuples()) {
+    if (t.value(a_vt).AsOngoingInterval().Kind() ==
+        IntervalKind::kExpanding) {
+      bugs_with_ongoing_assignment.insert(t.value(a_id).AsInt64());
+    }
+  }
+  for (int64_t id : ongoing_bugs) {
+    EXPECT_TRUE(bugs_with_ongoing_assignment.count(id) > 0) << "bug " << id;
+  }
+}
+
+TEST(IncumbentTest, TableIIICharacteristics) {
+  OngoingRelation r = GenerateIncumbent(20000);
+  auto audit = AuditDataset(r);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->cardinality, 20000);
+  EXPECT_NEAR(audit->OngoingFraction(), 0.19, 0.02);
+  // 16-year history ending 1997/10.
+  EXPECT_LE(audit->max_point, Date(1997, 10, 1));
+  EXPECT_GE(audit->min_point, Date(1997, 10, 1) - 16 * 365 - 1);
+}
+
+TEST(IncumbentTest, Fig7AllOngoingStartsInLastYear) {
+  OngoingRelation r = GenerateIncumbent(10000);
+  size_t vt = *r.schema().IndexOf("VT");
+  const TimePoint last_year = Date(1997, 10, 1) - 365;
+  for (const Tuple& t : r.tuples()) {
+    const OngoingInterval& iv = t.value(vt).AsOngoingInterval();
+    if (iv.Kind() == IntervalKind::kExpanding) {
+      EXPECT_GE(iv.start().a(), last_year);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace ongoingdb

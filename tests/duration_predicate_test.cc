@@ -1,0 +1,110 @@
+// Tests of the DURATION(interval) <op> n predicate: the paper's
+// future-work duration function wired into the expression and SQL
+// layers.
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "sql/statement.h"
+
+namespace ongoingdb {
+namespace {
+
+Schema BugSchema() {
+  return Schema({{"BID", ValueType::kInt64},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+TEST(DurationPredicateTest, ExprOngoingSemantics) {
+  // Bug open since day 100: its duration exceeds 30 days from rt = 131.
+  Tuple t({Value::Int64(1),
+           Value::Ongoing(OngoingInterval::SinceUntilNow(100))});
+  Schema schema = BugSchema();
+  auto b = DurationCompare(CompareOp::kGt, Col("VT"), 30)
+               ->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_FALSE(b->Instantiate(120));  // 20 days open
+  EXPECT_FALSE(b->Instantiate(130));  // exactly 30
+  EXPECT_TRUE(b->Instantiate(131));   // 31 days open
+  EXPECT_EQ(b->st(), (IntervalSet{{131, kMaxInfinity}}));
+}
+
+TEST(DurationPredicateTest, SnapshotEquivalenceSweep) {
+  Schema schema = BugSchema();
+  for (TimePoint a = -3; a <= 3; ++a) {
+    for (TimePoint b = a; b <= 4; ++b) {
+      for (TimePoint c = -3; c <= 4; ++c) {
+        for (TimePoint d = c; d <= 5; ++d) {
+          OngoingInterval iv(OngoingTimePoint(a, b), OngoingTimePoint(c, d));
+          Tuple t({Value::Int64(0), Value::Ongoing(iv)});
+          for (int64_t bound : {0, 2, 5}) {
+            auto pred = DurationCompare(CompareOp::kLt, Col("VT"), bound)
+                            ->EvalPredicate(schema, t);
+            ASSERT_TRUE(pred.ok());
+            for (TimePoint rt = -6; rt <= 8; ++rt) {
+              FixedInterval f = iv.Instantiate(rt);
+              int64_t duration = f.empty() ? 0 : f.end - f.start;
+              EXPECT_EQ(pred->Instantiate(rt), duration < bound)
+                  << iv.ToString() << " bound=" << bound << " rt=" << rt;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DurationPredicateTest, FixedEvaluation) {
+  Schema schema({{"VT", ValueType::kFixedInterval}});
+  Tuple t({Value::Interval({10, 25})});
+  auto ge = DurationCompare(CompareOp::kGe, Col("VT"), 15)
+                ->EvalPredicateFixed(schema, t);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_TRUE(*ge);
+  auto gt = DurationCompare(CompareOp::kGt, Col("VT"), 15)
+                ->EvalPredicateFixed(schema, t);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_FALSE(*gt);
+}
+
+TEST(DurationPredicateTest, SqlDurationKeyword) {
+  sql::Catalog catalog;
+  ASSERT_TRUE(
+      sql::RunStatement("CREATE TABLE Bugs (BID INT, VT PERIOD)", &catalog)
+          .ok());
+  ASSERT_TRUE(sql::RunStatement(
+                  "INSERT INTO Bugs VALUES (500, PERIOD ['01/25', NOW))",
+                  &catalog)
+                  .ok());
+  ASSERT_TRUE(sql::RunStatement(
+                  "INSERT INTO Bugs VALUES (501, PERIOD ['03/30', '04/05'))",
+                  &catalog)
+                  .ok());
+  // Long-running bugs: open more than 60 days.
+  auto result = sql::RunStatement(
+      "SELECT BID FROM Bugs WHERE DURATION(VT) > 60", &catalog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relation->size(), 1u);
+  const Tuple& t = result->relation->tuple(0);
+  EXPECT_EQ(t.value(0).AsInt64(), 500);
+  // The ongoing bug exceeds 60 days exactly 61 days after 01/25.
+  EXPECT_EQ(t.rt(), (IntervalSet{{MD(1, 25) + 61, kMaxInfinity}}));
+  // Fixed 6-day bug 501 never qualifies and is dropped.
+}
+
+TEST(DurationPredicateTest, SqlSyntaxErrors) {
+  sql::Catalog catalog;
+  ASSERT_TRUE(
+      sql::RunStatement("CREATE TABLE T (VT PERIOD)", &catalog).ok());
+  EXPECT_FALSE(
+      sql::RunStatement("SELECT * FROM T WHERE DURATION VT > 3", &catalog)
+          .ok());
+  EXPECT_FALSE(
+      sql::RunStatement("SELECT * FROM T WHERE DURATION(VT) >", &catalog)
+          .ok());
+  EXPECT_FALSE(sql::RunStatement(
+                   "SELECT * FROM T WHERE DURATION(VT) OVERLAPS 3", &catalog)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,187 @@
+// Tests of the expression language: ongoing vs fixed evaluation modes,
+// type errors, and the Sec. VIII conjunction split.
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"ID", ValueType::kInt64},
+                 {"Name", ValueType::kString},
+                 {"Start", ValueType::kTimePoint},
+                 {"VT", ValueType::kOngoingInterval},
+                 {"End", ValueType::kOngoingTimePoint}});
+}
+
+Tuple TestTuple() {
+  return Tuple({Value::Int64(7), Value::String("spam"),
+                Value::Time(MD(3, 1)),
+                Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25))),
+                Value::Ongoing(OngoingTimePoint::Now())});
+}
+
+TEST(ExprTest, ColumnAndLiteralScalars) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  auto v = Col("ID")->EvalScalar(schema, t);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 7);
+  auto lit = Lit(Value::Bool(true))->EvalScalar(schema, t);
+  ASSERT_TRUE(lit.ok());
+  EXPECT_TRUE(lit->AsBool());
+  EXPECT_FALSE(Col("Missing")->EvalScalar(schema, t).ok());
+}
+
+TEST(ExprTest, FixedComparisonYieldsConstantBoolean) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  auto b = Eq(Col("Name"), Lit("spam"))->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->IsAlwaysTrue());
+  auto b2 = Lt(Col("ID"), Lit(int64_t{3}))->EvalPredicate(schema, t);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_TRUE(b2->IsAlwaysFalse());
+}
+
+TEST(ExprTest, OngoingComparisonYieldsTimeDependentBoolean) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  // Start < End where End = now: true from 03/02 on.
+  auto b = Lt(Col("Start"), Col("End"))->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->st(), (IntervalSet{{MD(3, 1) + 1, kMaxInfinity}}));
+}
+
+TEST(ExprTest, AllenPredicateOnMixedIntervalOperands) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  auto b = OverlapsExpr(Col("VT"),
+                        Lit(OngoingInterval::Fixed(MD(1, 20), MD(8, 18))))
+               ->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->st(), (IntervalSet{{MD(1, 26), kMaxInfinity}}));
+}
+
+TEST(ExprTest, TypeErrors) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  // Comparing across families fails.
+  EXPECT_FALSE(Lt(Col("ID"), Col("Name"))->EvalPredicate(schema, t).ok());
+  // Allen predicate on non-intervals fails.
+  EXPECT_FALSE(
+      OverlapsExpr(Col("ID"), Col("VT"))->EvalPredicate(schema, t).ok());
+  // Interval ordering is undefined.
+  EXPECT_FALSE(Lt(Col("VT"), Col("VT"))->EvalPredicate(schema, t).ok());
+  // Scalar used as predicate fails.
+  EXPECT_FALSE(Col("ID")->EvalPredicate(schema, t).ok());
+}
+
+TEST(ExprTest, FixedEvaluationOnInstantiatedTuple) {
+  Schema schema = TestSchema().Instantiated();
+  Tuple t(TestTuple().InstantiateValues(MD(8, 15)));
+  auto keep = OverlapsExpr(Col("VT"),
+                           Lit(Value::Interval({MD(1, 20), MD(8, 18)})))
+                  ->EvalPredicateFixed(schema, t);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_TRUE(*keep);
+  auto lt = Lt(Col("Start"), Col("End"))->EvalPredicateFixed(schema, t);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE(*lt);  // 03/01 < 08/15
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  // (false and <type error>) short-circuits to false.
+  auto b = And(Eq(Col("Name"), Lit("other")), Lt(Col("ID"), Col("Name")))
+               ->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->IsAlwaysFalse());
+  // (true or <type error>) short-circuits to true.
+  auto b2 = Or(Eq(Col("Name"), Lit("spam")), Lt(Col("ID"), Col("Name")))
+                ->EvalPredicate(schema, t);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_TRUE(b2->IsAlwaysTrue());
+}
+
+TEST(ExprTest, NotCombinators) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  auto b = Not(Eq(Col("Name"), Lit("spam")))->EvalPredicate(schema, t);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->IsAlwaysFalse());
+}
+
+TEST(ExprTest, IntersectScalar) {
+  Schema schema = TestSchema();
+  Tuple t = TestTuple();
+  auto v = IntersectExpr(Col("VT"),
+                         Lit(OngoingInterval::Fixed(MD(1, 20), MD(8, 18))))
+               ->EvalScalar(schema, t);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsOngoingInterval().ToString(), "[01/25, +08/18)");
+}
+
+TEST(ExprTest, IsFixedOnlyClassification) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(Eq(Col("Name"), Lit("spam"))->IsFixedOnly(schema));
+  EXPECT_TRUE(Lt(Col("ID"), Lit(int64_t{3}))->IsFixedOnly(schema));
+  EXPECT_FALSE(Col("VT")->IsFixedOnly(schema));
+  EXPECT_FALSE(
+      OverlapsExpr(Col("VT"), Lit(OngoingInterval::Fixed(0, 1)))
+          ->IsFixedOnly(schema));
+  // Fixed literal intervals are fixed-only.
+  EXPECT_TRUE(Lit(Value::Interval({0, 1}))->IsFixedOnly(schema));
+}
+
+TEST(ExprTest, SplitSeparatesFixedAndOngoingConjuncts) {
+  // Sec. VIII: sigma with a conjunctive predicate splits into a fixed
+  // WHERE part and an ongoing RT-restriction part.
+  Schema schema = TestSchema();
+  ExprPtr pred = And(And(Eq(Col("Name"), Lit("spam")),
+                         OverlapsExpr(Col("VT"),
+                                      Lit(OngoingInterval::Fixed(0, 10)))),
+                     Lt(Col("ID"), Lit(int64_t{100})));
+  SplitPredicate split = Split(pred, schema);
+  ASSERT_NE(split.fixed_part, nullptr);
+  ASSERT_NE(split.ongoing_part, nullptr);
+  EXPECT_TRUE(split.fixed_part->IsFixedOnly(schema));
+  EXPECT_FALSE(split.ongoing_part->IsFixedOnly(schema));
+  // Two fixed conjuncts went left, one ongoing went right.
+  std::vector<ExprPtr> fixed_conjuncts;
+  CollectTopLevelConjuncts(split.fixed_part, &fixed_conjuncts);
+  EXPECT_EQ(fixed_conjuncts.size(), 2u);
+}
+
+TEST(ExprTest, SplitAllFixedOrAllOngoing) {
+  Schema schema = TestSchema();
+  SplitPredicate all_fixed = Split(Eq(Col("Name"), Lit("x")), schema);
+  EXPECT_NE(all_fixed.fixed_part, nullptr);
+  EXPECT_EQ(all_fixed.ongoing_part, nullptr);
+  SplitPredicate all_ongoing =
+      Split(OverlapsExpr(Col("VT"), Lit(OngoingInterval::Fixed(0, 1))),
+            schema);
+  EXPECT_EQ(all_ongoing.fixed_part, nullptr);
+  EXPECT_NE(all_ongoing.ongoing_part, nullptr);
+}
+
+TEST(ExprTest, CollectColumns) {
+  ExprPtr pred = And(Eq(Col("A"), Col("B")),
+                     Not(OverlapsExpr(Col("C"), Lit(OngoingInterval::Fixed(
+                                                   0, 1)))));
+  std::vector<std::string> columns;
+  pred->CollectColumns(&columns);
+  EXPECT_EQ(columns, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr pred = And(Eq(Col("C"), Lit("Spam filter")),
+                     BeforeExpr(Col("B.VT"), Col("P.VT")));
+  EXPECT_EQ(pred->ToString(),
+            "((C = Spam filter) and (B.VT before P.VT))");
+}
+
+}  // namespace
+}  // namespace ongoingdb

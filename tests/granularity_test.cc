@@ -1,0 +1,72 @@
+// Tests of the two granularities the paper's implementation supports
+// (Sec. VIII): dates (days) and timestamps (microseconds). All ongoing
+// operations are granularity-agnostic; the same machinery works at
+// microsecond resolution.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(GranularityTest, TimestampConstruction) {
+  EXPECT_EQ(Timestamp(1970, 1, 1), 0);
+  EXPECT_EQ(Timestamp(1970, 1, 1, 0, 0, 1), kMicrosPerSecond);
+  EXPECT_EQ(Timestamp(1970, 1, 2), kMicrosPerDay);
+  EXPECT_EQ(Timestamp(2019, 8, 15, 14, 30, 0),
+            Date(2019, 8, 15) * kMicrosPerDay +
+                (14 * 3600 + 30 * 60) * kMicrosPerSecond);
+}
+
+TEST(GranularityTest, TimestampFormatting) {
+  EXPECT_EQ(FormatTimestamp(Timestamp(2019, 8, 15, 14, 30, 5)),
+            "2019/08/15 14:30:05");
+  EXPECT_EQ(FormatTimestamp(Timestamp(2019, 8, 15, 0, 0, 0, 250)),
+            "2019/08/15 00:00:00.000250");
+  EXPECT_EQ(FormatTimestamp(kMinInfinity), "-inf");
+  EXPECT_EQ(FormatTimestamp(kMaxInfinity), "+inf");
+  // Pre-epoch timestamps format correctly despite negative ticks.
+  EXPECT_EQ(FormatTimestamp(Timestamp(1969, 12, 31, 23, 59, 59)),
+            "1969/12/31 23:59:59");
+}
+
+TEST(GranularityTest, OngoingOperationsAtMicrosecondResolution) {
+  // now < a fixed timestamp: true strictly before it, at microsecond
+  // precision.
+  TimePoint deadline = Timestamp(2019, 8, 15, 12, 0, 0);
+  OngoingBoolean b =
+      Less(OngoingTimePoint::Now(), OngoingTimePoint::Fixed(deadline));
+  EXPECT_TRUE(b.Instantiate(deadline - 1));
+  EXPECT_FALSE(b.Instantiate(deadline));
+  // The boundary is exact to one microsecond.
+  EXPECT_EQ(b.st().MaxExclusive(), deadline);
+}
+
+TEST(GranularityTest, MicrosecondIntervalPredicates) {
+  // A session open since 09:00:00.5 until now vs a maintenance window.
+  OngoingInterval session =
+      OngoingInterval::SinceUntilNow(Timestamp(2019, 8, 15, 9, 0, 0, 500000));
+  OngoingInterval window = OngoingInterval::Fixed(
+      Timestamp(2019, 8, 15, 9, 30, 0), Timestamp(2019, 8, 15, 10, 0, 0));
+  OngoingBoolean overlap = Overlaps(session, window);
+  // Overlaps once now passes the window start.
+  EXPECT_FALSE(overlap.Instantiate(Timestamp(2019, 8, 15, 9, 15, 0)));
+  EXPECT_TRUE(overlap.Instantiate(Timestamp(2019, 8, 15, 9, 30, 0) + 1));
+  EXPECT_TRUE(overlap.Instantiate(Timestamp(2019, 8, 16, 0, 0, 0)));
+}
+
+TEST(GranularityTest, SnapshotEquivalenceAtMicrosecondScale) {
+  // The core property holds with huge tick values (no overflow in the
+  // decision tree's b + 1 arithmetic).
+  TimePoint base = Timestamp(2019, 8, 15, 12, 0, 0);
+  OngoingTimePoint t1(base, base + 7 * kMicrosPerDay);
+  OngoingTimePoint t2 = OngoingTimePoint::Now();
+  OngoingBoolean lt = Less(t1, t2);
+  for (TimePoint rt = base - 2 * kMicrosPerDay;
+       rt <= base + 10 * kMicrosPerDay; rt += kMicrosPerDay / 3 + 1) {
+    EXPECT_EQ(lt.Instantiate(rt), t1.Instantiate(rt) < t2.Instantiate(rt));
+  }
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,156 @@
+// Tests of the interval index (future-work extension): candidate sets
+// must be supersets of the exact predicate answers.
+#include "query/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/operations.h"
+#include "relation/algebra.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+OngoingRelation MakeRelation(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (size_t i = 0; i < n; ++i) {
+    OngoingInterval vt;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        vt = OngoingInterval::SinceUntilNow(rng.Uniform(0, 200));
+        break;
+      case 1:
+        vt = OngoingInterval::FromNowUntil(rng.Uniform(0, 200));
+        break;
+      default: {
+        TimePoint s = rng.Uniform(0, 200);
+        vt = OngoingInterval::Fixed(s, s + rng.Uniform(1, 40));
+      }
+    }
+    EXPECT_TRUE(r.Insert({Value::Int64(static_cast<int64_t>(i)),
+                          Value::Ongoing(vt)})
+                    .ok());
+  }
+  return r;
+}
+
+TEST(IntervalIndexTest, RequiresIntervalAttribute) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64}}));
+  EXPECT_FALSE(IntervalIndex::Build(r, "ID").ok());
+  EXPECT_FALSE(IntervalIndex::Build(r, "Missing").ok());
+}
+
+class IntervalIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalIndexPropertyTest, OverlapCandidatesAreSupersetOfExact) {
+  OngoingRelation r = MakeRelation(GetParam(), 120);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  Rng rng(GetParam() + 1000);
+  for (int probe_i = 0; probe_i < 10; ++probe_i) {
+    TimePoint s = rng.Uniform(0, 200);
+    FixedInterval probe{s, s + rng.Uniform(1, 50)};
+    OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+    std::vector<size_t> c = index->OverlapCandidates(probe);
+    std::set<size_t> candidates(c.begin(), c.end());
+    for (size_t i = 0; i < r.size(); ++i) {
+      OngoingBoolean exact =
+          Overlaps(r.tuple(i).value(1).AsOngoingInterval(), probe_iv);
+      if (!exact.IsAlwaysFalse()) {
+        EXPECT_TRUE(candidates.count(i) > 0)
+            << "tuple " << i << " satisfies overlaps at some rt but was "
+            << "not a candidate";
+      }
+    }
+  }
+}
+
+TEST_P(IntervalIndexPropertyTest, BeforeCandidatesAreSupersetOfExact) {
+  OngoingRelation r = MakeRelation(GetParam() + 7, 120);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  Rng rng(GetParam() + 2000);
+  for (int probe_i = 0; probe_i < 10; ++probe_i) {
+    TimePoint s = rng.Uniform(0, 220);
+    FixedInterval probe{s, s + rng.Uniform(1, 50)};
+    OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+    std::vector<size_t> c = index->BeforeCandidates(probe);
+    std::set<size_t> candidates(c.begin(), c.end());
+    for (size_t i = 0; i < r.size(); ++i) {
+      OngoingBoolean exact =
+          Before(r.tuple(i).value(1).AsOngoingInterval(), probe_iv);
+      if (!exact.IsAlwaysFalse()) {
+        EXPECT_TRUE(candidates.count(i) > 0) << "tuple " << i;
+      }
+    }
+  }
+}
+
+TEST_P(IntervalIndexPropertyTest, CandidatesPruneSomething) {
+  // The index must actually prune on selective probes (not return
+  // everything) — otherwise it is useless.
+  OngoingRelation r = MakeRelation(GetParam() + 13, 200);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  FixedInterval narrow{0, 2};
+  EXPECT_LT(index->OverlapCandidates(narrow).size(), r.size());
+}
+
+TEST_P(IntervalIndexPropertyTest, SelectOverlapsMatchesFullScan) {
+  OngoingRelation r = MakeRelation(GetParam() + 31, 150);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  Rng rng(GetParam() + 3000);
+  for (int probe_i = 0; probe_i < 6; ++probe_i) {
+    TimePoint s = rng.Uniform(0, 200);
+    FixedInterval probe{s, s + rng.Uniform(1, 60)};
+    OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+    auto indexed = index->SelectOverlaps(r, probe);
+    ASSERT_TRUE(indexed.ok());
+    // Reference: full-scan ongoing selection.
+    OngoingRelation scanned = Select(r, [&probe_iv](const Tuple& t) {
+      return Overlaps(t.value(1).AsOngoingInterval(), probe_iv);
+    });
+    EXPECT_EQ(indexed->size(), scanned.size());
+    for (TimePoint rt = -20; rt <= 250; rt += 27) {
+      EXPECT_TRUE(
+          InstantiatedRelationsEqual(InstantiateRelation(*indexed, rt),
+                                     InstantiateRelation(scanned, rt)))
+          << "rt=" << rt;
+    }
+  }
+}
+
+TEST_P(IntervalIndexPropertyTest, SelectBeforeMatchesFullScan) {
+  OngoingRelation r = MakeRelation(GetParam() + 37, 150);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  Rng rng(GetParam() + 4000);
+  for (int probe_i = 0; probe_i < 6; ++probe_i) {
+    TimePoint s = rng.Uniform(0, 220);
+    FixedInterval probe{s, s + rng.Uniform(1, 60)};
+    OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+    auto indexed = index->SelectBefore(r, probe);
+    ASSERT_TRUE(indexed.ok());
+    OngoingRelation scanned = Select(r, [&probe_iv](const Tuple& t) {
+      return Before(t.value(1).AsOngoingInterval(), probe_iv);
+    });
+    EXPECT_EQ(indexed->size(), scanned.size());
+    for (TimePoint rt = -20; rt <= 250; rt += 27) {
+      EXPECT_TRUE(
+          InstantiatedRelationsEqual(InstantiateRelation(*indexed, rt),
+                                     InstantiateRelation(scanned, rt)))
+          << "rt=" << rt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalIndexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,207 @@
+// Unit tests for IntervalSet: normalization, membership, and the
+// sweep-line set algebra (Algorithm 1 of the paper).
+#include "core/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(IntervalSetTest, EmptyAndAll) {
+  EXPECT_TRUE(IntervalSet::Empty().IsEmpty());
+  EXPECT_TRUE(IntervalSet::All().IsAll());
+  EXPECT_FALSE(IntervalSet::All().IsEmpty());
+  EXPECT_FALSE(IntervalSet::Empty().IsAll());
+}
+
+TEST(IntervalSetTest, FromUnsortedNormalizes) {
+  IntervalSet s = IntervalSet::FromUnsorted(
+      {{10, 20}, {5, 8}, {18, 25}, {30, 30}, {26, 28}});
+  // {5,8} stays; {10,20} and {18,25} merge; {30,30} is empty and dropped.
+  ASSERT_EQ(s.IntervalCount(), 3u);
+  EXPECT_EQ(s.intervals()[0], (FixedInterval{5, 8}));
+  EXPECT_EQ(s.intervals()[1], (FixedInterval{10, 25}));
+  EXPECT_EQ(s.intervals()[2], (FixedInterval{26, 28}));
+}
+
+TEST(IntervalSetTest, FromUnsortedMergesAdjacent) {
+  // Adjacent intervals [0,5) and [5,9) represent a contiguous point set
+  // and must be merged for maximality.
+  IntervalSet s = IntervalSet::FromUnsorted({{0, 5}, {5, 9}});
+  ASSERT_EQ(s.IntervalCount(), 1u);
+  EXPECT_EQ(s.intervals()[0], (FixedInterval{0, 9}));
+}
+
+TEST(IntervalSetTest, Contains) {
+  IntervalSet s{{0, 10}, {20, 30}};
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(10));
+  EXPECT_FALSE(s.Contains(15));
+  EXPECT_TRUE(s.Contains(20));
+  EXPECT_FALSE(s.Contains(30));
+  EXPECT_FALSE(s.Contains(-5));
+}
+
+TEST(IntervalSetTest, PointSet) {
+  IntervalSet p = IntervalSet::Point(42);
+  EXPECT_TRUE(p.Contains(42));
+  EXPECT_FALSE(p.Contains(41));
+  EXPECT_FALSE(p.Contains(43));
+  EXPECT_EQ(p.CountPoints(), 1);
+}
+
+TEST(IntervalSetTest, IntersectBasic) {
+  IntervalSet a{{0, 10}, {20, 30}};
+  IntervalSet b{{5, 25}};
+  IntervalSet expect{{5, 10}, {20, 25}};
+  EXPECT_EQ(a.Intersect(b), expect);
+  EXPECT_EQ(b.Intersect(a), expect);  // commutative
+}
+
+TEST(IntervalSetTest, IntersectDisjoint) {
+  IntervalSet a{{0, 10}};
+  IntervalSet b{{10, 20}};  // adjacent but half-open: no shared point
+  EXPECT_TRUE(a.Intersect(b).IsEmpty());
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(IntervalSetTest, IntersectWithAllIsIdentity) {
+  IntervalSet a{{3, 7}, {11, 13}};
+  EXPECT_EQ(a.Intersect(IntervalSet::All()), a);
+  EXPECT_EQ(IntervalSet::All().Intersect(a), a);
+  EXPECT_TRUE(a.Intersect(IntervalSet::Empty()).IsEmpty());
+}
+
+TEST(IntervalSetTest, UnionBasic) {
+  IntervalSet a{{0, 10}};
+  IntervalSet b{{5, 15}, {20, 25}};
+  IntervalSet expect{{0, 15}, {20, 25}};
+  EXPECT_EQ(a.Union(b), expect);
+  EXPECT_EQ(b.Union(a), expect);
+}
+
+TEST(IntervalSetTest, UnionCoalescesAdjacent) {
+  IntervalSet a{{0, 10}};
+  IntervalSet b{{10, 20}};
+  IntervalSet u = a.Union(b);
+  ASSERT_EQ(u.IntervalCount(), 1u);
+  EXPECT_EQ(u.intervals()[0], (FixedInterval{0, 20}));
+}
+
+TEST(IntervalSetTest, ComplementOfEmptyIsAll) {
+  EXPECT_TRUE(IntervalSet::Empty().Complement().IsAll());
+  EXPECT_TRUE(IntervalSet::All().Complement().IsEmpty());
+}
+
+TEST(IntervalSetTest, ComplementInterior) {
+  IntervalSet s{{10, 20}};
+  IntervalSet c = s.Complement();
+  ASSERT_EQ(c.IntervalCount(), 2u);
+  EXPECT_EQ(c.intervals()[0], (FixedInterval{kMinInfinity, 10}));
+  EXPECT_EQ(c.intervals()[1], (FixedInterval{20, kMaxInfinity}));
+  EXPECT_EQ(c.Complement(), s);  // involution
+}
+
+TEST(IntervalSetTest, Difference) {
+  IntervalSet a{{0, 30}};
+  IntervalSet b{{10, 20}};
+  IntervalSet expect{{0, 10}, {20, 30}};
+  EXPECT_EQ(a.Difference(b), expect);
+  EXPECT_TRUE(b.Difference(a).IsEmpty());
+}
+
+TEST(IntervalSetTest, CountPointsSaturatesAtInfinity) {
+  EXPECT_EQ(IntervalSet::All().CountPoints(), kMaxInfinity);
+  EXPECT_EQ((IntervalSet{{0, 10}, {20, 25}}).CountPoints(), 15);
+  EXPECT_EQ(IntervalSet::Empty().CountPoints(), 0);
+}
+
+TEST(IntervalSetTest, ToString) {
+  EXPECT_EQ(IntervalSet::Empty().ToString(), "{}");
+  EXPECT_EQ(IntervalSet::All().ToString(), "{(-inf, +inf)}");
+  IntervalSet s{{MD(1, 26), MD(8, 16)}};
+  EXPECT_EQ(s.ToString(), "{[01/26, 08/16)}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the sweep-line algebra must agree with pointwise set
+// semantics on randomized inputs, and results must stay normalized.
+// ---------------------------------------------------------------------------
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+IntervalSet RandomSet(Rng& rng) {
+  std::vector<FixedInterval> ivs;
+  const int n = static_cast<int>(rng.Uniform(0, 6));
+  for (int i = 0; i < n; ++i) {
+    TimePoint s = rng.Uniform(-50, 50);
+    TimePoint e = s + rng.Uniform(0, 20);
+    ivs.push_back({s, e});
+  }
+  return IntervalSet::FromUnsorted(std::move(ivs));
+}
+
+void ExpectNormalized(const IntervalSet& s) {
+  const auto& ivs = s.intervals();
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_LT(ivs[i].start, ivs[i].end) << "empty interval in " << s.ToString();
+    if (i > 0) {
+      EXPECT_LT(ivs[i - 1].end, ivs[i].start)
+          << "not disjoint+maximal: " << s.ToString();
+    }
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, AlgebraMatchesPointwiseSemantics) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(rng);
+  IntervalSet b = RandomSet(rng);
+  IntervalSet inter = a.Intersect(b);
+  IntervalSet uni = a.Union(b);
+  IntervalSet diff = a.Difference(b);
+  IntervalSet comp = a.Complement();
+  ExpectNormalized(inter);
+  ExpectNormalized(uni);
+  ExpectNormalized(diff);
+  ExpectNormalized(comp);
+  EXPECT_EQ(a.Intersects(b), !inter.IsEmpty());
+  for (TimePoint t = -80; t <= 80; ++t) {
+    const bool in_a = a.Contains(t);
+    const bool in_b = b.Contains(t);
+    EXPECT_EQ(inter.Contains(t), in_a && in_b) << "t=" << t;
+    EXPECT_EQ(uni.Contains(t), in_a || in_b) << "t=" << t;
+    EXPECT_EQ(diff.Contains(t), in_a && !in_b) << "t=" << t;
+    EXPECT_EQ(comp.Contains(t), !in_a) << "t=" << t;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, AlgebraicLaws) {
+  Rng rng(GetParam() * 7919 + 13);
+  IntervalSet a = RandomSet(rng);
+  IntervalSet b = RandomSet(rng);
+  IntervalSet c = RandomSet(rng);
+  // De Morgan.
+  EXPECT_EQ(a.Intersect(b).Complement(),
+            a.Complement().Union(b.Complement()));
+  EXPECT_EQ(a.Union(b).Complement(),
+            a.Complement().Intersect(b.Complement()));
+  // Distributivity.
+  EXPECT_EQ(a.Intersect(b.Union(c)),
+            a.Intersect(b).Union(a.Intersect(c)));
+  // Associativity and commutativity.
+  EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+  // Idempotence and involution.
+  EXPECT_EQ(a.Union(a), a);
+  EXPECT_EQ(a.Intersect(a), a);
+  EXPECT_EQ(a.Complement().Complement(), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetPropertyTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace ongoingdb

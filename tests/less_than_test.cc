@@ -1,0 +1,170 @@
+// Tests of the less-than predicate on ongoing time points: all five cases
+// of the Theorem 1 equivalence, the Fig. 6 decision tree, and an
+// exhaustive snapshot-equivalence sweep.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+namespace {
+
+// Case 1: a <= b < c <= d -> true at every reference time.
+TEST(LessThanTest, Case1AlwaysTrue) {
+  OngoingTimePoint t1(MD(10, 16), MD(10, 17));
+  OngoingTimePoint t2(MD(10, 19), MD(10, 20));
+  EXPECT_TRUE(Less(t1, t2).IsAlwaysTrue());
+}
+
+// Case 2: a < c <= d <= b -> true before c.
+TEST(LessThanTest, Case2TrueBeforeC) {
+  OngoingTimePoint t1(MD(10, 14), MD(10, 25));
+  OngoingTimePoint t2(MD(10, 17), MD(10, 22));
+  OngoingBoolean b = Less(t1, t2);
+  EXPECT_EQ(b.st(), (IntervalSet{{kMinInfinity, MD(10, 17)}}));
+}
+
+// Case 3: c <= a <= b < d -> true from b+1 on.
+TEST(LessThanTest, Case3TrueFromBPlus1) {
+  OngoingTimePoint t1(MD(10, 17), MD(10, 19));
+  OngoingTimePoint t2(MD(10, 15), MD(10, 25));
+  OngoingBoolean b = Less(t1, t2);
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 19) + 1, kMaxInfinity}}));
+}
+
+// Case 4: a < c <= b < d -> true before c and from b+1 on.
+TEST(LessThanTest, Case4TwoIntervals)
+{
+  OngoingTimePoint t1(MD(10, 14), MD(10, 19));
+  OngoingTimePoint t2(MD(10, 17), MD(10, 25));
+  OngoingBoolean b = Less(t1, t2);
+  EXPECT_EQ(b.st(), (IntervalSet{{kMinInfinity, MD(10, 17)},
+                                 {MD(10, 19) + 1, kMaxInfinity}}));
+}
+
+// Case 5 (otherwise) -> false at every reference time.
+TEST(LessThanTest, Case5AlwaysFalse) {
+  OngoingTimePoint t1(MD(10, 17), MD(10, 25));
+  OngoingTimePoint t2(MD(10, 14), MD(10, 17));
+  EXPECT_TRUE(Less(t1, t2).IsAlwaysFalse());
+  // x < x is always false.
+  EXPECT_TRUE(Less(t1, t1).IsAlwaysFalse());
+}
+
+// The paper's worked proof table (ordering a < c = d < b).
+TEST(LessThanTest, ProofTableOrdering) {
+  // a=10/14, b=10/25, c=d=10/17: b[{(-inf,c)},{[c,inf)}].
+  OngoingTimePoint t1(MD(10, 14), MD(10, 25));
+  OngoingTimePoint t2 = OngoingTimePoint::Fixed(MD(10, 17));
+  OngoingBoolean b = Less(t1, t2);
+  EXPECT_TRUE(b.Instantiate(MD(10, 10)));   // rt <= a: a < c
+  EXPECT_TRUE(b.Instantiate(MD(10, 16)));   // a < rt < c: rt < c
+  EXPECT_FALSE(b.Instantiate(MD(10, 17)));  // rt = c
+  EXPECT_FALSE(b.Instantiate(MD(10, 20)));  // c < rt < b
+  EXPECT_FALSE(b.Instantiate(MD(10, 28)));  // rt >= b
+}
+
+// The paper's Table II example: now <= 10/17.
+TEST(LessThanTest, TableIINowLessEqualExample) {
+  OngoingBoolean b =
+      LessEqual(OngoingTimePoint::Now(), OngoingTimePoint::Fixed(MD(10, 17)));
+  // = b[{(-inf, 10/18)}, {[10/18, inf)}].
+  EXPECT_EQ(b.st(), (IntervalSet{{kMinInfinity, MD(10, 18)}}));
+}
+
+// The paper's Table II example: 10/17 = now.
+TEST(LessThanTest, TableIIEqualExample) {
+  OngoingBoolean b =
+      Equal(OngoingTimePoint::Fixed(MD(10, 17)), OngoingTimePoint::Now());
+  EXPECT_EQ(b.st(), (IntervalSet{{MD(10, 17), MD(10, 18)}}));
+}
+
+// The paper's Table II example: 10/17 != now.
+TEST(LessThanTest, TableIINotEqualExample) {
+  OngoingBoolean b =
+      NotEqual(OngoingTimePoint::Fixed(MD(10, 17)), OngoingTimePoint::Now());
+  EXPECT_EQ(b.st(), (IntervalSet{{kMinInfinity, MD(10, 17)},
+                                 {MD(10, 18), kMaxInfinity}}));
+}
+
+TEST(LessThanTest, NowComparedToFixed) {
+  // now < 10/17: true strictly before 10/17.
+  OngoingBoolean b =
+      Less(OngoingTimePoint::Now(), OngoingTimePoint::Fixed(MD(10, 17)));
+  EXPECT_EQ(b.st(), (IntervalSet{{kMinInfinity, MD(10, 17)}}));
+  // 10/17 < now: true from 10/18 on.
+  OngoingBoolean b2 =
+      Less(OngoingTimePoint::Fixed(MD(10, 17)), OngoingTimePoint::Now());
+  EXPECT_EQ(b2.st(), (IntervalSet{{MD(10, 18), kMaxInfinity}}));
+}
+
+TEST(LessThanTest, NowIsNeverLessThanNow) {
+  EXPECT_TRUE(
+      Less(OngoingTimePoint::Now(), OngoingTimePoint::Now()).IsAlwaysFalse());
+}
+
+// Exhaustive snapshot equivalence: forall rt ||t1 < t2||rt == ||t1||rt <
+// ||t2||rt, over a dense grid of (a, b, c, d) configurations. This is the
+// defining property of the operation (Def. 4).
+TEST(LessThanTest, SnapshotEquivalenceExhaustive) {
+  const TimePoint lo = -4, hi = 6;
+  for (TimePoint a = lo; a <= hi; ++a) {
+    for (TimePoint b = a; b <= hi; ++b) {
+      for (TimePoint c = lo; c <= hi; ++c) {
+        for (TimePoint d = c; d <= hi; ++d) {
+          OngoingTimePoint t1(a, b), t2(c, d);
+          OngoingBoolean lt = Less(t1, t2);
+          for (TimePoint rt = lo - 3; rt <= hi + 3; ++rt) {
+            EXPECT_EQ(lt.Instantiate(rt),
+                      t1.Instantiate(rt) < t2.Instantiate(rt))
+                << "a=" << a << " b=" << b << " c=" << c << " d=" << d
+                << " rt=" << rt;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Derived comparisons inherit snapshot equivalence from the core ops.
+TEST(LessThanTest, DerivedComparisonsSnapshotEquivalence) {
+  const TimePoint lo = -3, hi = 4;
+  for (TimePoint a = lo; a <= hi; ++a) {
+    for (TimePoint b = a; b <= hi; ++b) {
+      for (TimePoint c = lo; c <= hi; ++c) {
+        for (TimePoint d = c; d <= hi; ++d) {
+          OngoingTimePoint t1(a, b), t2(c, d);
+          OngoingBoolean le = LessEqual(t1, t2);
+          OngoingBoolean eq = Equal(t1, t2);
+          OngoingBoolean ne = NotEqual(t1, t2);
+          OngoingBoolean gt = Greater(t1, t2);
+          OngoingBoolean ge = GreaterEqual(t1, t2);
+          for (TimePoint rt = lo - 2; rt <= hi + 2; ++rt) {
+            TimePoint v1 = t1.Instantiate(rt), v2 = t2.Instantiate(rt);
+            EXPECT_EQ(le.Instantiate(rt), v1 <= v2);
+            EXPECT_EQ(eq.Instantiate(rt), v1 == v2);
+            EXPECT_EQ(ne.Instantiate(rt), v1 != v2);
+            EXPECT_EQ(gt.Instantiate(rt), v1 > v2);
+            EXPECT_EQ(ge.Instantiate(rt), v1 >= v2);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LessThanTest, InfinityEdgeCases) {
+  // A growing point is never less than its own start's fixed point.
+  OngoingTimePoint growing = OngoingTimePoint::Growing(5);
+  EXPECT_TRUE(Less(growing, OngoingTimePoint::Fixed(5)).IsAlwaysFalse());
+  // Fixed(5) < Growing(5): true from rt=6 on (when the growing point has
+  // grown past 5).
+  OngoingBoolean b = Less(OngoingTimePoint::Fixed(5), growing);
+  EXPECT_EQ(b.st(), (IntervalSet{{6, kMaxInfinity}}));
+  // Limited vs growing.
+  OngoingBoolean b2 =
+      Less(OngoingTimePoint::Limited(3), OngoingTimePoint::Growing(7));
+  EXPECT_TRUE(b2.IsAlwaysTrue());
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,93 @@
+// Unit tests for ongoing booleans b[St, Sf] (Def. 3) and the logical
+// connectives (Theorem 1).
+#include "core/ongoing_boolean.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace {
+
+TEST(OngoingBooleanTest, TrueAndFalseGeneralizeFixedBooleans) {
+  EXPECT_TRUE(OngoingBoolean::True().IsAlwaysTrue());
+  EXPECT_TRUE(OngoingBoolean::False().IsAlwaysFalse());
+  EXPECT_EQ(OngoingBoolean::FromBool(true), OngoingBoolean::True());
+  EXPECT_EQ(OngoingBoolean::FromBool(false), OngoingBoolean::False());
+  for (TimePoint rt = -10; rt <= 10; ++rt) {
+    EXPECT_TRUE(OngoingBoolean::True().Instantiate(rt));
+    EXPECT_FALSE(OngoingBoolean::False().Instantiate(rt));
+  }
+}
+
+TEST(OngoingBooleanTest, InstantiationPerDefinition3) {
+  // b[{[10/18, inf)}, {(-inf, 10/18)}] from the paper: true at 10/18 and
+  // later, false earlier.
+  OngoingBoolean b(IntervalSet{{MD(10, 18), kMaxInfinity}});
+  EXPECT_FALSE(b.Instantiate(MD(10, 17)));
+  EXPECT_TRUE(b.Instantiate(MD(10, 18)));
+  EXPECT_TRUE(b.Instantiate(MD(12, 31)));
+}
+
+TEST(OngoingBooleanTest, StAndSfPartitionTheDomain) {
+  OngoingBoolean b(IntervalSet{{0, 10}, {20, 30}});
+  IntervalSet st = b.st();
+  IntervalSet sf = b.sf();
+  EXPECT_TRUE(st.Intersect(sf).IsEmpty());
+  EXPECT_TRUE(st.Union(sf).IsAll());
+}
+
+TEST(OngoingBooleanTest, ConjunctionPerTheorem1) {
+  // b[St ^ S't]: true exactly where both are true.
+  OngoingBoolean x(IntervalSet{{0, 10}});
+  OngoingBoolean y(IntervalSet{{5, 15}});
+  OngoingBoolean both = x.And(y);
+  EXPECT_EQ(both.st(), (IntervalSet{{5, 10}}));
+  for (TimePoint rt = -5; rt <= 20; ++rt) {
+    EXPECT_EQ(both.Instantiate(rt), x.Instantiate(rt) && y.Instantiate(rt));
+  }
+}
+
+TEST(OngoingBooleanTest, DisjunctionPerTheorem1) {
+  OngoingBoolean x(IntervalSet{{0, 10}});
+  OngoingBoolean y(IntervalSet{{5, 15}});
+  OngoingBoolean either = x.Or(y);
+  EXPECT_EQ(either.st(), (IntervalSet{{0, 15}}));
+  for (TimePoint rt = -5; rt <= 20; ++rt) {
+    EXPECT_EQ(either.Instantiate(rt), x.Instantiate(rt) || y.Instantiate(rt));
+  }
+}
+
+TEST(OngoingBooleanTest, NegationSwapsStAndSf) {
+  OngoingBoolean x(IntervalSet{{0, 10}});
+  OngoingBoolean not_x = x.Not();
+  EXPECT_EQ(not_x.st(), x.sf());
+  for (TimePoint rt = -5; rt <= 15; ++rt) {
+    EXPECT_EQ(not_x.Instantiate(rt), !x.Instantiate(rt));
+  }
+  EXPECT_EQ(not_x.Not(), x);
+}
+
+TEST(OngoingBooleanTest, OperatorSugar) {
+  OngoingBoolean x(IntervalSet{{0, 10}});
+  OngoingBoolean y(IntervalSet{{5, 15}});
+  EXPECT_EQ(x && y, x.And(y));
+  EXPECT_EQ(x || y, x.Or(y));
+  EXPECT_EQ(!x, x.Not());
+}
+
+TEST(OngoingBooleanTest, MixedFixedAndOngoingCombination) {
+  // Sec. VI: the generalization lets predicates on fixed attributes
+  // combine with predicates on ongoing attributes.
+  OngoingBoolean ongoing(IntervalSet{{MD(1, 26), MD(8, 16)}});
+  EXPECT_EQ(ongoing.And(OngoingBoolean::True()), ongoing);
+  EXPECT_TRUE(ongoing.And(OngoingBoolean::False()).IsAlwaysFalse());
+  EXPECT_EQ(ongoing.Or(OngoingBoolean::False()), ongoing);
+  EXPECT_TRUE(ongoing.Or(OngoingBoolean::True()).IsAlwaysTrue());
+}
+
+TEST(OngoingBooleanTest, ToString) {
+  OngoingBoolean b(IntervalSet{{MD(1, 26), MD(8, 16)}});
+  EXPECT_EQ(b.ToString(), "b[{[01/26, 08/16)}]");
+}
+
+}  // namespace
+}  // namespace ongoingdb

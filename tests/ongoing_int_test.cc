@@ -1,0 +1,150 @@
+// Tests for ongoing integers and the duration function (the paper's first
+// future-work item, Sec. X). The defining property is the same snapshot
+// equivalence as for all other ongoing operations.
+#include "core/ongoing_int.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(OngoingIntTest, FixedConstant) {
+  OngoingInt c(42);
+  EXPECT_TRUE(c.IsFixed());
+  for (TimePoint rt = -10; rt <= 10; ++rt) {
+    EXPECT_EQ(c.Instantiate(rt), 42);
+  }
+}
+
+TEST(OngoingIntTest, DurationOfFixedInterval) {
+  OngoingInt d = Duration(OngoingInterval::Fixed(MD(10, 17), MD(10, 19)));
+  EXPECT_TRUE(d.IsFixed());
+  EXPECT_EQ(d.Instantiate(MD(10, 18)), 2);
+}
+
+TEST(OngoingIntTest, DurationOfExpandingInterval) {
+  // duration([10/17, now)) = 0 up to 10/17, then grows by one per day.
+  OngoingInt d = Duration(OngoingInterval::SinceUntilNow(MD(10, 17)));
+  EXPECT_EQ(d.Instantiate(MD(10, 15)), 0);
+  EXPECT_EQ(d.Instantiate(MD(10, 17)), 0);
+  EXPECT_EQ(d.Instantiate(MD(10, 18)), 1);
+  EXPECT_EQ(d.Instantiate(MD(10, 27)), 10);
+}
+
+TEST(OngoingIntTest, DurationOfShrinkingInterval) {
+  // duration([now, 10/19)) shrinks to 0 as rt approaches 10/19.
+  OngoingInt d = Duration(OngoingInterval::FromNowUntil(MD(10, 19)));
+  EXPECT_EQ(d.Instantiate(MD(10, 15)), 4);
+  EXPECT_EQ(d.Instantiate(MD(10, 18)), 1);
+  EXPECT_EQ(d.Instantiate(MD(10, 19)), 0);
+  EXPECT_EQ(d.Instantiate(MD(10, 25)), 0);
+}
+
+TEST(OngoingIntTest, DurationSnapshotEquivalence) {
+  // forall rt: ||duration(iv)||rt == max(0, duration(||iv||rt)) over a
+  // dense grid of endpoint configurations.
+  const TimePoint lo = -3, hi = 4;
+  for (TimePoint a = lo; a <= hi; ++a) {
+    for (TimePoint b = a; b <= hi; ++b) {
+      for (TimePoint c = lo; c <= hi; ++c) {
+        for (TimePoint d = c; d <= hi; ++d) {
+          OngoingInterval iv(OngoingTimePoint(a, b), OngoingTimePoint(c, d));
+          OngoingInt dur = Duration(iv);
+          for (TimePoint rt = lo - 2; rt <= hi + 2; ++rt) {
+            FixedInterval f = iv.Instantiate(rt);
+            int64_t expect = f.empty() ? 0 : f.end - f.start;
+            EXPECT_EQ(dur.Instantiate(rt), expect)
+                << "iv=" << iv.ToString() << " rt=" << rt;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OngoingIntTest, DurationWithNowEndpoints) {
+  OngoingInt d = Duration(OngoingInterval(OngoingTimePoint::Now(),
+                                          OngoingTimePoint::Now()));
+  for (TimePoint rt = -5; rt <= 5; ++rt) EXPECT_EQ(d.Instantiate(rt), 0);
+}
+
+TEST(OngoingIntTest, Arithmetic) {
+  OngoingInt x = Duration(OngoingInterval::SinceUntilNow(0));
+  OngoingInt y(3);
+  OngoingInt sum = x.Add(y);
+  OngoingInt diff = x.Subtract(y);
+  for (TimePoint rt = -5; rt <= 10; ++rt) {
+    EXPECT_EQ(sum.Instantiate(rt), x.Instantiate(rt) + 3);
+    EXPECT_EQ(diff.Instantiate(rt), x.Instantiate(rt) - 3);
+    EXPECT_EQ(x.Negate().Instantiate(rt), -x.Instantiate(rt));
+  }
+}
+
+TEST(OngoingIntTest, MinMaxSplitAtCrossing) {
+  // x(rt) = duration([0, now)) grows; y = 3 constant; min/max must split
+  // exactly at the crossing rt = 3.
+  OngoingInt x = Duration(OngoingInterval::SinceUntilNow(0));
+  OngoingInt y(3);
+  OngoingInt mn = x.Min(y);
+  OngoingInt mx = x.Max(y);
+  for (TimePoint rt = -5; rt <= 10; ++rt) {
+    EXPECT_EQ(mn.Instantiate(rt), std::min(x.Instantiate(rt), int64_t{3}));
+    EXPECT_EQ(mx.Instantiate(rt), std::max(x.Instantiate(rt), int64_t{3}));
+  }
+}
+
+TEST(OngoingIntTest, Comparisons) {
+  OngoingInt x = Duration(OngoingInterval::SinceUntilNow(0));
+  OngoingInt y(3);
+  OngoingBoolean lt = x.Less(y);
+  OngoingBoolean le = x.LessEqual(y);
+  OngoingBoolean eq = x.EqualTo(y);
+  for (TimePoint rt = -5; rt <= 10; ++rt) {
+    EXPECT_EQ(lt.Instantiate(rt), x.Instantiate(rt) < 3) << rt;
+    EXPECT_EQ(le.Instantiate(rt), x.Instantiate(rt) <= 3) << rt;
+    EXPECT_EQ(eq.Instantiate(rt), x.Instantiate(rt) == 3) << rt;
+  }
+}
+
+// Property test: randomized durations combined with arithmetic and
+// comparisons agree with instantiate-then-compute at every reference
+// time.
+class OngoingIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OngoingIntPropertyTest, CompositionSnapshotEquivalence) {
+  Rng rng(GetParam() * 1000003 + 17);
+  auto random_interval = [&rng]() {
+    TimePoint a = rng.Uniform(-20, 20);
+    TimePoint b = a + rng.Uniform(0, 15);
+    TimePoint c = rng.Uniform(-20, 20);
+    TimePoint d = c + rng.Uniform(0, 15);
+    return OngoingInterval(OngoingTimePoint(a, b), OngoingTimePoint(c, d));
+  };
+  OngoingInterval i1 = random_interval();
+  OngoingInterval i2 = random_interval();
+  OngoingInt d1 = Duration(i1);
+  OngoingInt d2 = Duration(i2);
+  OngoingInt total = d1.Add(d2);
+  OngoingInt longest = d1.Max(d2);
+  OngoingInt shortest = d1.Min(d2);
+  OngoingBoolean d1_shorter = d1.Less(d2);
+  for (TimePoint rt = -40; rt <= 40; ++rt) {
+    auto dur_at = [rt](const OngoingInterval& iv) -> int64_t {
+      FixedInterval f = iv.Instantiate(rt);
+      return f.empty() ? 0 : f.end - f.start;
+    };
+    int64_t v1 = dur_at(i1), v2 = dur_at(i2);
+    EXPECT_EQ(total.Instantiate(rt), v1 + v2);
+    EXPECT_EQ(longest.Instantiate(rt), std::max(v1, v2));
+    EXPECT_EQ(shortest.Instantiate(rt), std::min(v1, v2));
+    EXPECT_EQ(d1_shorter.Instantiate(rt), v1 < v2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, OngoingIntPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace ongoingdb

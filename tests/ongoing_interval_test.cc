@@ -1,0 +1,93 @@
+// Unit tests for ongoing time intervals (Sec. V-B, Fig. 4): instantiation,
+// shape classification, and partial emptiness.
+#include "core/ongoing_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(OngoingIntervalTest, InstantiatesEndpointwise) {
+  OngoingInterval iv = OngoingInterval::SinceUntilNow(MD(10, 17));
+  FixedInterval at = iv.Instantiate(MD(10, 20));
+  EXPECT_EQ(at, (FixedInterval{MD(10, 17), MD(10, 20)}));
+}
+
+TEST(OngoingIntervalTest, KindClassification) {
+  EXPECT_EQ(OngoingInterval::Fixed(MD(10, 17), MD(10, 19)).Kind(),
+            IntervalKind::kFixed);
+  EXPECT_EQ(OngoingInterval::SinceUntilNow(MD(10, 17)).Kind(),
+            IntervalKind::kExpanding);
+  EXPECT_EQ(OngoingInterval::FromNowUntil(MD(10, 19)).Kind(),
+            IntervalKind::kShrinking);
+  OngoingInterval general(OngoingTimePoint(MD(10, 16), MD(10, 17)),
+                          OngoingTimePoint(MD(10, 19), MD(10, 20)));
+  EXPECT_EQ(general.Kind(), IntervalKind::kGeneral);
+}
+
+TEST(OngoingIntervalTest, ExpandingIntervalDurationGrows) {
+  // [10/17, 10/19+10/21): duration grows up to rt = 10/21, then stays.
+  OngoingInterval iv(OngoingTimePoint::Fixed(MD(10, 17)),
+                     OngoingTimePoint(MD(10, 19), MD(10, 21)));
+  auto duration_at = [&iv](TimePoint rt) {
+    FixedInterval f = iv.Instantiate(rt);
+    return f.end - f.start;
+  };
+  EXPECT_EQ(duration_at(MD(10, 18)), MD(10, 19) - MD(10, 17));
+  EXPECT_EQ(duration_at(MD(10, 20)), MD(10, 20) - MD(10, 17));
+  EXPECT_EQ(duration_at(MD(10, 21)), MD(10, 21) - MD(10, 17));
+  EXPECT_EQ(duration_at(MD(10, 25)), MD(10, 21) - MD(10, 17));  // capped
+}
+
+TEST(OngoingIntervalTest, PartiallyEmptySinceUntilNow) {
+  // [10/17, now) is empty up to rt = 10/17 and non-empty afterwards
+  // (the paper's partial-emptiness example).
+  OngoingInterval iv = OngoingInterval::SinceUntilNow(MD(10, 17));
+  EXPECT_TRUE(iv.Instantiate(MD(10, 16)).empty());
+  EXPECT_TRUE(iv.Instantiate(MD(10, 17)).empty());
+  EXPECT_FALSE(iv.Instantiate(MD(10, 18)).empty());
+  EXPECT_FALSE(iv.IsAlwaysEmpty());
+  EXPECT_FALSE(iv.IsNeverEmpty());
+  OngoingBoolean nonempty = NonEmpty(iv);
+  EXPECT_EQ(nonempty.st(), (IntervalSet{{MD(10, 18), kMaxInfinity}}));
+}
+
+TEST(OngoingIntervalTest, NeverEmptyCases) {
+  // Fig. 4 "never empty": b < c guarantees non-emptiness everywhere.
+  EXPECT_TRUE(OngoingInterval::Fixed(MD(10, 17), MD(10, 19)).IsNeverEmpty());
+  OngoingInterval expanding(OngoingTimePoint::Fixed(MD(10, 17)),
+                            OngoingTimePoint(MD(10, 19), MD(10, 21)));
+  EXPECT_TRUE(expanding.IsNeverEmpty());
+}
+
+TEST(OngoingIntervalTest, AlwaysEmptyCases) {
+  EXPECT_TRUE(OngoingInterval::Fixed(MD(10, 19), MD(10, 17)).IsAlwaysEmpty());
+  EXPECT_TRUE(OngoingInterval::Fixed(MD(10, 17), MD(10, 17)).IsAlwaysEmpty());
+  // [now, now) is empty at every reference time.
+  OngoingInterval now_now(OngoingTimePoint::Now(), OngoingTimePoint::Now());
+  EXPECT_TRUE(now_now.IsAlwaysEmpty());
+}
+
+TEST(OngoingIntervalTest, ShrinkingPartialEmptiness) {
+  // [10/16+, 10/19): non-empty only while the start has not yet grown to
+  // the end (Fig. 4 bottom-right).
+  OngoingInterval iv(OngoingTimePoint::Growing(MD(10, 16)),
+                     OngoingTimePoint::Fixed(MD(10, 19)));
+  EXPECT_FALSE(iv.Instantiate(MD(10, 17)).empty());
+  EXPECT_FALSE(iv.Instantiate(MD(10, 18)).empty());
+  EXPECT_TRUE(iv.Instantiate(MD(10, 19)).empty());
+  EXPECT_TRUE(iv.Instantiate(MD(10, 25)).empty());
+}
+
+TEST(OngoingIntervalTest, ToString) {
+  EXPECT_EQ(OngoingInterval::SinceUntilNow(MD(1, 25)).ToString(),
+            "[01/25, now)");
+  OngoingInterval v1(OngoingTimePoint::Fixed(MD(1, 25)),
+                     OngoingTimePoint::Limited(MD(8, 18)));
+  EXPECT_EQ(v1.ToString(), "[01/25, +08/18)");
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,91 @@
+// Unit tests for ongoing time points a+b of the ongoing time domain Omega
+// (Def. 1 and 2 of the paper) and their instantiation semantics.
+#include "core/ongoing_point.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bind.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(OngoingPointTest, InstantiationPerDefinition2) {
+  // 10/17+10/19: a up to a, rt strictly between, b from b on.
+  OngoingTimePoint t(MD(10, 17), MD(10, 19));
+  EXPECT_EQ(t.Instantiate(MD(10, 15)), MD(10, 17));  // rt <= a -> a
+  EXPECT_EQ(t.Instantiate(MD(10, 17)), MD(10, 17));  // rt = a -> a
+  EXPECT_EQ(t.Instantiate(MD(10, 18)), MD(10, 18));  // a < rt < b -> rt
+  EXPECT_EQ(t.Instantiate(MD(10, 19)), MD(10, 19));  // rt = b -> b
+  EXPECT_EQ(t.Instantiate(MD(10, 25)), MD(10, 19));  // rt > b -> b
+}
+
+TEST(OngoingPointTest, FixedPointInstantiatesToItselfEverywhere) {
+  OngoingTimePoint t = OngoingTimePoint::Fixed(MD(10, 17));
+  for (TimePoint rt = MD(10, 1); rt <= MD(11, 1); ++rt) {
+    EXPECT_EQ(t.Instantiate(rt), MD(10, 17));
+  }
+  EXPECT_TRUE(t.IsFixed());
+  EXPECT_FALSE(t.IsNow());
+}
+
+TEST(OngoingPointTest, NowInstantiatesToReferenceTime) {
+  OngoingTimePoint now = OngoingTimePoint::Now();
+  EXPECT_TRUE(now.IsNow());
+  EXPECT_FALSE(now.IsFixed());
+  for (TimePoint rt = -100; rt <= 100; rt += 7) {
+    EXPECT_EQ(now.Instantiate(rt), rt);
+  }
+}
+
+TEST(OngoingPointTest, GrowingPoint) {
+  // a+ = "not earlier than a, possibly later".
+  OngoingTimePoint t = OngoingTimePoint::Growing(MD(10, 17));
+  EXPECT_TRUE(t.IsGrowing());
+  EXPECT_EQ(t.Instantiate(MD(10, 10)), MD(10, 17));
+  EXPECT_EQ(t.Instantiate(MD(10, 20)), MD(10, 20));
+}
+
+TEST(OngoingPointTest, LimitedPoint) {
+  // +b = "possibly earlier, but not later than b".
+  OngoingTimePoint t = OngoingTimePoint::Limited(MD(10, 17));
+  EXPECT_TRUE(t.IsLimited());
+  EXPECT_EQ(t.Instantiate(MD(10, 10)), MD(10, 10));
+  EXPECT_EQ(t.Instantiate(MD(10, 20)), MD(10, 17));
+}
+
+TEST(OngoingPointTest, MakeRejectsInvertedBounds) {
+  EXPECT_FALSE(OngoingTimePoint::Make(MD(10, 19), MD(10, 17)).ok());
+  auto r = OngoingTimePoint::Make(MD(10, 17), MD(10, 19));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->a(), MD(10, 17));
+  EXPECT_EQ(r->b(), MD(10, 19));
+}
+
+TEST(OngoingPointTest, ToStringUsesPaperNotation) {
+  EXPECT_EQ(OngoingTimePoint::Now().ToString(), "now");
+  EXPECT_EQ(OngoingTimePoint::Fixed(MD(10, 17)).ToString(), "10/17");
+  EXPECT_EQ(OngoingTimePoint::Growing(MD(10, 17)).ToString(), "10/17+");
+  EXPECT_EQ(OngoingTimePoint::Limited(MD(10, 17)).ToString(), "+10/17");
+  EXPECT_EQ(OngoingTimePoint(MD(10, 17), MD(10, 19)).ToString(),
+            "10/17+10/19");
+}
+
+TEST(OngoingPointTest, InstantiationIsClampIdentity) {
+  // ||a+b||rt == min(b, max(a, rt)), the identity used in the Theorem 1
+  // proof.
+  for (TimePoint a = -5; a <= 5; ++a) {
+    for (TimePoint b = a; b <= 8; ++b) {
+      OngoingTimePoint t(a, b);
+      for (TimePoint rt = -10; rt <= 12; ++rt) {
+        EXPECT_EQ(t.Instantiate(rt), std::min(b, std::max(a, rt)));
+      }
+    }
+  }
+}
+
+TEST(OngoingPointTest, BindFreeFunction) {
+  EXPECT_EQ(Bind(OngoingTimePoint::Now(), MD(8, 15)), MD(8, 15));
+}
+
+}  // namespace
+}  // namespace ongoingdb

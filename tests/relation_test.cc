@@ -1,0 +1,151 @@
+// Unit tests for values, schemas, tuples, ongoing relations, and the
+// relation-level bind operator.
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace {
+
+Schema BugSchema() {
+  return Schema({{"BID", ValueType::kInt64},
+                 {"C", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+TEST(ValueTest, TypeTagsAndAccessors) {
+  EXPECT_EQ(Value::Int64(7).AsInt64(), 7);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Time(MD(8, 15)).AsTime(), MD(8, 15));
+  EXPECT_TRUE(Value::Null().is_null());
+  Value iv = Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)));
+  EXPECT_EQ(iv.type(), ValueType::kOngoingInterval);
+}
+
+TEST(ValueTest, InstantiateOngoingValues) {
+  Value p = Value::Ongoing(OngoingTimePoint::Now());
+  Value at = p.Instantiate(MD(8, 15));
+  EXPECT_EQ(at.type(), ValueType::kTimePoint);
+  EXPECT_EQ(at.AsTime(), MD(8, 15));
+
+  Value iv = Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)));
+  Value iv_at = iv.Instantiate(MD(8, 15));
+  EXPECT_EQ(iv_at.type(), ValueType::kFixedInterval);
+  EXPECT_EQ(iv_at.AsInterval(), (FixedInterval{MD(1, 25), MD(8, 15)}));
+
+  // Fixed values are unchanged.
+  EXPECT_EQ(Value::Int64(3).Instantiate(MD(8, 15)), Value::Int64(3));
+}
+
+TEST(ValueTest, OngoingValueEqualMixesFamilies) {
+  // fixed timepoint vs now: equal only at that reference time.
+  OngoingBoolean eq = OngoingValueEqual(
+      Value::Time(MD(10, 17)), Value::Ongoing(OngoingTimePoint::Now()));
+  EXPECT_EQ(eq.st(), (IntervalSet{{MD(10, 17), MD(10, 18)}}));
+  // different value families are never equal.
+  EXPECT_TRUE(OngoingValueEqual(Value::Int64(1), Value::String("1"))
+                  .IsAlwaysFalse());
+  // identical strings are always equal.
+  EXPECT_TRUE(OngoingValueEqual(Value::String("a"), Value::String("a"))
+                  .IsAlwaysTrue());
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s = BugSchema();
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_TRUE(s.Contains("VT"));
+  auto idx = s.IndexOf("C");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_FALSE(s.AddAttribute("VT", ValueType::kInt64).ok());  // duplicate
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  Schema joined = BugSchema().Concat(BugSchema(), "B", "P");
+  // Clashing names got qualified.
+  EXPECT_TRUE(joined.Contains("B.VT"));
+  EXPECT_TRUE(joined.Contains("P.VT"));
+  // Unqualified suffix lookup is ambiguous now.
+  EXPECT_FALSE(joined.IndexOf("VT").ok());
+  EXPECT_TRUE(joined.IndexOf("B.VT").ok());
+}
+
+TEST(SchemaTest, InstantiatedSchema) {
+  Schema s = BugSchema().Instantiated();
+  EXPECT_EQ(s.attribute(2).type, ValueType::kFixedInterval);
+  EXPECT_EQ(s.attribute(0).type, ValueType::kInt64);
+  EXPECT_TRUE(BugSchema().HasOngoingAttributes());
+  EXPECT_FALSE(s.HasOngoingAttributes());
+}
+
+TEST(RelationTest, BaseInsertGetsTrivialReferenceTime) {
+  OngoingRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert({Value::Int64(500), Value::String("Spam filter"),
+                        Value::Ongoing(OngoingInterval::SinceUntilNow(
+                            MD(1, 25)))})
+                  .ok());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.tuple(0).rt().IsAll());
+}
+
+TEST(RelationTest, InsertValidatesAgainstSchema) {
+  OngoingRelation r(BugSchema());
+  // Wrong arity.
+  EXPECT_FALSE(r.Insert({Value::Int64(1)}).ok());
+  // Wrong type.
+  EXPECT_FALSE(r.Insert({Value::String("x"), Value::String("y"),
+                         Value::Ongoing(OngoingInterval::SinceUntilNow(0))})
+                   .ok());
+  // Empty reference time is rejected.
+  EXPECT_FALSE(
+      r.InsertWithRt({Value::Int64(1), Value::String("c"),
+                      Value::Ongoing(OngoingInterval::SinceUntilNow(0))},
+                     IntervalSet::Empty())
+          .ok());
+}
+
+TEST(RelationTest, BindOmitsTuplesOutsideTheirReferenceTime) {
+  OngoingRelation r(BugSchema());
+  ASSERT_TRUE(
+      r.InsertWithRt({Value::Int64(1), Value::String("c"),
+                      Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))},
+                     IntervalSet{{MD(1, 26), MD(8, 16)}})
+          .ok());
+  // In range: present and instantiated.
+  OngoingRelation at = InstantiateRelation(r, MD(5, 1));
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at.tuple(0).value(2).AsInterval(),
+            (FixedInterval{MD(1, 25), MD(5, 1)}));
+  // Outside: omitted.
+  EXPECT_EQ(InstantiateRelation(r, MD(9, 1)).size(), 0u);
+  EXPECT_EQ(InstantiateRelation(r, MD(1, 25)).size(), 0u);
+}
+
+TEST(RelationTest, CoveredReferenceTimes) {
+  OngoingRelation r(BugSchema());
+  auto vt = Value::Ongoing(OngoingInterval::SinceUntilNow(0));
+  ASSERT_TRUE(r.InsertWithRt({Value::Int64(1), Value::String("a"), vt},
+                             IntervalSet{{0, 10}})
+                  .ok());
+  ASSERT_TRUE(r.InsertWithRt({Value::Int64(2), Value::String("b"), vt},
+                             IntervalSet{{5, 20}})
+                  .ok());
+  EXPECT_EQ(r.CoveredReferenceTimes(), (IntervalSet{{0, 20}}));
+}
+
+TEST(RelationTest, InstantiatedRelationsEqualIgnoresDuplicates) {
+  OngoingRelation a(BugSchema());
+  OngoingRelation b(BugSchema());
+  auto vt = Value::Ongoing(OngoingInterval::Fixed(0, 5));
+  ASSERT_TRUE(a.Insert({Value::Int64(1), Value::String("x"), vt}).ok());
+  ASSERT_TRUE(b.Insert({Value::Int64(1), Value::String("x"), vt}).ok());
+  ASSERT_TRUE(b.Insert({Value::Int64(1), Value::String("x"), vt}).ok());
+  EXPECT_TRUE(InstantiatedRelationsEqual(a, b));
+  ASSERT_TRUE(b.Insert({Value::Int64(2), Value::String("y"), vt}).ok());
+  EXPECT_FALSE(InstantiatedRelationsEqual(a, b));
+}
+
+}  // namespace
+}  // namespace ongoingdb

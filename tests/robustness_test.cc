@@ -1,0 +1,155 @@
+// Cross-cutting robustness tests: plan rendering, expression rewriting,
+// boundary values near the time-domain limits, and storage fuzzing.
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "storage/heap_file.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+TEST(PlanRenderingTest, TreeStructureVisible) {
+  OngoingRelation r(Schema({{"K", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  PlanPtr plan = ProjectPlan(
+      Filter(Join(Scan(&r, "R"), Scan(&r, "S"), Eq(Col("L.K"), Col("R.K")),
+                  "L", "R", JoinAlgorithm::kSortMerge),
+             Lt(Col("L.K"), Lit(int64_t{5}))),
+      {"L.K"});
+  std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("Project [L.K]"), std::string::npos);
+  EXPECT_NE(rendered.find("Filter (L.K < 5)"), std::string::npos);
+  EXPECT_NE(rendered.find("Join[sort-merge]"), std::string::npos);
+  EXPECT_NE(rendered.find("Scan(R, 0 tuples)"), std::string::npos);
+}
+
+TEST(ExprRewriteTest, RenamesAllColumnKinds) {
+  ExprPtr pred =
+      And(Or(Eq(Col("L.A"), Col("R.B")), Not(Lt(Col("L.C"), Lit(int64_t{1})))),
+          OverlapsExpr(IntersectExpr(Col("L.VT"), Col("R.VT")),
+                       Lit(OngoingInterval::Fixed(0, 1))));
+  ExprPtr rewritten = pred->RewriteColumns([](const std::string& name) {
+    return name.substr(name.find('.') + 1);
+  });
+  std::vector<std::string> columns;
+  rewritten->CollectColumns(&columns);
+  EXPECT_EQ(columns, (std::vector<std::string>{"A", "B", "C", "VT", "VT"}));
+  // The original is untouched (expressions are immutable).
+  columns.clear();
+  pred->CollectColumns(&columns);
+  EXPECT_EQ(columns[0], "L.A");
+}
+
+TEST(BoundaryTest, OperationsAtDomainLimits) {
+  // Points anchored at the domain limits stay consistent.
+  OngoingTimePoint at_min = OngoingTimePoint::Fixed(kMinInfinity);
+  OngoingTimePoint at_max = OngoingTimePoint::Fixed(kMaxInfinity);
+  EXPECT_TRUE(Less(at_min, at_max).IsAlwaysTrue());
+  EXPECT_TRUE(Less(at_max, at_min).IsAlwaysFalse());
+  // now vs the limits.
+  EXPECT_TRUE(Less(OngoingTimePoint::Now(), at_max)
+                  .Instantiate(kMaxInfinity - 1));
+  EXPECT_FALSE(Less(OngoingTimePoint::Now(), at_min).Instantiate(0));
+  // Min/max stay in Omega at the limits.
+  OngoingTimePoint mixed = Min(OngoingTimePoint::Now(), at_max);
+  EXPECT_LE(mixed.a(), mixed.b());
+}
+
+TEST(BoundaryTest, LessThanNearUpperLimit) {
+  // b + 1 == kMaxInfinity must not produce an invalid interval set.
+  OngoingTimePoint t1(0, kMaxInfinity - 1);
+  OngoingTimePoint t2(1, kMaxInfinity);
+  OngoingBoolean b = Less(t1, t2);
+  for (TimePoint rt : {TimePoint{-10}, TimePoint{0}, TimePoint{5},
+                       kMaxInfinity - 2}) {
+    EXPECT_EQ(b.Instantiate(rt), t1.Instantiate(rt) < t2.Instantiate(rt));
+  }
+}
+
+TEST(BoundaryTest, IntervalSetMinMaxAccessors) {
+  IntervalSet s{{5, 10}, {20, 30}};
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.MaxExclusive(), 30);
+}
+
+TEST(StorageFuzzTest, HeapFileRandomPageSizes) {
+  Rng rng(123);
+  Schema schema({{"ID", ValueType::kInt64},
+                 {"S", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+  for (int round = 0; round < 5; ++round) {
+    size_t page_size = static_cast<size_t>(rng.Uniform(512, 8192));
+    HeapFile file(schema, page_size);
+    OngoingRelation r(schema);
+    const int n = static_cast<int>(rng.Uniform(10, 200));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          r.Insert({Value::Int64(i),
+                    Value::String(rng.String(
+                        static_cast<size_t>(rng.Uniform(0, 100)))),
+                    Value::Ongoing(OngoingInterval::SinceUntilNow(
+                        rng.Uniform(0, 1000)))})
+              .ok());
+    }
+    ASSERT_TRUE(file.Load(r).ok());
+    auto scanned = file.Scan();
+    ASSERT_TRUE(scanned.ok());
+    ASSERT_EQ(scanned->size(), r.size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      EXPECT_EQ(scanned->tuple(i), r.tuple(i));
+    }
+    EXPECT_LE(file.UsedBytes(), file.TotalBytes());
+  }
+}
+
+TEST(OptimizerRobustnessTest, NestedFiltersAndProjections) {
+  OngoingRelation r(Schema({{"K", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(r.Insert({Value::Int64(i),
+                          Value::Ongoing(
+                              OngoingInterval::SinceUntilNow(i * 3))})
+                    .ok());
+  }
+  // Filter over filter over join over scans, with a projection on top.
+  PlanPtr plan = ProjectPlan(
+      Filter(Filter(Join(Scan(&r, "R"), Scan(&r, "S"),
+                         Eq(Col("L.K"), Col("R.K")), "L", "R"),
+                    Lt(Col("L.K"), Lit(int64_t{15}))),
+             OverlapsExpr(Col("L.VT"), Lit(OngoingInterval::Fixed(10, 40)))),
+      {"L.K"});
+  auto optimized = Optimize(plan);
+  ASSERT_TRUE(optimized.ok());
+  auto plain = Execute(plan);
+  auto opt = Execute(*optimized);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(plain->size(), opt->size());
+  for (TimePoint rt = 0; rt <= 80; rt += 9) {
+    EXPECT_TRUE(InstantiatedRelationsEqual(InstantiateRelation(*plain, rt),
+                                           InstantiateRelation(*opt, rt)));
+  }
+}
+
+TEST(OptimizerRobustnessTest, SchemaErrorsPropagate) {
+  OngoingRelation r(Schema({{"K", ValueType::kInt64}}));
+  // Projection of a missing column fails cleanly at schema derivation.
+  PlanPtr plan = ProjectPlan(Scan(&r, "R"), {"Missing"});
+  EXPECT_FALSE(OutputSchema(plan).ok());
+  EXPECT_FALSE(Execute(plan).ok());
+}
+
+TEST(RelationPrintingTest, TruncatesLongRelations) {
+  OngoingRelation r(Schema({{"K", ValueType::kInt64}}));
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(r.Insert({Value::Int64(i)}).ok());
+  }
+  std::string rendered = r.ToString(/*max_rows=*/10);
+  EXPECT_NE(rendered.find("(50 more rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,255 @@
+// Tests of the SQL layer: lexing, parsing, planning, and end-to-end
+// execution of the paper's running example written as SQL.
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace ongoingdb {
+namespace sql {
+namespace {
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT * FROM B WHERE BID = 500 AND C != 'x y'");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(t[1].IsPunct("*"));
+  EXPECT_TRUE(t[2].IsKeyword("FROM"));
+  EXPECT_TRUE(t[3].Is(TokenType::kIdentifier));
+  EXPECT_TRUE(t[4].IsKeyword("WHERE"));
+  EXPECT_EQ(t[6].text, "=");
+  EXPECT_EQ(t[7].text, "500");
+  EXPECT_TRUE(t[8].IsKeyword("AND"));
+  EXPECT_EQ(t[10].text, "!=");
+  EXPECT_EQ(t[11].type, TokenType::kString);
+  EXPECT_EQ(t[11].text, "x y");
+  EXPECT_TRUE(t.back().Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select Overlaps nOw");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("OVERLAPS"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("NOW"));
+}
+
+TEST(LexerTest, QualifiedIdentifiersAndOperators) {
+  auto tokens = Tokenize("b.VT <= p.VT <> >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "b.VT");
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, "!=");  // <> normalized
+  EXPECT_EQ((*tokens)[4].text, ">=");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+// --- Parser + execution -----------------------------------------------------
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OngoingRelation b(Schema({{"BID", ValueType::kInt64},
+                              {"C", ValueType::kString},
+                              {"VT", ValueType::kOngoingInterval}}));
+    ASSERT_TRUE(b.Insert({Value::Int64(500), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::SinceUntilNow(
+                              MD(1, 25)))})
+                    .ok());
+    ASSERT_TRUE(b.Insert({Value::Int64(501), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::Fixed(
+                              MD(3, 30), MD(8, 21)))})
+                    .ok());
+    catalog_.Register("B", std::move(b));
+
+    OngoingRelation p(Schema({{"PID", ValueType::kInt64},
+                              {"C", ValueType::kString},
+                              {"VT", ValueType::kOngoingInterval}}));
+    ASSERT_TRUE(p.Insert({Value::Int64(201), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::Fixed(
+                              MD(8, 15), MD(8, 24)))})
+                    .ok());
+    ASSERT_TRUE(p.Insert({Value::Int64(202), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::Fixed(
+                              MD(8, 24), MD(8, 27)))})
+                    .ok());
+    catalog_.Register("P", std::move(p));
+
+    OngoingRelation l(Schema({{"Name", ValueType::kString},
+                              {"C", ValueType::kString},
+                              {"VT", ValueType::kOngoingInterval}}));
+    ASSERT_TRUE(l.Insert({Value::String("Ann"), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::Fixed(
+                              MD(1, 20), MD(8, 18)))})
+                    .ok());
+    ASSERT_TRUE(l.Insert({Value::String("Bob"), Value::String("Spam filter"),
+                          Value::Ongoing(OngoingInterval::SinceUntilNow(
+                              MD(8, 18)))})
+                    .ok());
+    catalog_.Register("L", std::move(l));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SqlTest, SelectStar) {
+  auto result = RunQuery("SELECT * FROM B", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->schema().num_attributes(), 3u);
+}
+
+TEST_F(SqlTest, SelectColumnsProjects) {
+  auto result = RunQuery("SELECT BID FROM B", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->schema().num_attributes(), 1u);
+  EXPECT_EQ(result->schema().attribute(0).name, "BID");
+}
+
+TEST_F(SqlTest, WhereOnFixedAttribute) {
+  auto result =
+      RunQuery("SELECT * FROM B WHERE BID = 500", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->tuple(0).rt().IsAll());
+}
+
+TEST_F(SqlTest, WhereWithOngoingPredicateRestrictsRt) {
+  // The running example's before predicate: RT = {[01/26, 08/16)}.
+  auto result = RunQuery(
+      "SELECT * FROM B WHERE BID = 500 AND "
+      "VT BEFORE PERIOD ['08/15', '08/24')",
+      catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).rt(), (IntervalSet{{MD(1, 26), MD(8, 16)}}));
+}
+
+TEST_F(SqlTest, AliasQualifiedColumnsOnSingleTable) {
+  auto result = RunQuery(
+      "SELECT b.BID FROM B b WHERE b.C = 'Spam filter'", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(SqlTest, PeriodWithNowEndpoint) {
+  auto result = RunQuery(
+      "SELECT * FROM B WHERE VT EQUALS PERIOD ['01/25', NOW)", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).AsInt64(), 500);
+}
+
+TEST_F(SqlTest, RunningExampleThreeWayJoin) {
+  // The Sec. II query as SQL; must yield the five Fig. 2 tuples.
+  auto result = RunQuery(
+      "SELECT BID, PID, Name "
+      "FROM B b "
+      "JOIN P p ON b.C = p.C AND b.VT BEFORE p.VT "
+      "JOIN L l ON b.C = l.C AND b.VT OVERLAPS l.VT "
+      "WHERE b.C = 'Spam filter'",
+      catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 5u) << result->ToString();
+}
+
+TEST_F(SqlTest, SqlMatchesHandBuiltPlan) {
+  auto sql_result = RunQuery(
+      "SELECT * FROM B b JOIN P p ON b.C = p.C AND b.VT BEFORE p.VT",
+      catalog_);
+  ASSERT_TRUE(sql_result.ok()) << sql_result.status();
+  // Hand-built plan for the same query.
+  auto b = catalog_.Get("B");
+  auto p = catalog_.Get("P");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(p.ok());
+  PlanPtr plan = Join(Scan(*b, "b"), Scan(*p, "p"),
+                      And(Eq(Col("b.C"), Col("p.C")),
+                          BeforeExpr(Col("b.VT"), Col("p.VT"))),
+                      "b", "p");
+  auto direct = Execute(plan);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(sql_result->size(), direct->size());
+  for (TimePoint rt = MD(1, 1); rt <= MD(12, 31); rt += 11) {
+    EXPECT_TRUE(
+        InstantiatedRelationsEqual(InstantiateRelation(*sql_result, rt),
+                                   InstantiateRelation(*direct, rt)));
+  }
+}
+
+TEST_F(SqlTest, HashJoinHint) {
+  auto plan = ParseQuery(
+      "SELECT * FROM B b HASH JOIN P p ON b.C = p.C", catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ((*plan)->kind(), PlanKind::kJoin);
+  EXPECT_EQ(static_cast<const JoinNode*>(plan->get())->algorithm(),
+            JoinAlgorithm::kHash);
+}
+
+TEST_F(SqlTest, OrAndNotAndParentheses) {
+  auto result = RunQuery(
+      "SELECT * FROM B WHERE (BID = 500 OR BID = 501) AND NOT BID = 502",
+      catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(SqlTest, DateLiteralComparison) {
+  // now <= DATE '10/17' is the Table II example; applied per tuple it is
+  // tuple-independent, so all tuples keep a restricted RT.
+  auto result = RunQuery(
+      "SELECT * FROM B WHERE NOW <= DATE '10/17'", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).rt(),
+            (IntervalSet{{kMinInfinity, MD(10, 18)}}));
+}
+
+TEST_F(SqlTest, ContainsKeyword) {
+  // Timeslice: which bugs are open at 05/14 (at each reference time)?
+  auto result = RunQuery(
+      "SELECT BID FROM B WHERE VT CONTAINS DATE '05/14'", catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Bug 500 [01/25, now) contains 05/14 from 05/15 on; bug 501 fixed
+  // [03/30, 08/21) contains it always.
+  ASSERT_EQ(result->size(), 2u);
+  for (const Tuple& t : result->tuples()) {
+    if (t.value(0).AsInt64() == 500) {
+      EXPECT_EQ(t.rt(), (IntervalSet{{MD(5, 15), kMaxInfinity}}));
+    } else {
+      EXPECT_TRUE(t.rt().IsAll());
+    }
+  }
+}
+
+TEST_F(SqlTest, Errors) {
+  EXPECT_FALSE(RunQuery("SELECT FROM B", catalog_).ok());
+  EXPECT_FALSE(RunQuery("SELECT * FROM Missing", catalog_).ok());
+  EXPECT_FALSE(RunQuery("SELECT * FROM B WHERE", catalog_).ok());
+  EXPECT_FALSE(RunQuery("SELECT * FROM B WHERE BID =", catalog_).ok());
+  EXPECT_FALSE(
+      RunQuery("SELECT * FROM B WHERE VT BEFORE PERIOD ['08/15'", catalog_)
+          .ok());
+  EXPECT_FALSE(RunQuery("SELECT * FROM B extra tokens here", catalog_).ok());
+  // Unknown column surfaces at execution.
+  EXPECT_FALSE(RunQuery("SELECT * FROM B WHERE Nope = 1", catalog_).ok());
+}
+
+TEST_F(SqlTest, CatalogLookups) {
+  EXPECT_TRUE(catalog_.Contains("B"));
+  EXPECT_FALSE(catalog_.Contains("Z"));
+  EXPECT_EQ(catalog_.Names().size(), 3u);
+  EXPECT_FALSE(catalog_.Get("Z").ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace ongoingdb

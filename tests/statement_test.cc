@@ -1,0 +1,156 @@
+// Tests of the SQL statement layer: CREATE TABLE, INSERT, and the
+// temporal DELETE/UPDATE statements built on Torp's modification
+// semantics.
+#include "sql/statement.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace sql {
+namespace {
+
+class StatementTest : public ::testing::Test {
+ protected:
+  Result<StatementResult> Run(const std::string& statement) {
+    return RunStatement(statement, &catalog_);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(StatementTest, CreateTable) {
+  auto result = Run(
+      "CREATE TABLE Bugs (BID INT, C TEXT, Open BOOL, Found DATE, VT "
+      "PERIOD)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(catalog_.Contains("Bugs"));
+  const OngoingRelation* bugs = *catalog_.Get("Bugs");
+  EXPECT_EQ(bugs->schema().num_attributes(), 5u);
+  EXPECT_EQ(bugs->schema().attribute(4).type, ValueType::kOngoingInterval);
+  EXPECT_EQ(bugs->schema().attribute(3).type, ValueType::kTimePoint);
+  // Duplicate creation fails.
+  EXPECT_FALSE(Run("CREATE TABLE Bugs (X INT)").ok());
+  // Unknown type fails.
+  EXPECT_FALSE(Run("CREATE TABLE Other (X BLOB)").ok());
+}
+
+TEST_F(StatementTest, InsertRows) {
+  ASSERT_TRUE(Run("CREATE TABLE Bugs (BID INT, C TEXT, VT PERIOD)").ok());
+  auto result = Run(
+      "INSERT INTO Bugs VALUES (500, 'Spam filter', "
+      "PERIOD ['01/25', NOW))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->affected, 1u);
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (501, 'UI', PERIOD ['03/30', '08/21'))")
+          .ok());
+  const OngoingRelation* bugs = *catalog_.Get("Bugs");
+  ASSERT_EQ(bugs->size(), 2u);
+  EXPECT_EQ(bugs->tuple(0).value(2).AsOngoingInterval().ToString(),
+            "[01/25, now)");
+  // Type mismatch rejected.
+  EXPECT_FALSE(Run("INSERT INTO Bugs VALUES ('x', 'y', 1)").ok());
+  // Unknown table rejected.
+  EXPECT_FALSE(Run("INSERT INTO Nope VALUES (1)").ok());
+}
+
+TEST_F(StatementTest, SelectDelegates) {
+  ASSERT_TRUE(Run("CREATE TABLE Bugs (BID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (500, PERIOD ['01/25', NOW))").ok());
+  auto result = Run("SELECT * FROM Bugs WHERE BID = 500");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->relation.has_value());
+  EXPECT_EQ(result->relation->size(), 1u);
+  EXPECT_EQ(result->affected, 1u);
+}
+
+TEST_F(StatementTest, TemporalDelete) {
+  ASSERT_TRUE(Run("CREATE TABLE Bugs (BID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (500, PERIOD ['01/25', NOW))").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (501, PERIOD ['03/30', NOW))").ok());
+  auto result = Run("DELETE FROM Bugs WHERE BID = 500 AT DATE '06/15'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->affected, 1u);
+  const OngoingRelation* bugs = *catalog_.Get("Bugs");
+  ASSERT_EQ(bugs->size(), 2u);
+  // The Torp semantics: end := min(now, 06/15) = +06/15.
+  EXPECT_EQ(bugs->tuple(0).value(1).AsOngoingInterval().ToString(),
+            "[01/25, +06/15)");
+  EXPECT_EQ(bugs->tuple(1).value(1).AsOngoingInterval().ToString(),
+            "[03/30, now)");
+}
+
+TEST_F(StatementTest, DeleteWithoutWhereAffectsAll) {
+  ASSERT_TRUE(Run("CREATE TABLE Bugs (BID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (1, PERIOD ['01/01', NOW))").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (2, PERIOD ['02/01', NOW))").ok());
+  auto result = Run("DELETE FROM Bugs AT DATE '06/01'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->affected, 2u);
+}
+
+TEST_F(StatementTest, TemporalUpdate) {
+  ASSERT_TRUE(Run("CREATE TABLE Staff (Name TEXT, Role TEXT, VT PERIOD)")
+                  .ok());
+  ASSERT_TRUE(Run("INSERT INTO Staff VALUES ('Ann', 'dev', "
+                  "PERIOD ['01/01', NOW))")
+                  .ok());
+  auto result = Run(
+      "UPDATE Staff SET Role = 'lead' WHERE Name = 'Ann' AT DATE '06/01'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->affected, 1u);
+  const OngoingRelation* staff = *catalog_.Get("Staff");
+  ASSERT_EQ(staff->size(), 2u);
+  EXPECT_EQ(staff->tuple(0).value(1).AsString(), "dev");
+  EXPECT_EQ(staff->tuple(0).value(2).AsOngoingInterval().ToString(),
+            "[01/01, +06/01)");
+  EXPECT_EQ(staff->tuple(1).value(1).AsString(), "lead");
+  EXPECT_EQ(staff->tuple(1).value(2).AsOngoingInterval().ToString(),
+            "[06/01, now)");
+}
+
+TEST_F(StatementTest, ModificationRejectsOngoingPredicates) {
+  ASSERT_TRUE(Run("CREATE TABLE Bugs (BID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(
+      Run("INSERT INTO Bugs VALUES (1, PERIOD ['01/01', NOW))").ok());
+  // Predicates over the ongoing VT attribute are not allowed in
+  // modifications.
+  EXPECT_FALSE(Run("DELETE FROM Bugs WHERE VT OVERLAPS "
+                   "PERIOD ['01/01', '02/01') AT DATE '06/01'")
+                   .ok());
+}
+
+TEST_F(StatementTest, SyntaxErrors) {
+  EXPECT_FALSE(Run("").ok());
+  EXPECT_FALSE(Run("DROP TABLE x").ok());
+  EXPECT_FALSE(Run("CREATE TABLE").ok());
+  EXPECT_FALSE(Run("INSERT INTO").ok());
+  ASSERT_TRUE(Run("CREATE TABLE T (A INT, VT PERIOD)").ok());
+  EXPECT_FALSE(Run("DELETE FROM T WHERE A = 1").ok());  // missing AT
+  EXPECT_FALSE(Run("UPDATE T SET A 5 AT DATE '01/01'").ok());
+  EXPECT_FALSE(Run("INSERT INTO T VALUES (1, PERIOD ['01/01', NOW)").ok());
+}
+
+TEST_F(StatementTest, EndToEndLifecycle) {
+  // Create, fill, modify, query — and the query result reflects the
+  // modification history at each reference time.
+  ASSERT_TRUE(Run("CREATE TABLE C (ID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(Run("INSERT INTO C VALUES (1, PERIOD ['01/01', NOW))").ok());
+  ASSERT_TRUE(Run("DELETE FROM C WHERE ID = 1 AT DATE '03/01'").ok());
+  auto result = Run("SELECT * FROM C WHERE VT CONTAINS DATE '02/01'");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->relation->size(), 1u);
+  // [01/01, +03/01) contains 02/01 from 02/02 on, at every later
+  // reference time (the deletion capped the end at 03/01 > 02/01).
+  EXPECT_EQ(result->relation->tuple(0).rt(),
+            (IntervalSet{{MD(2, 2), kMaxInfinity}}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace ongoingdb

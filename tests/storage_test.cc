@@ -1,0 +1,162 @@
+// Tests of the storage layer: tuple serialization round trips, heap
+// pages/files, and Table V-style storage accounting.
+#include <gtest/gtest.h>
+
+#include "storage/heap_file.h"
+#include "storage/serializer.h"
+#include "storage/stats.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"ID", ValueType::kInt64},
+                 {"Name", ValueType::kString},
+                 {"Score", ValueType::kDouble},
+                 {"Open", ValueType::kBool},
+                 {"Start", ValueType::kTimePoint},
+                 {"Window", ValueType::kFixedInterval},
+                 {"End", ValueType::kOngoingTimePoint},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+Tuple MixedTuple() {
+  return Tuple({Value::Int64(42), Value::String("bug report"),
+                Value::Double(3.5), Value::Bool(true), Value::Time(MD(3, 1)),
+                Value::Interval({MD(1, 1), MD(2, 1)}),
+                Value::Ongoing(OngoingTimePoint(MD(4, 1), MD(5, 1))),
+                Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))},
+               IntervalSet{{MD(1, 26), MD(8, 16)}, {MD(9, 1), MD(9, 10)}});
+}
+
+TEST(SerializerTest, RoundTripAllValueTypes) {
+  Schema schema = MixedSchema();
+  Tuple original = MixedTuple();
+  std::vector<uint8_t> bytes = SerializeTuple(original);
+  auto restored = DeserializeTuple(schema, bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(SerializerTest, SizeMatchesBuffer) {
+  Tuple t = MixedTuple();
+  EXPECT_EQ(SerializedTupleSize(t), SerializeTuple(t).size());
+}
+
+TEST(SerializerTest, RtSizeGrowsWithCardinality) {
+  // One interval: 4 + 16 bytes; each additional interval adds 16.
+  EXPECT_EQ(SerializedRtSize(IntervalSet{{0, 10}}), 20u);
+  EXPECT_EQ(SerializedRtSize(IntervalSet{{0, 10}, {20, 30}}), 36u);
+  EXPECT_EQ(SerializedRtSize(IntervalSet::All()), 20u);
+}
+
+TEST(SerializerTest, OngoingPointDoublesFixedPointWidth) {
+  // The paper's Table V: using ongoing rather than fixed values doubles
+  // the valid-time attribute size.
+  Tuple fixed_t({Value::Time(MD(1, 1))});
+  Tuple ongoing_t({Value::Ongoing(OngoingTimePoint::Now())});
+  size_t fixed_payload = SerializedTupleSize(fixed_t) -
+                         SerializedRtSize(fixed_t.rt());
+  size_t ongoing_payload = SerializedTupleSize(ongoing_t) -
+                           SerializedRtSize(ongoing_t.rt());
+  EXPECT_EQ(ongoing_payload - 5, 2 * (fixed_payload - 5));  // minus headers
+}
+
+TEST(SerializerTest, RejectsCorruptBuffers) {
+  Schema schema = MixedSchema();
+  std::vector<uint8_t> bytes = SerializeTuple(MixedTuple());
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + 10);
+  EXPECT_FALSE(DeserializeTuple(schema, truncated).ok());
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(DeserializeTuple(schema, trailing).ok());
+  EXPECT_FALSE(DeserializeTuple(Schema({{"A", ValueType::kInt64}}), bytes)
+                   .ok());  // arity mismatch
+}
+
+TEST(HeapPageTest, AppendUntilFull) {
+  HeapPage page(256);
+  std::vector<uint8_t> tuple_bytes(50, 0xAB);
+  size_t appended = 0;
+  while (page.Append(tuple_bytes)) ++appended;
+  EXPECT_GT(appended, 0u);
+  EXPECT_LE(page.BytesUsed(), 256u);
+  EXPECT_EQ(page.num_tuples(), appended);
+  EXPECT_EQ(page.Read(0), tuple_bytes);
+}
+
+TEST(HeapFileTest, LoadAndScanRoundTrip) {
+  Schema schema({{"ID", ValueType::kInt64},
+                 {"VT", ValueType::kOngoingInterval}});
+  OngoingRelation r(schema);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        r.InsertWithRt({Value::Int64(i),
+                        Value::Ongoing(OngoingInterval::SinceUntilNow(
+                            rng.Uniform(0, 1000)))},
+                       IntervalSet{{rng.Uniform(0, 100), rng.Uniform(101, 200)}})
+            .ok());
+  }
+  HeapFile file(schema, 4096);
+  ASSERT_TRUE(file.Load(r).ok());
+  EXPECT_EQ(file.num_tuples(), 500u);
+  EXPECT_GT(file.num_pages(), 1u);
+  auto scanned = file.Scan();
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_EQ(scanned->size(), r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(scanned->tuple(i), r.tuple(i));
+  }
+}
+
+TEST(HeapFileTest, RejectsOversizedTuple) {
+  Schema schema({{"S", ValueType::kString}});
+  HeapFile file(schema, 128);
+  Tuple big({Value::String(std::string(1000, 'x'))});
+  EXPECT_FALSE(file.Append(big).ok());
+}
+
+TEST(StorageStatsTest, RtShareShrinksWithTupleWidth) {
+  // Table V: the constant RT overhead is significant for small tuples
+  // and insignificant for large ones.
+  Schema small(std::vector<Attribute>{{"ID", ValueType::kInt64},
+                                      {"VT", ValueType::kOngoingInterval}});
+  Schema large(std::vector<Attribute>{{"ID", ValueType::kInt64},
+                                      {"Text", ValueType::kString},
+                                      {"VT", ValueType::kOngoingInterval}});
+  OngoingRelation small_r(small), large_r(large);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(small_r.Insert({Value::Int64(i),
+                                Value::Ongoing(
+                                    OngoingInterval::SinceUntilNow(0))})
+                    .ok());
+    ASSERT_TRUE(large_r.Insert({Value::Int64(i),
+                                Value::String(std::string(900, 'd')),
+                                Value::Ongoing(
+                                    OngoingInterval::SinceUntilNow(0))})
+                    .ok());
+  }
+  StorageStats small_stats = ComputeStorageStats(small_r);
+  StorageStats large_stats = ComputeStorageStats(large_r);
+  EXPECT_GT(small_stats.RtShare(), 0.2);   // significant for ~50 B tuples
+  EXPECT_LT(large_stats.RtShare(), 0.05);  // insignificant for ~1 kB tuples
+  EXPECT_GT(small_stats.OngoingOverFixed(), 1.0);
+  EXPECT_LT(small_stats.OngoingOverFixed(), 2.5);
+  EXPECT_LT(large_stats.OngoingOverFixed(), 1.1);
+}
+
+TEST(StorageStatsTest, TypicalRtCardinalityIsOne) {
+  OngoingRelation r(Schema({{"VT", ValueType::kOngoingInterval}}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        r.Insert({Value::Ongoing(OngoingInterval::SinceUntilNow(i))}).ok());
+  }
+  StorageStats stats = ComputeStorageStats(r);
+  EXPECT_EQ(stats.max_rt_cardinality, 1.0);
+  EXPECT_EQ(stats.AvgRtBytes(), 20.0);
+}
+
+}  // namespace
+}  // namespace ongoingdb

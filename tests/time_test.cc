@@ -1,0 +1,96 @@
+// Unit tests for the fixed time domain T: civil-date conversion,
+// formatting, parsing, and fixed intervals.
+#include "core/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ongoingdb {
+namespace {
+
+TEST(CivilDateTest, EpochIsZero) { EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0); }
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2019, 1, 1), 17897);
+}
+
+TEST(CivilDateTest, RoundTripAcrossYears) {
+  for (int64_t d = DaysFromCivil(1900, 1, 1); d <= DaysFromCivil(2100, 1, 1);
+       d += 37) {
+    CivilDate cd = CivilFromDays(d);
+    EXPECT_EQ(DaysFromCivil(cd.year, cd.month, cd.day), d);
+  }
+}
+
+TEST(CivilDateTest, LeapYearHandling) {
+  // 2000 is a leap year, 1900 is not.
+  EXPECT_EQ(DaysFromCivil(2000, 2, 29) + 1, DaysFromCivil(2000, 3, 1));
+  EXPECT_EQ(DaysFromCivil(1900, 2, 28) + 1, DaysFromCivil(1900, 3, 1));
+  CivilDate cd = CivilFromDays(DaysFromCivil(2020, 2, 29));
+  EXPECT_EQ(cd.year, 2020);
+  EXPECT_EQ(cd.month, 2u);
+  EXPECT_EQ(cd.day, 29u);
+}
+
+TEST(TimePointTest, InfinityPredicates) {
+  EXPECT_FALSE(IsFinite(kMinInfinity));
+  EXPECT_FALSE(IsFinite(kMaxInfinity));
+  EXPECT_TRUE(IsFinite(0));
+  EXPECT_TRUE(IsFinite(MD(8, 15)));
+  EXPECT_LT(kMinInfinity, MD(1, 1));
+  EXPECT_GT(kMaxInfinity, MD(12, 31));
+}
+
+TEST(TimePointTest, SuccessorOfUpperBoundDoesNotOverflow) {
+  // The less-than decision tree computes b + 1; the sentinels leave room.
+  EXPECT_GT(kMaxInfinity + 1, kMaxInfinity);
+  EXPECT_LT(kMinInfinity - 1, kMinInfinity);
+}
+
+TEST(FormatTest, PaperNotationForRunningExampleYear) {
+  EXPECT_EQ(FormatTimePoint(MD(8, 15)), "08/15");
+  EXPECT_EQ(FormatTimePoint(MD(1, 25)), "01/25");
+  EXPECT_EQ(FormatTimePoint(Date(1994, 9, 1)), "1994/09/01");
+  EXPECT_EQ(FormatTimePoint(kMinInfinity), "-inf");
+  EXPECT_EQ(FormatTimePoint(kMaxInfinity), "+inf");
+}
+
+TEST(ParseTest, RoundTrip) {
+  auto r = ParseTimePoint("08/15");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, MD(8, 15));
+  auto r2 = ParseTimePoint("1994/09/01");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, Date(1994, 9, 1));
+  EXPECT_TRUE(ParseTimePoint("-inf").ok());
+  EXPECT_FALSE(ParseTimePoint("garbage").ok());
+  EXPECT_FALSE(ParseTimePoint("13/40").ok());
+}
+
+TEST(FixedIntervalTest, Emptiness) {
+  EXPECT_TRUE((FixedInterval{5, 5}).empty());
+  EXPECT_TRUE((FixedInterval{7, 5}).empty());
+  EXPECT_FALSE((FixedInterval{5, 6}).empty());
+}
+
+TEST(FixedIntervalTest, Contains) {
+  FixedInterval iv{MD(1, 25), MD(8, 21)};
+  EXPECT_TRUE(iv.Contains(MD(1, 25)));
+  EXPECT_TRUE(iv.Contains(MD(5, 5)));
+  EXPECT_FALSE(iv.Contains(MD(8, 21)));  // end point is exclusive
+  EXPECT_FALSE(iv.Contains(MD(1, 24)));
+}
+
+TEST(FixedIntervalTest, IntersectsRequiresNonEmpty) {
+  FixedInterval a{0, 10};
+  FixedInterval empty{5, 5};
+  EXPECT_FALSE(a.Intersects(empty));
+  EXPECT_FALSE(empty.Intersects(a));
+  EXPECT_TRUE(a.Intersects(FixedInterval{9, 12}));
+  EXPECT_FALSE(a.Intersects(FixedInterval{10, 12}));  // adjacent, disjoint
+}
+
+}  // namespace
+}  // namespace ongoingdb
