@@ -6,19 +6,238 @@
 //     asymmetry explains the Fig. 11 amortization slope);
 //  2. the Sec. VIII conjunctive-predicate split — evaluating the fixed
 //     part as a plain filter and only the ongoing part against RT,
-//     vs evaluating the whole conjunction as one ongoing predicate.
+//     vs evaluating the whole conjunction as one ongoing predicate;
+//  3. typed join keys — the engine's ValueHash/ValueEq hash join vs the
+//     legacy implementation that rendered every key Value into a
+//     freshly allocated string (kept here as the ablation baseline).
+//
+// Set ONGOINGDB_BENCH_JSON to a file path to additionally emit the
+// measurements as machine-readable JSON (the BENCH_*.json baselines).
 #include <cstdio>
+#include <unordered_map>
 
 #include "bench_common.h"
 #include "query/join.h"
 #include "relation/algebra.h"
+#include "util/alloc_counter.h"
+#include "util/rng.h"
 
 using namespace ongoingdb;
 using namespace ongoingdb::bench;
 
 namespace {
 
-void JoinAlgorithmAblation() {
+// --- legacy string-key hash join (ablation baseline) ------------------------
+// A faithful reproduction of the implementation this engine shipped with:
+// join keys were built by formatting every Value with ToString into a
+// heap-allocated string, and every candidate pair materialized its
+// concatenated value vector before the residual was evaluated, copying
+// it again on emission.
+
+std::string LegacyKeyOf(const Tuple& t, const std::vector<size_t>& indices) {
+  std::string key;
+  for (size_t i : indices) {
+    key += t.value(i).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+Status LegacyEmitIfMatching(const Schema& joined_schema, const Tuple& lt,
+                            const Tuple& rt, const ExprPtr& residual,
+                            OngoingRelation* out) {
+  IntervalSet rt_set = lt.rt().Intersect(rt.rt());
+  if (rt_set.IsEmpty()) return Status::OK();
+  std::vector<Value> values;
+  values.reserve(lt.num_values() + rt.num_values());
+  for (const Value& v : lt.values()) values.push_back(v);
+  for (const Value& v : rt.values()) values.push_back(v);
+  if (residual != nullptr) {
+    Tuple combined(std::move(values), rt_set);
+    ONGOINGDB_ASSIGN_OR_RETURN(
+        OngoingBoolean pred, residual->EvalPredicate(joined_schema, combined));
+    rt_set = rt_set.Intersect(pred.st());
+    if (rt_set.IsEmpty()) return Status::OK();
+    out->AppendUnchecked(Tuple(combined.values(), std::move(rt_set)));
+    return Status::OK();
+  }
+  out->AppendUnchecked(Tuple(std::move(values), std::move(rt_set)));
+  return Status::OK();
+}
+
+Result<OngoingRelation> LegacyStringKeyHashJoin(const OngoingRelation& left,
+                                                const OngoingRelation& right,
+                                                const ExprPtr& predicate,
+                                                const std::string& left_prefix,
+                                                const std::string& right_prefix) {
+  std::vector<EquiKey> keys;
+  ExprPtr residual;
+  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
+                                               right.schema(), left_prefix,
+                                               right_prefix, &keys,
+                                               &residual));
+  std::vector<size_t> left_idx, right_idx;
+  for (const EquiKey& key : keys) {
+    left_idx.push_back(key.left_index);
+    right_idx.push_back(key.right_index);
+  }
+  Schema joined =
+      left.schema().Concat(right.schema(), left_prefix, right_prefix);
+  OngoingRelation result(joined);
+  std::unordered_multimap<std::string, size_t> table;
+  table.reserve(left.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    table.emplace(LegacyKeyOf(left.tuple(i), left_idx), i);
+  }
+  for (const Tuple& rt : right.tuples()) {
+    auto [begin, end] = table.equal_range(LegacyKeyOf(rt, right_idx));
+    for (auto it = begin; it != end; ++it) {
+      ONGOINGDB_RETURN_NOT_OK(LegacyEmitIfMatching(
+          joined, left.tuple(it->second), rt, residual, &result));
+    }
+  }
+  return result;
+}
+
+// One side of the typed-key ablation workload: the shape of the paper's
+// QC similarity join, which keys on the three string attributes
+// (Product, Component, OS) plus an integer bug key. String keys are
+// where the legacy KeyOf hurts most — every probe formatted and
+// heap-copied all three strings into a fresh key.
+OngoingRelation MakeQcSide(uint64_t seed, int64_t n,
+                           const std::vector<std::string>& products,
+                           const std::vector<std::string>& components,
+                           const std::vector<std::string>& oses) {
+  Rng rng(seed);
+  OngoingRelation r(Schema({{"K", ValueType::kInt64},
+                            {"Product", ValueType::kString},
+                            {"Component", ValueType::kString},
+                            {"OS", ValueType::kString},
+                            {"D", ValueType::kTimePoint},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (int64_t i = 0; i < n; ++i) {
+    OngoingInterval vt;
+    if (rng.Bernoulli(0.3)) {
+      vt = OngoingInterval::SinceUntilNow(rng.Uniform(0, 3000));
+    } else {
+      TimePoint s = rng.Uniform(0, 3000);
+      vt = OngoingInterval::Fixed(s, s + rng.Uniform(1, 400));
+    }
+    Status st = r.Insert(
+        {Value::Int64(rng.Uniform(0, 9)),
+         Value::String(products[static_cast<size_t>(
+             rng.Uniform(0, static_cast<int64_t>(products.size()) - 1))]),
+         Value::String(components[static_cast<size_t>(
+             rng.Uniform(0, static_cast<int64_t>(components.size()) - 1))]),
+         Value::String(oses[static_cast<size_t>(
+             rng.Uniform(0, static_cast<int64_t>(oses.size()) - 1))]),
+         Value::Time(MD(1, 1) + rng.Uniform(0, 59)),
+         Value::Ongoing(vt)});
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return r;
+}
+
+// (3) typed vs string join keys, at the ISSUE's reference size of
+// 10k x 10k tuples per side on the QC-style multi-column string key.
+// Reported as the pure equi join (the key machinery isolated) and with
+// the Allen residual of the paper's Q^join.
+void TypedKeyAblation(BenchJsonWriter* json) {
+  std::printf("\n(3) Typed vs string join keys (hash join, %lld x %lld, "
+              "QC key: Product, Component, OS)\n",
+              static_cast<long long>(Scaled(10000)),
+              static_cast<long long>(Scaled(10000)));
+  TablePrinter table;
+  table.SetHeader({"predicate", "typed [ms]", "string [ms]", "speedup",
+                   "typed allocs", "string allocs"});
+  const int64_t n = Scaled(10000);
+  // Shared string pools, Mozilla-ish lengths (beyond small-string
+  // optimization once formatted into a concatenated key).
+  Rng pool_rng(99);
+  std::vector<std::string> products, components, oses;
+  for (int i = 0; i < 40; ++i) {
+    products.push_back("product-" + pool_rng.String(12));
+  }
+  for (int i = 0; i < 25; ++i) {
+    components.push_back("component-" + pool_rng.String(12));
+  }
+  for (int i = 0; i < 10; ++i) {
+    oses.push_back("os-" + pool_rng.String(10));
+  }
+  OngoingRelation r = MakeQcSide(5, n, products, components, oses);
+  OngoingRelation s = MakeQcSide(6, n, products, components, oses);
+  ExprPtr key_eq =
+      And(Eq(Col("L.Product"), Col("R.Product")),
+          And(Eq(Col("L.Component"), Col("R.Component")),
+              Eq(Col("L.OS"), Col("R.OS"))));
+  struct Case {
+    const char* label;
+    ExprPtr pred;
+  };
+  const Case cases[] = {
+      {"theta_sim", key_eq},
+      // Adding the report-day equality makes the key selective and
+      // temporal: the legacy path now formats a civil date per key on
+      // top of the three string copies.
+      {"theta_sim and same day",
+       And(key_eq, Eq(Col("L.D"), Col("R.D")))},
+      {"theta_sim and overlaps",
+       And(key_eq, OverlapsExpr(Col("L.VT"), Col("R.VT")))},
+  };
+  for (const Case& c : cases) {
+    size_t typed_out = 0, string_out = 0;
+    uint64_t typed_allocs = 0, string_allocs = 0;
+    uint64_t typed_bytes = 0, string_bytes = 0;
+    auto check = [](const Result<OngoingRelation>& result) -> size_t {
+      if (!result.ok()) {
+        std::fprintf(stderr, "join failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      return result->size();
+    };
+    double typed_ms = MedianSeconds([&] {
+                        AllocScope scope;
+                        auto result = HashJoin(r, s, c.pred, "L", "R");
+                        typed_allocs = scope.count();
+                        typed_bytes = scope.bytes();
+                        typed_out = check(result);
+                      }) * 1e3;
+    double string_ms = MedianSeconds([&] {
+                         AllocScope scope;
+                         auto result =
+                             LegacyStringKeyHashJoin(r, s, c.pred, "L", "R");
+                         string_allocs = scope.count();
+                         string_bytes = scope.bytes();
+                         string_out = check(result);
+                       }) * 1e3;
+    if (typed_out != string_out) {
+      std::fprintf(stderr, "result size mismatch: typed %zu vs string %zu\n",
+                   typed_out, string_out);
+      std::exit(1);
+    }
+    table.AddRow({c.label, FormatDouble(typed_ms, 2),
+                  FormatDouble(string_ms, 2),
+                  FormatDouble(string_ms / typed_ms, 2),
+                  std::to_string(typed_allocs),
+                  std::to_string(string_allocs)});
+    const std::string size = std::to_string(n) + "x" + std::to_string(n);
+    json->AddMs("hash_join/typed/" + size + "/" + c.label, typed_ms,
+                static_cast<double>(typed_bytes),
+                static_cast<double>(typed_allocs));
+    json->AddMs("hash_join/string_key/" + size + "/" + c.label, string_ms,
+                static_cast<double>(string_bytes),
+                static_cast<double>(string_allocs));
+  }
+  table.Print();
+  std::printf("typed keys hash the Value variant directly; string keys "
+              "format and allocate per tuple.\n");
+}
+
+void JoinAlgorithmAblation(BenchJsonWriter* json) {
   std::printf("\n(1) Join algorithms on ongoing relations "
               "(L.K = R.K AND L.VT overlaps R.VT)\n");
   TablePrinter table;
@@ -49,13 +268,17 @@ void JoinAlgorithmAblation() {
     table.AddRow({std::to_string(n), FormatDouble(nl, 2),
                   FormatDouble(hash, 2), FormatDouble(merge, 2),
                   std::to_string(out)});
+    const std::string size = std::to_string(n) + "x" + std::to_string(n);
+    json->AddMs("join_algorithm/nested_loop/" + size, nl);
+    json->AddMs("join_algorithm/hash/" + size, hash);
+    json->AddMs("join_algorithm/sort_merge/" + size, merge);
   }
   table.Print();
   std::printf("hash/merge prune non-matching key pairs before touching "
               "any ongoing predicate.\n");
 }
 
-void PredicateSplitAblation() {
+void PredicateSplitAblation(BenchJsonWriter* json) {
   std::printf("\n(2) Conjunctive-predicate split (Sec. VIII)\n");
   TablePrinter table;
   table.SetHeader({"# tuples", "selectivity", "split [ms]",
@@ -98,6 +321,9 @@ void PredicateSplitAblation() {
         }) * 1e3;
     table.AddRow({std::to_string(n), FormatDouble(selectivity, 2),
                   FormatDouble(split_ms, 2), FormatDouble(unsplit_ms, 2)});
+    const std::string sel = FormatDouble(selectivity, 2);
+    json->AddMs("predicate_split/split/sel=" + sel, split_ms);
+    json->AddMs("predicate_split/unsplit/sel=" + sel, unsplit_ms);
   }
   table.Print();
   std::printf("the split skips the ongoing machinery for tuples the "
@@ -108,7 +334,10 @@ void PredicateSplitAblation() {
 
 int main() {
   std::printf("Ablations: engine design choices\n");
-  JoinAlgorithmAblation();
-  PredicateSplitAblation();
+  BenchJsonWriter json("ablation_joins");
+  JoinAlgorithmAblation(&json);
+  PredicateSplitAblation(&json);
+  TypedKeyAblation(&json);
+  json.WriteFromEnv();
   return 0;
 }

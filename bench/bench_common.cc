@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 namespace ongoingdb {
 namespace bench {
@@ -105,6 +107,88 @@ double MeasureInstantiateMs(const OngoingRelation& ongoing_result,
 double BreakEven(double ongoing_ms, double clifford_ms) {
   if (clifford_ms <= 0) return 0;
   return std::ceil(ongoing_ms / clifford_ms);
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendNumber(const char* key, double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key, v);
+  *out += buf;
+}
+
+}  // namespace
+
+void BenchJsonWriter::AddMs(const std::string& name, double ms,
+                            double bytes_per_op, double allocs_per_op) {
+  BenchRecord record;
+  record.name = name;
+  record.ns_per_op = ms * 1e6;
+  record.ops_per_sec = ms > 0 ? 1e3 / ms : 0;
+  record.bytes_per_op = bytes_per_op;
+  record.allocs_per_op = allocs_per_op;
+  Add(std::move(record));
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  std::string out = "{\n  \"suite\": \"";
+  AppendEscaped(suite_, &out);
+  out += "\",\n  ";
+  AppendNumber("scale", Scale(), &out);
+  out += ",\n  \"benchmarks\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    AppendEscaped(r.name, &out);
+    out += "\", ";
+    AppendNumber("ns_per_op", r.ns_per_op, &out);
+    out += ", ";
+    AppendNumber("ops_per_sec", r.ops_per_sec, &out);
+    if (r.bytes_per_op >= 0) {
+      out += ", ";
+      AppendNumber("bytes_per_op", r.bytes_per_op, &out);
+    }
+    if (r.allocs_per_op >= 0) {
+      out += ", ";
+      AppendNumber("allocs_per_op", r.allocs_per_op, &out);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchJsonWriter::WriteFromEnv() const {
+  const char* path = std::getenv("ONGOINGDB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write bench JSON to %s\n", path);
+    return false;
+  }
+  file << ToJson();
+  std::printf("bench JSON written to %s\n", path);
+  return true;
 }
 
 }  // namespace bench

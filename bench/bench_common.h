@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "baselines/clifford.h"
 #include "datasets/incumbent.h"
@@ -76,6 +77,47 @@ double MeasureInstantiateMs(const OngoingRelation& ongoing_result,
 
 /// ceil(a / b) with a floor of `min_value`, used for break-even counts.
 double BreakEven(double ongoing_ms, double clifford_ms);
+
+// ---------------------------------------------------------------------------
+// Machine-readable results. Every bench binary can collect BenchRecords
+// and, when ONGOINGDB_BENCH_JSON names a file, write them as JSON — the
+// format the committed BENCH_*.json baselines use, so perf PRs can be
+// compared run over run.
+// ---------------------------------------------------------------------------
+
+/// One measured operation. Allocation fields are reported only when the
+/// binary links the counting allocator (negative means "not measured").
+struct BenchRecord {
+  std::string name;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+  double bytes_per_op = -1;
+  double allocs_per_op = -1;
+};
+
+/// Collects BenchRecords and renders them as a JSON document
+/// {"suite": ..., "scale": ..., "benchmarks": [...]}.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string suite) : suite_(std::move(suite)) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Convenience: derives ns/op and ops/sec from a per-operation
+  /// duration in milliseconds.
+  void AddMs(const std::string& name, double ms, double bytes_per_op = -1,
+             double allocs_per_op = -1);
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to the path in ONGOINGDB_BENCH_JSON, if set.
+  /// Returns true iff a file was written.
+  bool WriteFromEnv() const;
+
+ private:
+  std::string suite_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace bench
 }  // namespace ongoingdb

@@ -6,14 +6,30 @@
 //  * the Algorithm 1 sweep-line conjunction (single pass, sorted output
 //    for free) vs a sort-then-merge implementation;
 //  * the Allen predicates, interval-set operations, and instantiation.
+//
+// Every benchmark additionally reports allocs_per_op / bytes_per_op via
+// the counting allocator, so the allocation-lean claims of DESIGN.md are
+// numbers, not prose. Set ONGOINGDB_BENCH_JSON to a file path to emit
+// the results as machine-readable JSON (the BENCH_*.json baselines).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/bind.h"
 #include "core/operations.h"
+#include "util/alloc_counter.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
 namespace {
+
+// Publishes the allocation counters gathered across the timed loop as
+// per-iteration benchmark counters.
+void ReportAllocs(benchmark::State& state, const AllocScope& scope) {
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(scope.count()), benchmark::Counter::kAvgIterations);
+  state.counters["bytes_per_op"] = benchmark::Counter(
+      static_cast<double>(scope.bytes()), benchmark::Counter::kAvgIterations);
+}
 
 std::vector<OngoingTimePoint> RandomPoints(size_t n, uint64_t seed) {
   Rng rng(seed);
@@ -71,11 +87,16 @@ OngoingBoolean NaiveLess(const OngoingTimePoint& t1,
 // The ablation baseline for Algorithm 1.
 IntervalSet SortBasedConjunction(const IntervalSet& x, const IntervalSet& y) {
   // x ^ y == not(not x v not y); unions via FromUnsorted re-sorting.
+  // The complements live in named locals: iterating a temporary's
+  // intervals() would dangle (the range-for does not lifetime-extend
+  // the IntervalSet behind the reference).
+  const IntervalSet not_x = x.Complement();
+  const IntervalSet not_y = y.Complement();
   std::vector<FixedInterval> merged;
-  for (const FixedInterval& iv : x.Complement().intervals()) {
+  for (const FixedInterval& iv : not_x.intervals()) {
     merged.push_back(iv);
   }
-  for (const FixedInterval& iv : y.Complement().intervals()) {
+  for (const FixedInterval& iv : not_y.intervals()) {
     merged.push_back(iv);
   }
   return IntervalSet::FromUnsorted(std::move(merged)).Complement();
@@ -84,30 +105,35 @@ IntervalSet SortBasedConjunction(const IntervalSet& x, const IntervalSet& y) {
 void BM_LessThanDecisionTree(benchmark::State& state) {
   auto points = RandomPoints(1024, 7);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& t1 = points[i % points.size()];
     const auto& t2 = points[(i + 1) % points.size()];
     benchmark::DoNotOptimize(Less(t1, t2));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_LessThanDecisionTree);
 
 void BM_LessThanNaive(benchmark::State& state) {
   auto points = RandomPoints(1024, 7);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& t1 = points[i % points.size()];
     const auto& t2 = points[(i + 1) % points.size()];
     benchmark::DoNotOptimize(NaiveLess(t1, t2));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_LessThanNaive);
 
 void BM_MinMax(benchmark::State& state) {
   auto points = RandomPoints(1024, 11);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& t1 = points[i % points.size()];
     const auto& t2 = points[(i + 1) % points.size()];
@@ -115,52 +141,79 @@ void BM_MinMax(benchmark::State& state) {
     benchmark::DoNotOptimize(Max(t1, t2));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_MinMax);
 
 void BM_ConjunctionSweepLine(benchmark::State& state) {
   auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 13);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& x = sets[i % sets.size()];
     const auto& y = sets[(i + 1) % sets.size()];
     benchmark::DoNotOptimize(x.Intersect(y));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_ConjunctionSweepLine)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Destination-passing conjunction: the per-tuple hot-path variant that
+// reuses one result set across calls (join emission, EvalPredicate).
+void BM_ConjunctionInto(benchmark::State& state) {
+  auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 13);
+  size_t i = 0;
+  IntervalSet out;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    const auto& x = sets[i % sets.size()];
+    const auto& y = sets[(i + 1) % sets.size()];
+    x.IntersectInto(y, &out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_ConjunctionInto)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_ConjunctionSortBased(benchmark::State& state) {
   auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 13);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& x = sets[i % sets.size()];
     const auto& y = sets[(i + 1) % sets.size()];
     benchmark::DoNotOptimize(SortBasedConjunction(x, y));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_ConjunctionSortBased)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_DisjunctionSweepLine(benchmark::State& state) {
   auto sets = RandomSets(256, static_cast<size_t>(state.range(0)), 17);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     const auto& x = sets[i % sets.size()];
     const auto& y = sets[(i + 1) % sets.size()];
     benchmark::DoNotOptimize(x.Union(y));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_DisjunctionSweepLine)->Arg(1)->Arg(16);
 
 void BM_Negation(benchmark::State& state) {
   auto sets = RandomSets(256, 16, 19);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sets[i % sets.size()].Complement());
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_Negation);
 
@@ -176,11 +229,13 @@ void BM_OverlapsPredicate(benchmark::State& state) {
     }
   }
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     benchmark::DoNotOptimize(Overlaps(intervals[i % intervals.size()],
                                       intervals[(i + 1) % intervals.size()]));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_OverlapsPredicate);
 
@@ -194,26 +249,73 @@ void BM_BeforePredicate(benchmark::State& state) {
                             : OngoingInterval::Fixed(s, s + rng.Uniform(1, 90)));
   }
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     benchmark::DoNotOptimize(Before(intervals[i % intervals.size()],
                                     intervals[(i + 1) % intervals.size()]));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_BeforePredicate);
 
 void BM_Instantiate(benchmark::State& state) {
   auto points = RandomPoints(1024, 31);
   size_t i = 0;
+  AllocScope alloc_scope;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         Bind(points[i % points.size()], static_cast<TimePoint>(i % 2000)));
     ++i;
   }
+  ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_Instantiate);
+
+// Console output as usual, plus capture of every run into the shared
+// BenchJsonWriter so ONGOINGDB_BENCH_JSON emits the same schema as the
+// hand-rolled harnesses.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::BenchJsonWriter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.iterations == 0) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      const double seconds_per_op =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      record.ns_per_op = seconds_per_op * 1e9;
+      record.ops_per_sec = seconds_per_op > 0 ? 1.0 / seconds_per_op : 0;
+      if (auto it = run.counters.find("bytes_per_op");
+          it != run.counters.end()) {
+        record.bytes_per_op = it->second.value;
+      }
+      if (auto it = run.counters.find("allocs_per_op");
+          it != run.counters.end()) {
+        record.allocs_per_op = it->second.value;
+      }
+      json_->Add(std::move(record));
+    }
+  }
+
+ private:
+  bench::BenchJsonWriter* json_;
+};
 
 }  // namespace
 }  // namespace ongoingdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ongoingdb::bench::BenchJsonWriter json("micro_core_ops");
+  ongoingdb::JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.WriteFromEnv();
+  return 0;
+}

@@ -5,25 +5,23 @@
 
 namespace ongoingdb {
 
-namespace {
-
-// Debug-only check of the class invariant: non-empty, ascending, disjoint,
-// maximal (a gap of at least one point between consecutive intervals).
-#ifndef NDEBUG
-bool IsNormalized(const std::vector<FixedInterval>& ivs) {
-  for (size_t i = 0; i < ivs.size(); ++i) {
-    if (ivs[i].empty()) return false;
-    if (i > 0 && ivs[i - 1].end >= ivs[i].start) return false;
+bool IntervalSet::IsNormalized(const FixedInterval* intervals, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (intervals[i].empty()) return false;
+    // Endpoints must stay within the time domain: an interval reaching
+    // beyond the infinity sentinels has a well-ordered start/end pair but
+    // denotes points outside T.
+    if (intervals[i].start < kMinInfinity) return false;
+    if (intervals[i].end > kMaxInfinity) return false;
+    if (i > 0 && intervals[i - 1].end >= intervals[i].start) return false;
   }
   return true;
 }
-#endif
 
-}  // namespace
-
-IntervalSet::IntervalSet(std::vector<FixedInterval> intervals)
-    : intervals_(std::move(intervals)) {
-  assert(IsNormalized(intervals_));
+IntervalSet::IntervalSet(std::vector<FixedInterval> intervals) {
+  assert(IsNormalized(intervals.data(), intervals.size()));
+  intervals_.reserve(intervals.size());
+  for (const FixedInterval& iv : intervals) intervals_.push_back(iv);
 }
 
 IntervalSet::IntervalSet(std::initializer_list<FixedInterval> intervals) {
@@ -31,14 +29,20 @@ IntervalSet::IntervalSet(std::initializer_list<FixedInterval> intervals) {
 }
 
 IntervalSet IntervalSet::All() {
-  return IntervalSet(
-      std::vector<FixedInterval>{{kMinInfinity, kMaxInfinity}});
+  IntervalSet result;
+  result.intervals_.push_back({kMinInfinity, kMaxInfinity});
+  return result;
 }
 
 IntervalSet IntervalSet::Empty() { return IntervalSet(); }
 
 IntervalSet IntervalSet::Point(TimePoint t) {
-  return IntervalSet(std::vector<FixedInterval>{{t, t + 1}});
+  // {t, t+1} must stay inside the domain: +inf itself is not a member
+  // of T, and a point at it would break the complement sweep.
+  assert(t >= kMinInfinity && t < kMaxInfinity);
+  IntervalSet result;
+  result.intervals_.push_back({t, t + 1});
+  return result;
 }
 
 IntervalSet IntervalSet::FromUnsorted(std::vector<FixedInterval> intervals) {
@@ -47,7 +51,8 @@ IntervalSet IntervalSet::FromUnsorted(std::vector<FixedInterval> intervals) {
             [](const FixedInterval& x, const FixedInterval& y) {
               return x.start < y.start || (x.start == y.start && x.end < y.end);
             });
-  std::vector<FixedInterval> merged;
+  IntervalSet result;
+  auto& merged = result.intervals_;
   for (const FixedInterval& iv : intervals) {
     if (!merged.empty() && merged.back().end >= iv.start) {
       merged.back().end = std::max(merged.back().end, iv.end);
@@ -55,8 +60,7 @@ IntervalSet IntervalSet::FromUnsorted(std::vector<FixedInterval> intervals) {
       merged.push_back(iv);
     }
   }
-  IntervalSet result;
-  result.intervals_ = std::move(merged);
+  assert(IsNormalized(merged.data(), merged.size()));
   return result;
 }
 
@@ -75,10 +79,12 @@ bool IntervalSet::Contains(TimePoint t) const {
   return t < it->end;
 }
 
-IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+void IntervalSet::IntersectInto(const IntervalSet& other,
+                                IntervalSet* out) const {
+  assert(out != this && out != &other);
   // Algorithm 1 of the paper: a single pass over both ascending interval
   // lists, appending the pairwise intersections.
-  IntervalSet result;
+  out->intervals_.clear();
   size_t i = 0, j = 0;
   const auto& a = intervals_;
   const auto& b = other.intervals_;
@@ -88,8 +94,8 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
     } else if (b[j].end <= a[i].start) {
       ++j;
     } else {
-      result.intervals_.push_back({std::max(a[i].start, b[j].start),
-                                   std::min(a[i].end, b[j].end)});
+      out->intervals_.push_back({std::max(a[i].start, b[j].start),
+                                 std::min(a[i].end, b[j].end)});
       if (a[i].end < b[j].end) {
         ++i;
       } else {
@@ -97,22 +103,28 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
       }
     }
   }
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet result;
+  IntersectInto(other, &result);
   return result;
 }
 
-IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+void IntervalSet::UnionInto(const IntervalSet& other, IntervalSet* out) const {
+  assert(out != this && out != &other);
   // Sweep-line merge of two ascending lists; coalesces overlapping and
   // adjacent intervals on the fly.
-  IntervalSet result;
+  out->intervals_.clear();
   size_t i = 0, j = 0;
   const auto& a = intervals_;
   const auto& b = other.intervals_;
-  auto append = [&result](const FixedInterval& iv) {
-    auto& out = result.intervals_;
-    if (!out.empty() && out.back().end >= iv.start) {
-      out.back().end = std::max(out.back().end, iv.end);
+  auto append = [out](const FixedInterval& iv) {
+    auto& dst = out->intervals_;
+    if (!dst.empty() && dst.back().end >= iv.start) {
+      dst.back().end = std::max(dst.back().end, iv.end);
     } else {
-      out.push_back(iv);
+      dst.push_back(iv);
     }
   };
   while (i < a.size() || j < b.size()) {
@@ -122,6 +134,11 @@ IntervalSet IntervalSet::Union(const IntervalSet& other) const {
       append(b[j++]);
     }
   }
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  IntervalSet result;
+  UnionInto(other, &result);
   return result;
 }
 
@@ -140,8 +157,39 @@ IntervalSet IntervalSet::Complement() const {
   return result;
 }
 
+void IntervalSet::DifferenceInto(const IntervalSet& other,
+                                 IntervalSet* out) const {
+  assert(out != this && out != &other);
+  // Direct sweep: for each interval of `this`, emit the sub-intervals not
+  // covered by `other`. A single cursor walks `other` because both lists
+  // ascend; an interval of `other` that reaches past the current interval
+  // of `this` is kept for the next one.
+  out->intervals_.clear();
+  const auto& b = other.intervals_;
+  size_t j = 0;
+  for (const FixedInterval& iv : intervals_) {
+    TimePoint cursor = iv.start;
+    while (j < b.size() && b[j].end <= cursor) ++j;
+    size_t k = j;
+    while (k < b.size() && b[k].start < iv.end) {
+      if (b[k].start > cursor) {
+        out->intervals_.push_back({cursor, b[k].start});
+      }
+      if (b[k].end > cursor) cursor = b[k].end;
+      if (b[k].end > iv.end) break;
+      ++k;
+    }
+    if (cursor < iv.end) {
+      out->intervals_.push_back({cursor, iv.end});
+    }
+    j = k;
+  }
+}
+
 IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
-  return Intersect(other.Complement());
+  IntervalSet result;
+  DifferenceInto(other, &result);
+  return result;
 }
 
 bool IntervalSet::Intersects(const IntervalSet& other) const {

@@ -365,7 +365,17 @@ class LogicalExpr final : public Expr {
     if (kind() == ExprKind::kOr && a.IsAlwaysTrue()) return a;
     ONGOINGDB_ASSIGN_OR_RETURN(OngoingBoolean b,
                                rhs_->EvalPredicate(schema, tuple));
-    return kind() == ExprKind::kAnd ? a.And(b) : a.Or(b);
+    // Constant operands are identities or absorbers of the connective;
+    // returning the other operand outright skips a sweep and a copy on
+    // the per-tuple path (fixed conjuncts evaluate to constants).
+    if (kind() == ExprKind::kAnd) {
+      if (b.IsAlwaysTrue()) return a;
+      if (b.IsAlwaysFalse()) return b;
+      return a.And(b);
+    }
+    if (b.IsAlwaysFalse()) return a;
+    if (b.IsAlwaysTrue()) return b;
+    return a.Or(b);
   }
 
   Result<bool> EvalPredicateFixed(const Schema& schema, const Tuple& tuple,

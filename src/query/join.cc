@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "relation/algebra.h"
 
@@ -78,47 +78,143 @@ Status ExtractEquiConjuncts(const ExprPtr& predicate,
 
 namespace {
 
-std::vector<Value> ConcatValues(const Tuple& r, const Tuple& s) {
-  std::vector<Value> values;
-  values.reserve(r.num_values() + s.num_values());
-  for (const Value& v : r.values()) values.push_back(v);
-  for (const Value& v : s.values()) values.push_back(v);
-  return values;
-}
+// The shared preparation of both key-driven joins: extracted key column
+// indices per side, the concatenated output schema, and the residual
+// predicate. has_keys == false means the caller must fall back to
+// nested-loop.
+struct EquiJoinPlan {
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  Schema joined;
+  ExprPtr residual;
+  bool has_keys = false;
+};
 
-// Hashable string key of a tuple's values at the given attribute
-// indices.
-std::string KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
-  std::string key;
-  for (size_t i : indices) {
-    key += t.value(i).ToString();
-    key += '\x1f';
+Result<EquiJoinPlan> PrepareEquiJoin(const OngoingRelation& left,
+                                     const OngoingRelation& right,
+                                     const ExprPtr& predicate,
+                                     const std::string& left_prefix,
+                                     const std::string& right_prefix) {
+  EquiJoinPlan plan;
+  std::vector<EquiKey> keys;
+  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
+                                               right.schema(), left_prefix,
+                                               right_prefix, &keys,
+                                               &plan.residual));
+  plan.has_keys = !keys.empty();
+  if (!plan.has_keys) return plan;
+  plan.left_indices.reserve(keys.size());
+  plan.right_indices.reserve(keys.size());
+  for (const EquiKey& key : keys) {
+    plan.left_indices.push_back(key.left_index);
+    plan.right_indices.push_back(key.right_index);
   }
-  return key;
+  plan.joined =
+      left.schema().Concat(right.schema(), left_prefix, right_prefix);
+  return plan;
 }
 
-// Emits the joined tuple for a candidate pair if its reference time is
-// non-empty under the residual predicate.
-Status EmitIfMatching(const Schema& joined_schema, const Tuple& lt,
-                      const Tuple& rt, const ExprPtr& residual,
-                      OngoingRelation* out) {
-  IntervalSet rt_set = lt.rt().Intersect(rt.rt());
-  if (rt_set.IsEmpty()) return Status::OK();
-  std::vector<Value> values = ConcatValues(lt, rt);
-  if (residual != nullptr) {
-    Tuple combined(std::move(values), rt_set);
-    ONGOINGDB_ASSIGN_OR_RETURN(
-        OngoingBoolean pred, residual->EvalPredicate(joined_schema, combined));
-    rt_set = rt_set.Intersect(pred.st());
-    if (rt_set.IsEmpty()) return Status::OK();
-    out->AppendUnchecked(Tuple(combined.values(), std::move(rt_set)));
+// A typed multi-column join key: a view of one tuple's values at the
+// side's key column indices. Hashing combines ValueHash over the key
+// columns and equality compares the typed values directly — no string
+// formatting, no per-key allocation (the old implementation rendered
+// every Value with ToString into a freshly allocated string).
+struct KeyView {
+  const Tuple* tuple;
+  const std::vector<size_t>* indices;
+};
+
+struct KeyViewHash {
+  size_t operator()(const KeyView& k) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (size_t column : *k.indices) {
+      h = HashCombine(h, ValueHash{}(k.tuple->value(column)));
+    }
+    return h;
+  }
+};
+
+// Key equality via ValueEq (ValueCompare == 0), not operator==, so hash
+// and sort-merge group keys identically (ValueEq treats NaN doubles as
+// equal to themselves; IEEE == does not).
+struct KeyViewEq {
+  bool operator()(const KeyView& a, const KeyView& b) const {
+    for (size_t c = 0; c < a.indices->size(); ++c) {
+      if (!ValueEq{}(a.tuple->value((*a.indices)[c]),
+                     b.tuple->value((*b.indices)[c]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Typed multi-column key comparator (sort-merge): lexicographic
+// ValueCompare over the key columns. The two operands may come from
+// different sides with different index lists.
+int CompareKeys(const Tuple& a, const std::vector<size_t>& a_indices,
+                const Tuple& b, const std::vector<size_t>& b_indices) {
+  for (size_t c = 0; c < a_indices.size(); ++c) {
+    if (int cmp = ValueCompare(a.value(a_indices[c]), b.value(b_indices[c]));
+        cmp != 0) {
+      return cmp;
+    }
+  }
+  return 0;
+}
+
+// Emits joined tuples for candidate pairs. Holds the per-join scratch
+// state so the per-pair path allocates nothing when the pair is rejected
+// and only the output tuple's value vector when it is kept: reference
+// times are intersected into reusable destination sets, the residual is
+// evaluated on a reusable combined tuple *before* the output values are
+// materialized, and accepted values are moved — not copied — into the
+// result relation.
+class JoinEmitter {
+ public:
+  JoinEmitter(const Schema& joined_schema, ExprPtr residual,
+              OngoingRelation* out)
+      : joined_schema_(joined_schema),
+        residual_(std::move(residual)),
+        out_(out) {}
+
+  Status Emit(const Tuple& lt, const Tuple& rt) {
+    lt.rt().IntersectInto(rt.rt(), &rt_scratch_);
+    if (rt_scratch_.IsEmpty()) return Status::OK();
+    std::vector<Value>& values = scratch_.mutable_values();
+    values.clear();
+    values.reserve(lt.num_values() + rt.num_values());
+    for (const Value& v : lt.values()) values.push_back(v);
+    for (const Value& v : rt.values()) values.push_back(v);
+    if (residual_ != nullptr) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          OngoingBoolean pred,
+          residual_->EvalPredicate(joined_schema_, scratch_));
+      rt_scratch_.IntersectInto(pred.st(), &restricted_scratch_);
+      if (restricted_scratch_.IsEmpty()) return Status::OK();
+      out_->AppendUnchecked(
+          Tuple(std::move(values), std::move(restricted_scratch_)));
+      return Status::OK();
+    }
+    out_->AppendUnchecked(Tuple(std::move(values), std::move(rt_scratch_)));
     return Status::OK();
   }
-  out->AppendUnchecked(Tuple(std::move(values), std::move(rt_set)));
-  return Status::OK();
-}
+
+ private:
+  const Schema& joined_schema_;
+  ExprPtr residual_;
+  OngoingRelation* out_;
+  Tuple scratch_;
+  IntervalSet rt_scratch_;
+  IntervalSet restricted_scratch_;
+};
 
 }  // namespace
+
+size_t JoinKeyHashForTesting(const Tuple& tuple,
+                             const std::vector<size_t>& indices) {
+  return KeyViewHash{}(KeyView{&tuple, &indices});
+}
 
 Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
                                        const OngoingRelation& right,
@@ -128,10 +224,10 @@ Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
   Schema joined =
       left.schema().Concat(right.schema(), left_prefix, right_prefix);
   OngoingRelation result(joined);
+  JoinEmitter emitter(joined, predicate, &result);
   for (const Tuple& lt : left.tuples()) {
     for (const Tuple& rt : right.tuples()) {
-      ONGOINGDB_RETURN_NOT_OK(
-          EmitIfMatching(joined, lt, rt, predicate, &result));
+      ONGOINGDB_RETURN_NOT_OK(emitter.Emit(lt, rt));
     }
   }
   return result;
@@ -142,34 +238,26 @@ Result<OngoingRelation> HashJoin(const OngoingRelation& left,
                                  const ExprPtr& predicate,
                                  const std::string& left_prefix,
                                  const std::string& right_prefix) {
-  std::vector<EquiKey> keys;
-  ExprPtr residual;
-  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
-                                               right.schema(), left_prefix,
-                                               right_prefix, &keys,
-                                               &residual));
-  if (keys.empty()) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      EquiJoinPlan plan,
+      PrepareEquiJoin(left, right, predicate, left_prefix, right_prefix));
+  if (!plan.has_keys) {
     return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
   }
-  std::vector<size_t> left_idx, right_idx;
-  for (const EquiKey& key : keys) {
-    left_idx.push_back(key.left_index);
-    right_idx.push_back(key.right_index);
-  }
-  Schema joined =
-      left.schema().Concat(right.schema(), left_prefix, right_prefix);
-  OngoingRelation result(joined);
-  // Build on the left input, probe with the right.
-  std::unordered_multimap<std::string, size_t> table;
+  OngoingRelation result(plan.joined);
+  JoinEmitter emitter(plan.joined, plan.residual, &result);
+  // Build on the left input, probe with the right. The KeyView itself
+  // carries the build tuple, so no mapped payload is needed.
+  std::unordered_multiset<KeyView, KeyViewHash, KeyViewEq> table;
   table.reserve(left.size());
   for (size_t i = 0; i < left.size(); ++i) {
-    table.emplace(KeyOf(left.tuple(i), left_idx), i);
+    table.insert(KeyView{&left.tuple(i), &plan.left_indices});
   }
   for (const Tuple& rt : right.tuples()) {
-    auto [begin, end] = table.equal_range(KeyOf(rt, right_idx));
+    auto [begin, end] =
+        table.equal_range(KeyView{&rt, &plan.right_indices});
     for (auto it = begin; it != end; ++it) {
-      ONGOINGDB_RETURN_NOT_OK(EmitIfMatching(joined, left.tuple(it->second),
-                                             rt, residual, &result));
+      ONGOINGDB_RETURN_NOT_OK(emitter.Emit(*it->tuple, rt));
     }
   }
   return result;
@@ -180,54 +268,55 @@ Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
                                       const ExprPtr& predicate,
                                       const std::string& left_prefix,
                                       const std::string& right_prefix) {
-  std::vector<EquiKey> keys;
-  ExprPtr residual;
-  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
-                                               right.schema(), left_prefix,
-                                               right_prefix, &keys,
-                                               &residual));
-  if (keys.empty()) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      EquiJoinPlan plan,
+      PrepareEquiJoin(left, right, predicate, left_prefix, right_prefix));
+  if (!plan.has_keys) {
     return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
   }
-  std::vector<size_t> left_idx, right_idx;
-  for (const EquiKey& key : keys) {
-    left_idx.push_back(key.left_index);
-    right_idx.push_back(key.right_index);
-  }
-  Schema joined =
-      left.schema().Concat(right.schema(), left_prefix, right_prefix);
-  OngoingRelation result(joined);
+  OngoingRelation result(plan.joined);
+  JoinEmitter emitter(plan.joined, plan.residual, &result);
 
-  // Sort row indices of both inputs by key (the log-linear component).
-  std::vector<std::pair<std::string, size_t>> ls, rs;
-  ls.reserve(left.size());
-  rs.reserve(right.size());
-  for (size_t i = 0; i < left.size(); ++i) {
-    ls.emplace_back(KeyOf(left.tuple(i), left_idx), i);
-  }
-  for (size_t i = 0; i < right.size(); ++i) {
-    rs.emplace_back(KeyOf(right.tuple(i), right_idx), i);
-  }
-  std::sort(ls.begin(), ls.end());
-  std::sort(rs.begin(), rs.end());
+  // Sort row indices of both inputs by typed key (the log-linear
+  // component) — no string keys are materialized.
+  std::vector<size_t> ls(left.size()), rs(right.size());
+  for (size_t i = 0; i < ls.size(); ++i) ls[i] = i;
+  for (size_t i = 0; i < rs.size(); ++i) rs[i] = i;
+  std::sort(ls.begin(), ls.end(), [&](size_t a, size_t b) {
+    return CompareKeys(left.tuple(a), plan.left_indices, left.tuple(b),
+                       plan.left_indices) < 0;
+  });
+  std::sort(rs.begin(), rs.end(), [&](size_t a, size_t b) {
+    return CompareKeys(right.tuple(a), plan.right_indices, right.tuple(b),
+                       plan.right_indices) < 0;
+  });
 
   size_t li = 0, ri = 0;
   while (li < ls.size() && ri < rs.size()) {
-    if (ls[li].first < rs[ri].first) {
+    int cmp = CompareKeys(left.tuple(ls[li]), plan.left_indices,
+                          right.tuple(rs[ri]), plan.right_indices);
+    if (cmp < 0) {
       ++li;
-    } else if (rs[ri].first < ls[li].first) {
+    } else if (cmp > 0) {
       ++ri;
     } else {
       // Equal-key groups: emit the cross product of the groups.
       size_t lg = li;
-      while (lg < ls.size() && ls[lg].first == ls[li].first) ++lg;
+      while (lg < ls.size() &&
+             CompareKeys(left.tuple(ls[lg]), plan.left_indices,
+                         left.tuple(ls[li]), plan.left_indices) == 0) {
+        ++lg;
+      }
       size_t rg = ri;
-      while (rg < rs.size() && rs[rg].first == rs[ri].first) ++rg;
+      while (rg < rs.size() &&
+             CompareKeys(right.tuple(rs[rg]), plan.right_indices,
+                         right.tuple(rs[ri]), plan.right_indices) == 0) {
+        ++rg;
+      }
       for (size_t i = li; i < lg; ++i) {
         for (size_t j = ri; j < rg; ++j) {
           ONGOINGDB_RETURN_NOT_OK(
-              EmitIfMatching(joined, left.tuple(ls[i].second),
-                             right.tuple(rs[j].second), residual, &result));
+              emitter.Emit(left.tuple(ls[i]), right.tuple(rs[j])));
         }
       }
       li = lg;

@@ -3,7 +3,8 @@
 // differ in how candidate pairs are enumerated:
 //
 //  * nested-loop: any predicate, O(|R| * |S|);
-//  * hash: linear build/probe on fixed equality conjuncts, residual
+//  * hash: linear build/probe on fixed equality conjuncts (typed
+//    ValueHash/ValueEq keys — no string formatting per tuple), residual
 //    predicate evaluated per candidate pair;
 //  * sort-merge: log-linear sort on the same keys — the algorithm the
 //    paper's Fig. 11 discussion attributes the ongoing plan's extra
@@ -57,5 +58,12 @@ Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
                                       const ExprPtr& predicate,
                                       const std::string& left_prefix,
                                       const std::string& right_prefix);
+
+/// Test hook: the 64-bit hash of a tuple's typed join key at the given
+/// column indices — exactly the function HashJoin buckets by. Exposed so
+/// the adversarial collision tests can construct distinct keys with equal
+/// hashes and verify that equality, not the hash, decides matches.
+size_t JoinKeyHashForTesting(const Tuple& tuple,
+                             const std::vector<size_t>& indices);
 
 }  // namespace ongoingdb

@@ -31,6 +31,11 @@ class Tuple {
   const std::vector<Value>& values() const { return values_; }
   const Value& value(size_t i) const { return values_[i]; }
 
+  /// Mutable access for operators that maintain a reusable scratch tuple
+  /// (e.g. join emission): lets the value vector be refilled in place and
+  /// moved out without reallocating per tuple pair.
+  std::vector<Value>& mutable_values() { return values_; }
+
   /// The reference time attribute RT.
   const IntervalSet& rt() const { return rt_; }
 

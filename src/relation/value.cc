@@ -1,6 +1,9 @@
 #include "relation/value.h"
 
 #include <cassert>
+#include <cmath>
+#include <functional>
+#include <string_view>
 
 #include "core/operations.h"
 
@@ -193,6 +196,108 @@ std::string Value::ToString() const {
       return AsOngoingInterval().ToString();
   }
   return "?";
+}
+
+namespace {
+
+inline size_t HashInt(int64_t v) {
+  return std::hash<int64_t>{}(v);
+}
+
+template <typename T>
+int ThreeWay(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+int ComparePoints(const OngoingTimePoint& a, const OngoingTimePoint& b) {
+  if (int c = ThreeWay(a.a(), b.a()); c != 0) return c;
+  return ThreeWay(a.b(), b.b());
+}
+
+}  // namespace
+
+size_t ValueHash::operator()(const Value& v) const {
+  size_t h = HashInt(static_cast<int64_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      return h;
+    case ValueType::kInt64:
+      return HashCombine(h, HashInt(v.AsInt64()));
+    case ValueType::kDouble: {
+      // All NaN bit patterns compare equal under ValueCompare, so they
+      // must share one hash (unordered-container contract).
+      const double d = v.AsDouble();
+      if (std::isnan(d)) return HashCombine(h, 0x7ff8dead);
+      return HashCombine(h, std::hash<double>{}(d));
+    }
+    case ValueType::kString:
+      return HashCombine(h, std::hash<std::string_view>{}(v.AsString()));
+    case ValueType::kBool:
+      return HashCombine(h, v.AsBool() ? 0x9ae16a3b : 0xc2b2ae35);
+    case ValueType::kTimePoint:
+      return HashCombine(h, HashInt(v.AsTime()));
+    case ValueType::kFixedInterval: {
+      FixedInterval f = v.AsInterval();
+      return HashCombine(HashCombine(h, HashInt(f.start)), HashInt(f.end));
+    }
+    case ValueType::kOngoingTimePoint: {
+      const OngoingTimePoint& p = v.AsOngoingPoint();
+      return HashCombine(HashCombine(h, HashInt(p.a())), HashInt(p.b()));
+    }
+    case ValueType::kOngoingInterval: {
+      const OngoingInterval& iv = v.AsOngoingInterval();
+      h = HashCombine(h, HashInt(iv.start().a()));
+      h = HashCombine(h, HashInt(iv.start().b()));
+      h = HashCombine(h, HashInt(iv.end().a()));
+      return HashCombine(h, HashInt(iv.end().b()));
+    }
+  }
+  return h;
+}
+
+int ValueCompare(const Value& a, const Value& b) {
+  if (int c = ThreeWay(static_cast<int>(a.type()), static_cast<int>(b.type()));
+      c != 0) {
+    return c;
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+      return ThreeWay(a.AsInt64(), b.AsInt64());
+    case ValueType::kDouble: {
+      const double x = a.AsDouble(), y = b.AsDouble();
+      // NaN sorts after every number and equal to itself: IEEE < would
+      // break std::sort's strict-weak-ordering requirement.
+      const bool x_nan = std::isnan(x), y_nan = std::isnan(y);
+      if (x_nan || y_nan) return x_nan == y_nan ? 0 : (x_nan ? 1 : -1);
+      return ThreeWay(x, y);
+    }
+    case ValueType::kString: {
+      int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kBool:
+      return ThreeWay(a.AsBool(), b.AsBool());
+    case ValueType::kTimePoint:
+      return ThreeWay(a.AsTime(), b.AsTime());
+    case ValueType::kFixedInterval: {
+      FixedInterval x = a.AsInterval(), y = b.AsInterval();
+      if (int c = ThreeWay(x.start, y.start); c != 0) return c;
+      return ThreeWay(x.end, y.end);
+    }
+    case ValueType::kOngoingTimePoint:
+      return ComparePoints(a.AsOngoingPoint(), b.AsOngoingPoint());
+    case ValueType::kOngoingInterval: {
+      const OngoingInterval& x = a.AsOngoingInterval();
+      const OngoingInterval& y = b.AsOngoingInterval();
+      if (int c = ComparePoints(x.start(), y.start()); c != 0) return c;
+      return ComparePoints(x.end(), y.end());
+    }
+  }
+  return 0;
 }
 
 OngoingBoolean OngoingValueEqual(const Value& v1, const Value& v2) {

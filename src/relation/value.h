@@ -90,6 +90,35 @@ class Value {
       data_;
 };
 
+/// Boost-style 64-bit hash combining; shared by ValueHash and the typed
+/// join-key hash so the two can never drift apart.
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor over Value for typed join keys and hash-based operators:
+/// hash-combines the type tag with the variant payload directly — no
+/// ToString formatting, no allocation. Consistent with operator==.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+/// Total order over values for sort-based operators (sort-merge join
+/// keys): orders by type tag first, then by payload. Returns <0, 0, >0.
+/// Consistent with operator== except NaN doubles, which compare equal
+/// to themselves and greater than every number (Postgres-style) so the
+/// order stays strict-weak and key-driven joins group NaN keys alike.
+int ValueCompare(const Value& a, const Value& b);
+
+/// Equality functor matching ValueCompare (so NaN equals NaN, unlike
+/// operator==): the companion of ValueHash for unordered containers and
+/// the equality the key-driven joins group by.
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return ValueCompare(a, b) == 0;
+  }
+};
+
 /// Time-dependent equality of two values as an ongoing boolean: at each
 /// reference time rt, true iff ||v1||rt equals ||v2||rt. Fixed values
 /// yield constant booleans; ongoing time points use the Table II `=`

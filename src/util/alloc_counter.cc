@@ -1,0 +1,76 @@
+// Counting replacements of the global allocation functions. Linking this
+// translation unit into a binary replaces operator new/delete for the
+// whole program (ISO C++ replaceable allocation functions), so it is kept
+// in its own static library that only measurement targets link.
+#include "util/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace ongoingdb {
+namespace {
+
+// Thread-local so concurrent helper threads (e.g. inside the benchmark
+// library) never perturb the measuring thread's numbers.
+thread_local uint64_t g_alloc_count = 0;
+thread_local uint64_t g_alloc_bytes = 0;
+
+void* CountedAlloc(size_t size) {
+  g_alloc_count += 1;
+  g_alloc_bytes += size;
+  // Never return nullptr for zero-sized requests.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(size_t size, size_t alignment) {
+  g_alloc_count += 1;
+  g_alloc_bytes += size;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+uint64_t AllocCounter::Count() { return g_alloc_count; }
+uint64_t AllocCounter::Bytes() { return g_alloc_bytes; }
+
+}  // namespace ongoingdb
+
+void* operator new(size_t size) { return ongoingdb::CountedAlloc(size); }
+void* operator new[](size_t size) { return ongoingdb::CountedAlloc(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  return ongoingdb::CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return ongoingdb::CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ongoingdb::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ongoingdb::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,42 @@
+// Opt-in heap-allocation instrumentation. Targets that link the
+// `ongoingdb_alloc_counter` library get counting replacements of the
+// global operator new/delete; the counters below then report how many
+// allocations (and bytes) the calling thread performed. Targets that do
+// not link it keep the default allocator — the header only declares the
+// accessors, the hook lives in alloc_counter.cc.
+//
+// Used by the benchmark harnesses to report bytes-per-operation and by
+// core_property_test to assert that IntervalSet operations on small sets
+// stay off the heap (see docs/DESIGN.md, "Hot-path memory layout").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ongoingdb {
+
+/// Thread-local heap-allocation counters, maintained by the operator
+/// new/delete replacements in alloc_counter.cc.
+struct AllocCounter {
+  /// Number of operator-new calls performed by this thread so far.
+  static uint64_t Count();
+
+  /// Total bytes requested from operator new by this thread so far.
+  static uint64_t Bytes();
+};
+
+/// Scoped delta measurement: records the counters at construction and
+/// reports the growth since then.
+class AllocScope {
+ public:
+  AllocScope() : count_(AllocCounter::Count()), bytes_(AllocCounter::Bytes()) {}
+
+  uint64_t count() const { return AllocCounter::Count() - count_; }
+  uint64_t bytes() const { return AllocCounter::Bytes() - bytes_; }
+
+ private:
+  uint64_t count_;
+  uint64_t bytes_;
+};
+
+}  // namespace ongoingdb

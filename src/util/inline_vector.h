@@ -1,0 +1,198 @@
+// A vector with inline storage for the first N elements. Table IV of the
+// paper shows that reference-time sets almost always hold one or two
+// intervals, so IntervalSet stores its interval list in an InlineVector:
+// the common case lives entirely inside the object and set operations on
+// typical RT sets never touch the heap. Larger sets spill to a heap
+// buffer with the usual geometric growth.
+//
+// The interface is the subset of std::vector the engine needs; clear()
+// deliberately keeps the heap buffer so destination-passing consumers
+// (IntersectInto/UnionInto) can reuse spilled capacity across calls.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace ongoingdb {
+
+template <typename T, size_t N>
+class InlineVector {
+ public:
+  static_assert(N > 0, "inline capacity must be positive");
+
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVector() : data_(InlineData()), size_(0), capacity_(N) {}
+
+  InlineVector(std::initializer_list<T> init) : InlineVector() {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  InlineVector(const InlineVector& other) : InlineVector() {
+    reserve(other.size_);
+    std::uninitialized_copy(other.begin(), other.end(), data_);
+    size_ = other.size_;
+  }
+
+  InlineVector(InlineVector&& other) noexcept : InlineVector() {
+    StealOrMoveFrom(std::move(other));
+  }
+
+  InlineVector& operator=(const InlineVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    std::uninitialized_copy(other.begin(), other.end(), data_);
+    size_ = other.size_;
+    return *this;
+  }
+
+  InlineVector& operator=(InlineVector&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyAll();
+    ReleaseHeap();
+    data_ = InlineData();
+    capacity_ = N;
+    StealOrMoveFrom(std::move(other));
+    return *this;
+  }
+
+  ~InlineVector() {
+    DestroyAll();
+    ReleaseHeap();
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+
+  /// True iff the elements currently live in the inline buffer.
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    Grow(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ < capacity_) {
+      T* slot = ::new (static_cast<void*>(data_ + size_))
+          T(std::forward<Args>(args)...);
+      ++size_;
+      return *slot;
+    }
+    // Full: grow by hand so the new element is constructed *before* the
+    // old buffer is destroyed — the arguments may reference an element
+    // of this vector (v.push_back(v[0]) is legal on std::vector).
+    const size_t new_capacity = capacity_ * 2;
+    T* new_data = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    T* slot = ::new (static_cast<void*>(new_data + size_))
+        T(std::forward<Args>(args)...);
+    std::uninitialized_move(begin(), end(), new_data);
+    DestroyAll();
+    ReleaseHeap();
+    data_ = new_data;
+    capacity_ = new_capacity;
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  /// Destroys all elements. Keeps the current buffer (inline or heap) so
+  /// repeated fill/clear cycles reuse capacity instead of reallocating.
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  friend bool operator==(const InlineVector& a, const InlineVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void DestroyAll() { std::destroy(begin(), end()); }
+
+  void ReleaseHeap() {
+    if (!is_inline()) {
+      ::operator delete(static_cast<void*>(data_));
+    }
+  }
+
+  void Grow(size_t at_least) {
+    size_t new_capacity = std::max(at_least, capacity_ * 2);
+    T* new_data = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::uninitialized_move(begin(), end(), new_data);
+    DestroyAll();
+    ReleaseHeap();
+    data_ = new_data;
+    capacity_ = new_capacity;
+  }
+
+  // Move-assignment helper: steals the heap buffer of a spilled source;
+  // element-wise moves an inline source. The source is left empty and
+  // back on its inline buffer either way.
+  void StealOrMoveFrom(InlineVector&& other) noexcept {
+    if (other.is_inline()) {
+      std::uninitialized_move(other.begin(), other.end(), data_);
+      size_ = other.size_;
+      other.DestroyAll();
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  T* data_;
+  size_t size_;
+  size_t capacity_;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace ongoingdb

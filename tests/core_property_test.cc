@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/operations.h"
+#include "util/alloc_counter.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
@@ -151,6 +152,44 @@ TEST_P(CorePropertyTest, MinMaxClosureAndMonotonicity) {
     EXPECT_GE(cur, prev);
     prev = cur;
   }
+}
+
+TEST_P(CorePropertyTest, SmallIntervalSetOpsAreAllocationFree) {
+  // Table IV: reference-time sets almost always hold 1-2 intervals. The
+  // small-buffer IntervalSet must keep every such conjunction off the
+  // heap — this pins down the hot path of join emission and predicate
+  // evaluation. (This binary links the counting allocator.)
+  Rng rng(GetParam() * 2654435761u + 7);
+  auto random_small = [&rng] {
+    std::vector<FixedInterval> ivs;
+    const int n = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n; ++i) {
+      TimePoint s = rng.Uniform(-100, 100);
+      ivs.push_back({s, s + rng.Uniform(1, 40)});
+    }
+    return IntervalSet::FromUnsorted(std::move(ivs));
+  };
+  IntervalSet a = random_small();
+  IntervalSet b = random_small();
+  ASSERT_LE(a.IntervalCount(), 2u);
+  ASSERT_LE(b.IntervalCount(), 2u);
+  IntervalSet reused;
+  OngoingBoolean x(a), y(b);
+  AllocScope scope;
+  IntervalSet direct = a.Intersect(b);
+  a.IntersectInto(b, &reused);
+  bool hit = a.Intersects(b);
+  // Ongoing-boolean conjunction and negation ride on the same storage.
+  OngoingBoolean conj = x.And(y);
+  OngoingBoolean neg = x.Not();
+  const uint64_t allocations = scope.count();
+  EXPECT_EQ(allocations, 0u)
+      << "set ops on 1-2 interval sets must not touch the heap: "
+      << a.ToString() << " ^ " << b.ToString();
+  EXPECT_EQ(hit, !direct.IsEmpty());
+  EXPECT_EQ(reused, direct);
+  EXPECT_EQ(conj.st(), direct);
+  EXPECT_EQ(neg.st().Complement(), a);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, CorePropertyTest,
