@@ -205,6 +205,101 @@ void BM_DisjunctionSweepLine(benchmark::State& state) {
 }
 BENCHMARK(BM_DisjunctionSweepLine)->Arg(1)->Arg(16);
 
+// --- inline-buffer spill of 2x2-interval set operations --------------------
+// The ROADMAP question behind these: Union/Difference of two 2-interval
+// sets can produce 4 intervals and spill the inline capacity of 3. The
+// pairs below are constructed so every operation spills — the worst
+// case, not the average — which bounds what revisiting the inline cap
+// could possibly save.
+
+// Two 2-interval sets whose union has 4 intervals (disjoint,
+// non-adjacent).
+std::vector<std::pair<IntervalSet, IntervalSet>> Spill2x2UnionPairs(
+    size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<IntervalSet, IntervalSet>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint a = rng.Uniform(-5000, 5000);
+    pairs.emplace_back(IntervalSet{{a, a + 5}, {a + 40, a + 45}},
+                       IntervalSet{{a + 10, a + 15}, {a + 60, a + 65}});
+  }
+  return pairs;
+}
+
+// x minus y where y bites a hole into both intervals of x: 4 fragments.
+std::vector<std::pair<IntervalSet, IntervalSet>> Spill2x2DifferencePairs(
+    size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<IntervalSet, IntervalSet>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint a = rng.Uniform(-5000, 5000);
+    pairs.emplace_back(IntervalSet{{a, a + 30}, {a + 50, a + 80}},
+                       IntervalSet{{a + 5, a + 10}, {a + 55, a + 60}});
+  }
+  return pairs;
+}
+
+void BM_DisjunctionSpill2x2(benchmark::State& state) {
+  auto pairs = Spill2x2UnionPairs(256, 37);
+  size_t i = 0;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    const auto& [x, y] = pairs[i % pairs.size()];
+    benchmark::DoNotOptimize(x.Union(y));
+    ++i;
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DisjunctionSpill2x2);
+
+// Destination reuse: after the first spill the kept heap buffer absorbs
+// all later 4-interval results — the accumulator pattern Union/
+// Difference consumers (CoveredReferenceTimes, algebra Difference) use.
+void BM_DisjunctionInto2x2(benchmark::State& state) {
+  auto pairs = Spill2x2UnionPairs(256, 37);
+  size_t i = 0;
+  IntervalSet out;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    const auto& [x, y] = pairs[i % pairs.size()];
+    x.UnionInto(y, &out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DisjunctionInto2x2);
+
+void BM_DifferenceSpill2x2(benchmark::State& state) {
+  auto pairs = Spill2x2DifferencePairs(256, 41);
+  size_t i = 0;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    const auto& [x, y] = pairs[i % pairs.size()];
+    benchmark::DoNotOptimize(x.Difference(y));
+    ++i;
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DifferenceSpill2x2);
+
+void BM_DifferenceInto2x2(benchmark::State& state) {
+  auto pairs = Spill2x2DifferencePairs(256, 41);
+  size_t i = 0;
+  IntervalSet out;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    const auto& [x, y] = pairs[i % pairs.size()];
+    x.DifferenceInto(y, &out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DifferenceInto2x2);
+
 void BM_Negation(benchmark::State& state) {
   auto sets = RandomSets(256, 16, 19);
   size_t i = 0;

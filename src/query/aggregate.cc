@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "query/physical.h"
+
 namespace ongoingdb {
 
 int64_t StepFunction::At(TimePoint rt) const {
@@ -29,16 +31,11 @@ std::string StepFunction::ToString() const {
   return s;
 }
 
-StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
-  // Sweep over interval boundaries: +1 at each RT interval start, -1 at
-  // each end.
-  std::map<TimePoint, int64_t> deltas;
-  for (const Tuple& t : r.tuples()) {
-    for (const FixedInterval& iv : t.rt().intervals()) {
-      deltas[iv.start] += 1;
-      deltas[iv.end] -= 1;
-    }
-  }
+namespace {
+
+// Turns the +1/-1 boundary deltas of the count sweep into maximal,
+// gap-free steps.
+StepFunction StepsFromDeltas(const std::map<TimePoint, int64_t>& deltas) {
   StepFunction fn;
   TimePoint cursor = kMinInfinity;
   int64_t count = 0;
@@ -64,6 +61,47 @@ StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
   }
   fn.steps = std::move(merged);
   return fn;
+}
+
+}  // namespace
+
+StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
+  // Sweep over interval boundaries: +1 at each RT interval start, -1 at
+  // each end.
+  std::map<TimePoint, int64_t> deltas;
+  for (const Tuple& t : r.tuples()) {
+    for (const FixedInterval& iv : t.rt().intervals()) {
+      deltas[iv.start] += 1;
+      deltas[iv.end] -= 1;
+    }
+  }
+  return StepsFromDeltas(deltas);
+}
+
+Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan) {
+  // Batch-at-a-time ingestion: only the boundary deltas are kept, the
+  // query result itself is never materialized.
+  ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
+                             Compile(plan, ExecMode::kOngoing));
+  // A bare scan needs no batch copies: count over the relation itself.
+  if (const OngoingRelation* rel = root->BorrowedRelation()) {
+    return CountAtEachReferenceTime(*rel);
+  }
+  ONGOINGDB_RETURN_NOT_OK(root->Open());
+  std::map<TimePoint, int64_t> deltas;
+  TupleBatch batch;
+  while (true) {
+    ONGOINGDB_RETURN_NOT_OK(root->Next(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (const FixedInterval& iv : batch.tuple(i).rt().intervals()) {
+        deltas[iv.start] += 1;
+        deltas[iv.end] -= 1;
+      }
+    }
+  }
+  root->Close();
+  return StepsFromDeltas(deltas);
 }
 
 Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "query/plan.h"
 #include "relation/relation.h"
 #include "util/result.h"
 
@@ -39,6 +40,11 @@ struct StepFunction {
 /// of tuples whose RT contains rt (= |{r in R | rt in r.RT}| =
 /// |sigma(...)| of the instantiated relation).
 StepFunction CountAtEachReferenceTime(const OngoingRelation& r);
+
+/// COUNT over a query's ongoing result, computed batch-at-a-time via the
+/// pull-based executor (query/physical.h): only the RT boundary deltas
+/// are accumulated; the result relation is never materialized.
+Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan);
 
 /// Grouped COUNT: one step function per distinct value of the (fixed)
 /// group-by attribute.

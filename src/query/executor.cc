@@ -1,194 +1,20 @@
 #include "query/executor.h"
 
-#include <unordered_map>
-
-#include "query/join.h"
-#include "relation/algebra.h"
+#include "query/physical.h"
 
 namespace ongoingdb {
 
-namespace {
-
-// --- ongoing mode ----------------------------------------------------------
-
-Result<OngoingRelation> ExecuteFilter(const FilterNode& node,
-                                      OngoingRelation input) {
-  // Sec. VIII: split the conjunctive predicate. The fixed part does not
-  // depend on the reference time and is evaluated as an ordinary WHERE
-  // filter; the ongoing part restricts the result tuples' RT.
-  SplitPredicate split = Split(node.predicate(), input.schema());
-  OngoingRelation result(input.schema());
-  for (const Tuple& t : input.tuples()) {
-    if (split.fixed_part != nullptr) {
-      ONGOINGDB_ASSIGN_OR_RETURN(
-          bool keep, split.fixed_part->EvalPredicateFixed(input.schema(), t));
-      if (!keep) continue;
-    }
-    IntervalSet rt = t.rt();
-    if (split.ongoing_part != nullptr) {
-      ONGOINGDB_ASSIGN_OR_RETURN(
-          OngoingBoolean pred,
-          split.ongoing_part->EvalPredicate(input.schema(), t));
-      rt = rt.Intersect(pred.st());
-      if (rt.IsEmpty()) continue;
-    }
-    result.AppendUnchecked(Tuple(t.values(), std::move(rt)));
-  }
-  return result;
-}
-
-// --- Clifford (fixed) mode -------------------------------------------------
-
-std::vector<Value> ConcatValues(const Tuple& r, const Tuple& s) {
-  std::vector<Value> values;
-  values.reserve(r.num_values() + s.num_values());
-  for (const Value& v : r.values()) values.push_back(v);
-  for (const Value& v : s.values()) values.push_back(v);
-  return values;
-}
-
-std::string KeyOf(const Tuple& t, const std::vector<size_t>& indices) {
-  std::string key;
-  for (size_t i : indices) {
-    key += t.value(i).ToString();
-    key += '\x1f';
-  }
-  return key;
-}
-
-Result<OngoingRelation> FixedModeJoin(const JoinNode& node,
-                                      const OngoingRelation& left,
-                                      const OngoingRelation& right,
-                                      TimePoint rt) {
-  Schema joined = left.schema().Concat(right.schema(), node.left_prefix(),
-                                       node.right_prefix());
-  OngoingRelation result(joined);
-  std::vector<EquiKey> keys;
-  ExprPtr residual;
-  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(
-      node.predicate(), left.schema(), right.schema(), node.left_prefix(),
-      node.right_prefix(), &keys, &residual));
-  auto emit = [&joined, &residual, &result, rt](const Tuple& lt,
-                                                const Tuple& st) -> Status {
-    Tuple combined(ConcatValues(lt, st));
-    if (residual != nullptr) {
-      ONGOINGDB_ASSIGN_OR_RETURN(
-          bool keep, residual->EvalPredicateFixed(joined, combined, rt));
-      if (!keep) return Status::OK();
-    }
-    result.AppendUnchecked(std::move(combined));
-    return Status::OK();
-  };
-  if (keys.empty()) {
-    // Nested loop with the full predicate.
-    for (const Tuple& lt : left.tuples()) {
-      for (const Tuple& st : right.tuples()) {
-        Tuple combined(ConcatValues(lt, st));
-        ONGOINGDB_ASSIGN_OR_RETURN(
-            bool keep,
-            node.predicate()->EvalPredicateFixed(joined, combined, rt));
-        if (keep) result.AppendUnchecked(std::move(combined));
-      }
-    }
-    return result;
-  }
-  // Hash join (the linear-time choice the paper notes PostgreSQL's
-  // optimizer makes for Clifford's instantiated relations, Fig. 11).
-  std::vector<size_t> left_idx, right_idx;
-  for (const EquiKey& key : keys) {
-    left_idx.push_back(key.left_index);
-    right_idx.push_back(key.right_index);
-  }
-  std::unordered_multimap<std::string, size_t> table;
-  table.reserve(left.size());
-  for (size_t i = 0; i < left.size(); ++i) {
-    table.emplace(KeyOf(left.tuple(i), left_idx), i);
-  }
-  for (const Tuple& st : right.tuples()) {
-    auto [begin, end] = table.equal_range(KeyOf(st, right_idx));
-    for (auto it = begin; it != end; ++it) {
-      ONGOINGDB_RETURN_NOT_OK(emit(left.tuple(it->second), st));
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 Result<OngoingRelation> Execute(const PlanPtr& plan) {
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-      return static_cast<const ScanNode*>(plan.get())->relation();
-    case PlanKind::kFilter: {
-      const auto* node = static_cast<const FilterNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation input,
-                                 Execute(node->child()));
-      return ExecuteFilter(*node, std::move(input));
-    }
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation input,
-                                 Execute(node->child()));
-      return Project(input, node->names());
-    }
-    case PlanKind::kJoin: {
-      const auto* node = static_cast<const JoinNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation left, Execute(node->left()));
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation right,
-                                 Execute(node->right()));
-      switch (node->algorithm()) {
-        case JoinAlgorithm::kNestedLoop:
-          return NestedLoopJoin(left, right, node->predicate(),
-                                node->left_prefix(), node->right_prefix());
-        case JoinAlgorithm::kSortMerge:
-          return SortMergeJoin(left, right, node->predicate(),
-                               node->left_prefix(), node->right_prefix());
-        case JoinAlgorithm::kAuto:
-        case JoinAlgorithm::kHash:
-          return HashJoin(left, right, node->predicate(),
-                          node->left_prefix(), node->right_prefix());
-      }
-      return Status::Internal("unknown join algorithm");
-    }
-  }
-  return Status::Internal("unknown plan kind");
+  ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
+                             Compile(plan, ExecMode::kOngoing));
+  return DrainToRelation(*root);
 }
 
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
                                                TimePoint rt) {
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-      return InstantiateRelation(
-          static_cast<const ScanNode*>(plan.get())->relation(), rt);
-    case PlanKind::kFilter: {
-      const auto* node = static_cast<const FilterNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation input,
-                                 ExecuteAtReferenceTime(node->child(), rt));
-      OngoingRelation result(input.schema());
-      for (const Tuple& t : input.tuples()) {
-        ONGOINGDB_ASSIGN_OR_RETURN(
-            bool keep,
-            node->predicate()->EvalPredicateFixed(input.schema(), t, rt));
-        if (keep) result.AppendUnchecked(t);
-      }
-      return result;
-    }
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation input,
-                                 ExecuteAtReferenceTime(node->child(), rt));
-      return Project(input, node->names());
-    }
-    case PlanKind::kJoin: {
-      const auto* node = static_cast<const JoinNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation left,
-                                 ExecuteAtReferenceTime(node->left(), rt));
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation right,
-                                 ExecuteAtReferenceTime(node->right(), rt));
-      return FixedModeJoin(*node, left, right, rt);
-    }
-  }
-  return Status::Internal("unknown plan kind");
+  ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
+                             Compile(plan, ExecMode::kAtReferenceTime, rt));
+  return DrainToRelation(*root);
 }
 
 }  // namespace ongoingdb

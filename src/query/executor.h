@@ -10,6 +10,12 @@
 //    instantiated at the given reference time and all predicates are
 //    evaluated with fixed semantics. The result is valid at that
 //    reference time only (re-evaluation is required as time passes by).
+//
+// Both are thin wrappers over the pull-based execution API
+// (query/physical.h): the plan is lowered with Compile() and the
+// operator tree is drained batch by batch into the result relation.
+// Callers that do not need the whole result materialized should compile
+// and pull batches themselves.
 #pragma once
 
 #include "query/plan.h"

@@ -1,10 +1,8 @@
 #include "query/join.h"
 
-#include <algorithm>
 #include <optional>
-#include <unordered_set>
 
-#include "relation/algebra.h"
+#include "query/physical.h"
 
 namespace ongoingdb {
 
@@ -76,84 +74,53 @@ Status ExtractEquiConjuncts(const ExprPtr& predicate,
   return Status::OK();
 }
 
-namespace {
-
-// The shared preparation of both key-driven joins: extracted key column
-// indices per side, the concatenated output schema, and the residual
-// predicate. has_keys == false means the caller must fall back to
-// nested-loop.
-struct EquiJoinPlan {
-  std::vector<size_t> left_indices;
-  std::vector<size_t> right_indices;
-  Schema joined;
-  ExprPtr residual;
-  bool has_keys = false;
-};
-
-Result<EquiJoinPlan> PrepareEquiJoin(const OngoingRelation& left,
-                                     const OngoingRelation& right,
+Result<EquiJoinPlan> PrepareEquiJoin(const Schema& left_schema,
+                                     const Schema& right_schema,
                                      const ExprPtr& predicate,
                                      const std::string& left_prefix,
                                      const std::string& right_prefix) {
   EquiJoinPlan plan;
   std::vector<EquiKey> keys;
-  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left.schema(),
-                                               right.schema(), left_prefix,
+  ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(predicate, left_schema,
+                                               right_schema, left_prefix,
                                                right_prefix, &keys,
                                                &plan.residual));
+  plan.joined = left_schema.Concat(right_schema, left_prefix, right_prefix);
   plan.has_keys = !keys.empty();
-  if (!plan.has_keys) return plan;
+  if (!plan.has_keys) {
+    // Nested-loop fallback: the whole predicate is the residual.
+    plan.residual = predicate;
+    return plan;
+  }
   plan.left_indices.reserve(keys.size());
   plan.right_indices.reserve(keys.size());
   for (const EquiKey& key : keys) {
     plan.left_indices.push_back(key.left_index);
     plan.right_indices.push_back(key.right_index);
   }
-  plan.joined =
-      left.schema().Concat(right.schema(), left_prefix, right_prefix);
   return plan;
 }
 
-// A typed multi-column join key: a view of one tuple's values at the
-// side's key column indices. Hashing combines ValueHash over the key
-// columns and equality compares the typed values directly — no string
-// formatting, no per-key allocation (the old implementation rendered
-// every Value with ToString into a freshly allocated string).
-struct KeyView {
-  const Tuple* tuple;
-  const std::vector<size_t>* indices;
-};
-
-struct KeyViewHash {
-  size_t operator()(const KeyView& k) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (size_t column : *k.indices) {
-      h = HashCombine(h, ValueHash{}(k.tuple->value(column)));
-    }
-    return h;
+size_t JoinKeyHash(const Tuple& tuple, const std::vector<size_t>& indices) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (size_t column : indices) {
+    h = HashCombine(h, ValueHash{}(tuple.value(column)));
   }
-};
+  return h;
+}
 
-// Key equality via ValueEq (ValueCompare == 0), not operator==, so hash
-// and sort-merge group keys identically (ValueEq treats NaN doubles as
-// equal to themselves; IEEE == does not).
-struct KeyViewEq {
-  bool operator()(const KeyView& a, const KeyView& b) const {
-    for (size_t c = 0; c < a.indices->size(); ++c) {
-      if (!ValueEq{}(a.tuple->value((*a.indices)[c]),
-                     b.tuple->value((*b.indices)[c]))) {
-        return false;
-      }
+bool JoinKeysEqual(const Tuple& a, const std::vector<size_t>& a_indices,
+                   const Tuple& b, const std::vector<size_t>& b_indices) {
+  for (size_t c = 0; c < a_indices.size(); ++c) {
+    if (!ValueEq{}(a.value(a_indices[c]), b.value(b_indices[c]))) {
+      return false;
     }
-    return true;
   }
-};
+  return true;
+}
 
-// Typed multi-column key comparator (sort-merge): lexicographic
-// ValueCompare over the key columns. The two operands may come from
-// different sides with different index lists.
-int CompareKeys(const Tuple& a, const std::vector<size_t>& a_indices,
-                const Tuple& b, const std::vector<size_t>& b_indices) {
+int CompareJoinKeys(const Tuple& a, const std::vector<size_t>& a_indices,
+                    const Tuple& b, const std::vector<size_t>& b_indices) {
   for (size_t c = 0; c < a_indices.size(); ++c) {
     if (int cmp = ValueCompare(a.value(a_indices[c]), b.value(b_indices[c]));
         cmp != 0) {
@@ -163,74 +130,33 @@ int CompareKeys(const Tuple& a, const std::vector<size_t>& a_indices,
   return 0;
 }
 
-// Emits joined tuples for candidate pairs. Holds the per-join scratch
-// state so the per-pair path allocates nothing when the pair is rejected
-// and only the output tuple's value vector when it is kept: reference
-// times are intersected into reusable destination sets, the residual is
-// evaluated on a reusable combined tuple *before* the output values are
-// materialized, and accepted values are moved — not copied — into the
-// result relation.
-class JoinEmitter {
- public:
-  JoinEmitter(const Schema& joined_schema, ExprPtr residual,
-              OngoingRelation* out)
-      : joined_schema_(joined_schema),
-        residual_(std::move(residual)),
-        out_(out) {}
+namespace {
 
-  Status Emit(const Tuple& lt, const Tuple& rt) {
-    lt.rt().IntersectInto(rt.rt(), &rt_scratch_);
-    if (rt_scratch_.IsEmpty()) return Status::OK();
-    std::vector<Value>& values = scratch_.mutable_values();
-    values.clear();
-    values.reserve(lt.num_values() + rt.num_values());
-    for (const Value& v : lt.values()) values.push_back(v);
-    for (const Value& v : rt.values()) values.push_back(v);
-    if (residual_ != nullptr) {
-      ONGOINGDB_ASSIGN_OR_RETURN(
-          OngoingBoolean pred,
-          residual_->EvalPredicate(joined_schema_, scratch_));
-      rt_scratch_.IntersectInto(pred.st(), &restricted_scratch_);
-      if (restricted_scratch_.IsEmpty()) return Status::OK();
-      out_->AppendUnchecked(
-          Tuple(std::move(values), std::move(restricted_scratch_)));
-      return Status::OK();
-    }
-    out_->AppendUnchecked(Tuple(std::move(values), std::move(rt_scratch_)));
-    return Status::OK();
-  }
-
- private:
-  const Schema& joined_schema_;
-  ExprPtr residual_;
-  OngoingRelation* out_;
-  Tuple scratch_;
-  IntervalSet rt_scratch_;
-  IntervalSet restricted_scratch_;
-};
+// All three relation-level joins run the batched physical operator over
+// borrowed scans of the inputs and drain it into a result relation.
+Result<OngoingRelation> RunJoin(JoinAlgorithm algorithm,
+                                const OngoingRelation& left,
+                                const OngoingRelation& right,
+                                const ExprPtr& predicate,
+                                const std::string& left_prefix,
+                                const std::string& right_prefix) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PhysicalOpPtr op,
+      MakeJoinOp(algorithm, MakeScanOp(&left, ExecMode::kOngoing),
+                 MakeScanOp(&right, ExecMode::kOngoing), predicate,
+                 left_prefix, right_prefix, ExecMode::kOngoing));
+  return DrainToRelation(*op);
+}
 
 }  // namespace
-
-size_t JoinKeyHashForTesting(const Tuple& tuple,
-                             const std::vector<size_t>& indices) {
-  return KeyViewHash{}(KeyView{&tuple, &indices});
-}
 
 Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
                                        const OngoingRelation& right,
                                        const ExprPtr& predicate,
                                        const std::string& left_prefix,
                                        const std::string& right_prefix) {
-  Schema joined =
-      left.schema().Concat(right.schema(), left_prefix, right_prefix);
-  OngoingRelation result(joined);
-  JoinEmitter emitter(joined, predicate, &result);
-  for (const Tuple& lt : left.tuples()) {
-    for (const Tuple& rt : right.tuples()) {
-      ONGOINGDB_RETURN_NOT_OK(emitter.Emit(lt, rt));
-    }
-  }
-  return result;
+  return RunJoin(JoinAlgorithm::kNestedLoop, left, right, predicate,
+                 left_prefix, right_prefix);
 }
 
 Result<OngoingRelation> HashJoin(const OngoingRelation& left,
@@ -238,29 +164,8 @@ Result<OngoingRelation> HashJoin(const OngoingRelation& left,
                                  const ExprPtr& predicate,
                                  const std::string& left_prefix,
                                  const std::string& right_prefix) {
-  ONGOINGDB_ASSIGN_OR_RETURN(
-      EquiJoinPlan plan,
-      PrepareEquiJoin(left, right, predicate, left_prefix, right_prefix));
-  if (!plan.has_keys) {
-    return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
-  }
-  OngoingRelation result(plan.joined);
-  JoinEmitter emitter(plan.joined, plan.residual, &result);
-  // Build on the left input, probe with the right. The KeyView itself
-  // carries the build tuple, so no mapped payload is needed.
-  std::unordered_multiset<KeyView, KeyViewHash, KeyViewEq> table;
-  table.reserve(left.size());
-  for (size_t i = 0; i < left.size(); ++i) {
-    table.insert(KeyView{&left.tuple(i), &plan.left_indices});
-  }
-  for (const Tuple& rt : right.tuples()) {
-    auto [begin, end] =
-        table.equal_range(KeyView{&rt, &plan.right_indices});
-    for (auto it = begin; it != end; ++it) {
-      ONGOINGDB_RETURN_NOT_OK(emitter.Emit(*it->tuple, rt));
-    }
-  }
-  return result;
+  return RunJoin(JoinAlgorithm::kHash, left, right, predicate, left_prefix,
+                 right_prefix);
 }
 
 Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
@@ -268,62 +173,8 @@ Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
                                       const ExprPtr& predicate,
                                       const std::string& left_prefix,
                                       const std::string& right_prefix) {
-  ONGOINGDB_ASSIGN_OR_RETURN(
-      EquiJoinPlan plan,
-      PrepareEquiJoin(left, right, predicate, left_prefix, right_prefix));
-  if (!plan.has_keys) {
-    return NestedLoopJoin(left, right, predicate, left_prefix, right_prefix);
-  }
-  OngoingRelation result(plan.joined);
-  JoinEmitter emitter(plan.joined, plan.residual, &result);
-
-  // Sort row indices of both inputs by typed key (the log-linear
-  // component) — no string keys are materialized.
-  std::vector<size_t> ls(left.size()), rs(right.size());
-  for (size_t i = 0; i < ls.size(); ++i) ls[i] = i;
-  for (size_t i = 0; i < rs.size(); ++i) rs[i] = i;
-  std::sort(ls.begin(), ls.end(), [&](size_t a, size_t b) {
-    return CompareKeys(left.tuple(a), plan.left_indices, left.tuple(b),
-                       plan.left_indices) < 0;
-  });
-  std::sort(rs.begin(), rs.end(), [&](size_t a, size_t b) {
-    return CompareKeys(right.tuple(a), plan.right_indices, right.tuple(b),
-                       plan.right_indices) < 0;
-  });
-
-  size_t li = 0, ri = 0;
-  while (li < ls.size() && ri < rs.size()) {
-    int cmp = CompareKeys(left.tuple(ls[li]), plan.left_indices,
-                          right.tuple(rs[ri]), plan.right_indices);
-    if (cmp < 0) {
-      ++li;
-    } else if (cmp > 0) {
-      ++ri;
-    } else {
-      // Equal-key groups: emit the cross product of the groups.
-      size_t lg = li;
-      while (lg < ls.size() &&
-             CompareKeys(left.tuple(ls[lg]), plan.left_indices,
-                         left.tuple(ls[li]), plan.left_indices) == 0) {
-        ++lg;
-      }
-      size_t rg = ri;
-      while (rg < rs.size() &&
-             CompareKeys(right.tuple(rs[rg]), plan.right_indices,
-                         right.tuple(rs[ri]), plan.right_indices) == 0) {
-        ++rg;
-      }
-      for (size_t i = li; i < lg; ++i) {
-        for (size_t j = ri; j < rg; ++j) {
-          ONGOINGDB_RETURN_NOT_OK(
-              emitter.Emit(left.tuple(ls[i]), right.tuple(rs[j])));
-        }
-      }
-      li = lg;
-      ri = rg;
-    }
-  }
-  return result;
+  return RunJoin(JoinAlgorithm::kSortMerge, left, right, predicate,
+                 left_prefix, right_prefix);
 }
 
 }  // namespace ongoingdb

@@ -1,6 +1,7 @@
-// Physical join algorithms on ongoing relations. All three produce the
-// algebra's theta-join result (RT = r.RT ^ s.RT ^ theta(r, s)); they
-// differ in how candidate pairs are enumerated:
+// Typed join keys and the relation-level join entry points. All three
+// join algorithms produce the algebra's theta-join result
+// (RT = r.RT ^ s.RT ^ theta(r, s)); they differ in how candidate pairs
+// are enumerated:
 //
 //  * nested-loop: any predicate, O(|R| * |S|);
 //  * hash: linear build/probe on fixed equality conjuncts (typed
@@ -9,6 +10,10 @@
 //  * sort-merge: log-linear sort on the same keys — the algorithm the
 //    paper's Fig. 11 discussion attributes the ongoing plan's extra
 //    logarithmic component to.
+//
+// The algorithms themselves are implemented as batched physical
+// operators (query/physical.h); the relation-in/relation-out functions
+// below are thin wrappers that scan the inputs and drain the operator.
 #pragma once
 
 #include "expr/expr.h"
@@ -36,6 +41,43 @@ Status ExtractEquiConjuncts(const ExprPtr& predicate,
                             const std::string& right_prefix,
                             std::vector<EquiKey>* keys, ExprPtr* residual);
 
+/// The shared preparation of the key-driven joins: extracted key column
+/// indices per side, the concatenated output schema, and the residual
+/// predicate. has_keys == false means the caller must fall back to
+/// nested-loop (the residual then holds the full predicate).
+struct EquiJoinPlan {
+  std::vector<size_t> left_indices;
+  std::vector<size_t> right_indices;
+  Schema joined;
+  ExprPtr residual;
+  bool has_keys = false;
+};
+
+Result<EquiJoinPlan> PrepareEquiJoin(const Schema& left_schema,
+                                     const Schema& right_schema,
+                                     const ExprPtr& predicate,
+                                     const std::string& left_prefix,
+                                     const std::string& right_prefix);
+
+/// The 64-bit hash of a tuple's typed join key at the given column
+/// indices — the function the hash join buckets by. ValueHash over the
+/// key columns; no string formatting, no per-key allocation. Exposed so
+/// the adversarial collision tests can construct distinct keys with
+/// equal hashes and verify that equality, not the hash, decides matches.
+size_t JoinKeyHash(const Tuple& tuple, const std::vector<size_t>& indices);
+
+/// Key equality via ValueEq (ValueCompare == 0), not operator==, so hash
+/// and sort-merge group keys identically (ValueEq treats NaN doubles as
+/// equal to themselves; IEEE == does not). The two operands may come
+/// from different sides with different index lists.
+bool JoinKeysEqual(const Tuple& a, const std::vector<size_t>& a_indices,
+                   const Tuple& b, const std::vector<size_t>& b_indices);
+
+/// Typed multi-column key comparator (sort-merge): lexicographic
+/// ValueCompare over the key columns. Returns <0, 0, >0.
+int CompareJoinKeys(const Tuple& a, const std::vector<size_t>& a_indices,
+                    const Tuple& b, const std::vector<size_t>& b_indices);
+
 /// Nested-loop theta join (ongoing semantics).
 Result<OngoingRelation> NestedLoopJoin(const OngoingRelation& left,
                                        const OngoingRelation& right,
@@ -58,12 +100,5 @@ Result<OngoingRelation> SortMergeJoin(const OngoingRelation& left,
                                       const ExprPtr& predicate,
                                       const std::string& left_prefix,
                                       const std::string& right_prefix);
-
-/// Test hook: the 64-bit hash of a tuple's typed join key at the given
-/// column indices — exactly the function HashJoin buckets by. Exposed so
-/// the adversarial collision tests can construct distinct keys with equal
-/// hashes and verify that equality, not the hash, decides matches.
-size_t JoinKeyHashForTesting(const Tuple& tuple,
-                             const std::vector<size_t>& indices);
 
 }  // namespace ongoingdb

@@ -9,7 +9,12 @@ Result<MaterializedView> MaterializedView::Create(PlanPtr plan) {
 }
 
 Status MaterializedView::Refresh() {
-  ONGOINGDB_ASSIGN_OR_RETURN(result_, Execute(plan_));
+  if (compiled_ == nullptr) {
+    ONGOINGDB_ASSIGN_OR_RETURN(compiled_, Compile(plan_, ExecMode::kOngoing));
+  }
+  // DrainToRelation re-opens the tree, which fully resets operator state
+  // (the Open() contract) and re-reads the borrowed base relations.
+  ONGOINGDB_ASSIGN_OR_RETURN(result_, DrainToRelation(*compiled_));
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "query/executor.h"
+#include "query/physical.h"
 #include "query/plan.h"
 #include "util/result.h"
 
@@ -30,14 +31,17 @@ class MaterializedView {
     return InstantiateRelation(result_, rt);
   }
 
-  /// Re-runs the plan; required only after base-data modifications, not
-  /// after the passage of time.
+  /// Re-runs the query; required only after base-data modifications,
+  /// not after the passage of time. The plan is lowered once at view
+  /// creation; refreshes re-open and drain the cached physical operator
+  /// tree instead of recompiling.
   Status Refresh();
 
  private:
   explicit MaterializedView(PlanPtr plan) : plan_(std::move(plan)) {}
 
   PlanPtr plan_;
+  PhysicalOpPtr compiled_;
   OngoingRelation result_;
 };
 

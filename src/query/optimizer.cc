@@ -67,6 +67,18 @@ std::optional<ExprPtr> TryRewriteForSide(const ExprPtr& conjunct,
 
 }  // namespace
 
+Result<JoinAlgorithm> ResolveAutoJoinAlgorithm(const JoinNode& node,
+                                               const Schema& left_schema,
+                                               const Schema& right_schema) {
+  // Defined via the same PrepareEquiJoin the physical lowering
+  // (MakeJoinOp) keys off, so the two cannot drift apart.
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      EquiJoinPlan plan,
+      PrepareEquiJoin(left_schema, right_schema, node.predicate(),
+                      node.left_prefix(), node.right_prefix()));
+  return plan.has_keys ? JoinAlgorithm::kHash : JoinAlgorithm::kNestedLoop;
+}
+
 Result<PlanPtr> PushDownFilters(const PlanPtr& plan) {
   switch (plan->kind()) {
     case PlanKind::kScan:
@@ -152,13 +164,9 @@ Result<PlanPtr> ChooseJoinAlgorithms(const PlanPtr& plan) {
       if (algorithm == JoinAlgorithm::kAuto) {
         ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema, OutputSchema(left));
         ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(right));
-        std::vector<EquiKey> keys;
-        ExprPtr residual;
-        ONGOINGDB_RETURN_NOT_OK(ExtractEquiConjuncts(
-            node->predicate(), left_schema, right_schema,
-            node->left_prefix(), node->right_prefix(), &keys, &residual));
-        algorithm =
-            keys.empty() ? JoinAlgorithm::kNestedLoop : JoinAlgorithm::kHash;
+        ONGOINGDB_ASSIGN_OR_RETURN(
+            algorithm,
+            ResolveAutoJoinAlgorithm(*node, left_schema, right_schema));
       }
       return Join(std::move(left), std::move(right), node->predicate(),
                   node->left_prefix(), node->right_prefix(), algorithm);

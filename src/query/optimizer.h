@@ -19,6 +19,15 @@ Result<Schema> OutputSchema(const PlanPtr& plan);
 /// sigma_theta1(sigma_theta2(R)) plus commuting with join inputs).
 Result<PlanPtr> PushDownFilters(const PlanPtr& plan);
 
+/// The algorithm JoinAlgorithm::kAuto resolves to, given the join
+/// inputs' schemas: kHash when the predicate yields fixed equality
+/// conjuncts, kNestedLoop otherwise. Shared by the plan rewriter below
+/// and the physical lowering (query/physical.h, Compile), so the two
+/// can never disagree.
+Result<JoinAlgorithm> ResolveAutoJoinAlgorithm(const JoinNode& node,
+                                               const Schema& left_schema,
+                                               const Schema& right_schema);
+
 /// Replaces JoinAlgorithm::kAuto with kHash when fixed equality
 /// conjuncts exist and kNestedLoop otherwise.
 Result<PlanPtr> ChooseJoinAlgorithms(const PlanPtr& plan);

@@ -1,0 +1,704 @@
+#include "query/physical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "query/join.h"
+
+namespace ongoingdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+// ---------------------------------------------------------------------------
+
+// Materializes a physical input for a blocking consumer (join build
+// side). Ongoing-mode scans are borrowed — no copy, exactly like the
+// pre-batched joins keyed directly on the input relations; anything else
+// is drained batch by batch into `owned`, moving each slot's storage out.
+Status MaterializeInput(PhysicalOperator& child, std::vector<Tuple>* owned,
+                        const std::vector<Tuple>** out) {
+  if (const OngoingRelation* rel = child.BorrowedRelation()) {
+    *out = &rel->tuples();
+    return Status::OK();
+  }
+  owned->clear();
+  ONGOINGDB_RETURN_NOT_OK(child.Open());
+  TupleBatch batch;
+  while (true) {
+    ONGOINGDB_RETURN_NOT_OK(child.Next(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      owned->push_back(std::move(batch.tuple(i)));
+    }
+  }
+  child.Close();
+  *out = owned;
+  return Status::OK();
+}
+
+// Emits joined tuples for candidate pairs directly into an output
+// batch. A rejected pair performs no heap allocation, and an accepted
+// one reuses the claimed slot's storage: the input reference times are
+// intersected straight into the slot's RT (reusing its interval
+// buffer), and the residual is evaluated on the slot *before* it is
+// committed (PopLast un-claims it).
+class BatchJoinEmitter {
+ public:
+  BatchJoinEmitter(const Schema& joined_schema, ExprPtr residual,
+                   ExecMode mode, TimePoint rt)
+      : joined_schema_(joined_schema),
+        residual_(std::move(residual)),
+        mode_(mode),
+        rt_(rt) {}
+
+  // Appends the joined tuple for (lt, st) to *out unless the pair is
+  // rejected. The caller guarantees the batch is not full.
+  Status Emit(const Tuple& lt, const Tuple& st, TupleBatch* out) {
+    Tuple& slot = out->NextSlot();
+    if (mode_ == ExecMode::kAtReferenceTime) {
+      // Clifford semantics: the inputs are instantiated, the residual
+      // evaluates fixed at rt, and the result is valid at rt only
+      // (trivial RT, like every instantiated tuple).
+      FillValues(lt, st, slot);
+      if (residual_ != nullptr) {
+        auto keep = residual_->EvalPredicateFixed(joined_schema_, slot, rt_);
+        if (!keep.ok()) {
+          out->PopLast();
+          return keep.status();
+        }
+        if (!*keep) {
+          out->PopLast();
+          return Status::OK();
+        }
+      }
+      slot.mutable_rt() = all_;
+      return Status::OK();
+    }
+    lt.rt().IntersectInto(st.rt(), &slot.mutable_rt());
+    if (slot.rt().IsEmpty()) {
+      out->PopLast();
+      return Status::OK();
+    }
+    FillValues(lt, st, slot);
+    if (residual_ != nullptr) {
+      auto pred = residual_->EvalPredicate(joined_schema_, slot);
+      if (!pred.ok()) {
+        out->PopLast();
+        return pred.status();
+      }
+      slot.rt().IntersectInto(pred->st(), &rt_scratch_);
+      if (rt_scratch_.IsEmpty()) {
+        out->PopLast();
+        return Status::OK();
+      }
+      slot.mutable_rt() = rt_scratch_;
+    }
+    return Status::OK();
+  }
+
+ private:
+  static void FillValues(const Tuple& lt, const Tuple& st, Tuple& slot) {
+    std::vector<Value>& values = slot.mutable_values();
+    values.reserve(lt.num_values() + st.num_values());
+    for (const Value& v : lt.values()) values.push_back(v);
+    for (const Value& v : st.values()) values.push_back(v);
+  }
+
+  const Schema& joined_schema_;
+  ExprPtr residual_;
+  ExecMode mode_;
+  TimePoint rt_;
+  const IntervalSet all_ = IntervalSet::All();
+  IntervalSet rt_scratch_;
+};
+
+// Tuple-at-a-time view over a physical input for the streaming side of
+// a join: borrows an ongoing-mode scan's relation outright, otherwise
+// pulls batches from the child. Current() keeps returning the same
+// tuple until Advance(), so operators that suspend emission mid-tuple
+// re-read it on the next Next() call.
+class TupleStream {
+ public:
+  Status Open(PhysicalOperator* child) {
+    child_ = child;
+    const OngoingRelation* rel = child->BorrowedRelation();
+    borrowed_ = rel != nullptr ? &rel->tuples() : nullptr;
+    if (borrowed_ == nullptr) {
+      ONGOINGDB_RETURN_NOT_OK(child_->Open());
+      batch_.Clear();
+    }
+    pos_ = 0;
+    exhausted_ = false;
+    return Status::OK();
+  }
+
+  // The current tuple, pulling the next batch once the current one is
+  // consumed; nullptr when the stream is exhausted.
+  Result<const Tuple*> Current() {
+    if (borrowed_ != nullptr) {
+      if (pos_ >= borrowed_->size()) return static_cast<const Tuple*>(nullptr);
+      return &(*borrowed_)[pos_];
+    }
+    if (pos_ >= batch_.size()) {
+      if (!exhausted_) {
+        ONGOINGDB_RETURN_NOT_OK(child_->Next(&batch_));
+        pos_ = 0;
+        if (batch_.empty()) exhausted_ = true;
+      }
+      if (exhausted_) return static_cast<const Tuple*>(nullptr);
+    }
+    return &batch_.tuple(pos_);
+  }
+
+  void Advance() { ++pos_; }
+
+  void Close() {
+    if (borrowed_ == nullptr && child_ != nullptr) child_->Close();
+  }
+
+ private:
+  PhysicalOperator* child_ = nullptr;
+  const std::vector<Tuple>* borrowed_ = nullptr;
+  TupleBatch batch_;
+  size_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+// A flat, array-chained hash table over the build side's typed join
+// keys. Three contiguous vectors replace the node-per-entry
+// unordered_multiset the engine used before: bucket heads, an intrusive
+// next-chain, and the cached 64-bit key hash per build tuple (probes
+// compare hashes before touching the typed values). Building performs
+// O(1) allocations total instead of one node per build tuple.
+class JoinHashTable {
+ public:
+  static constexpr uint32_t kEnd = UINT32_MAX;
+
+  void Build(const std::vector<Tuple>& tuples,
+             const std::vector<size_t>& key_indices) {
+    const size_t n = tuples.size();
+    hashes_.resize(n);
+    next_.assign(n, kEnd);
+    size_t buckets = 16;
+    while (buckets < n * 2) buckets <<= 1;
+    mask_ = buckets - 1;
+    head_.assign(buckets, kEnd);
+    for (size_t i = 0; i < n; ++i) {
+      hashes_[i] = JoinKeyHash(tuples[i], key_indices);
+    }
+    // Head insertion in reverse so every bucket chain enumerates build
+    // tuples in input order.
+    for (size_t i = n; i-- > 0;) {
+      size_t b = hashes_[i] & mask_;
+      next_[i] = head_[b];
+      head_[b] = static_cast<uint32_t>(i);
+    }
+  }
+
+  uint32_t First(size_t hash) const { return head_[hash & mask_]; }
+  uint32_t Next(uint32_t entry) const { return next_[entry]; }
+  size_t HashAt(uint32_t entry) const { return hashes_[entry]; }
+
+  void Reset() {
+    head_.clear();
+    next_.clear();
+    hashes_.clear();
+    mask_ = 0;
+  }
+
+ private:
+  std::vector<uint32_t> head_ = {kEnd};
+  std::vector<uint32_t> next_;
+  std::vector<size_t> hashes_;
+  size_t mask_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+class ScanOp final : public PhysicalOperator {
+ public:
+  ScanOp(const OngoingRelation* relation, ExecMode mode, TimePoint rt)
+      : PhysicalOperator(mode == ExecMode::kOngoing
+                             ? relation->schema()
+                             : relation->schema().Instantiated()),
+        relation_(relation),
+        mode_(mode),
+        rt_(rt) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    const std::vector<Tuple>& tuples = relation_->tuples();
+    while (pos_ < tuples.size() && !out->full()) {
+      const Tuple& t = tuples[pos_++];
+      if (mode_ == ExecMode::kAtReferenceTime) {
+        // The bind operator ||R||rt: keep the tuples whose RT contains
+        // rt, instantiated, with trivial reference time.
+        if (!t.BelongsAt(rt_)) continue;
+        Tuple& slot = out->NextSlot();
+        std::vector<Value>& values = slot.mutable_values();
+        values.reserve(t.num_values());
+        for (const Value& v : t.values()) values.push_back(v.Instantiate(rt_));
+        slot.mutable_rt() = all_;
+      } else {
+        Tuple& slot = out->NextSlot();
+        std::vector<Value>& values = slot.mutable_values();
+        values.reserve(t.num_values());
+        for (const Value& v : t.values()) values.push_back(v);
+        slot.mutable_rt() = t.rt();
+      }
+    }
+    return Status::OK();
+  }
+
+  const OngoingRelation* BorrowedRelation() const override {
+    return mode_ == ExecMode::kOngoing ? relation_ : nullptr;
+  }
+
+ private:
+  const OngoingRelation* relation_;
+  ExecMode mode_;
+  TimePoint rt_;
+  const IntervalSet all_ = IntervalSet::All();
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+class FilterOp final : public PhysicalOperator {
+ public:
+  FilterOp(PhysicalOpPtr child, ExprPtr predicate, ExecMode mode, TimePoint rt)
+      : PhysicalOperator(child->schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        mode_(mode),
+        rt_(rt) {
+    if (mode_ == ExecMode::kOngoing) {
+      // Sec. VIII split: the fixed part is an ordinary WHERE filter, the
+      // ongoing part restricts the result tuples' RT.
+      split_ = Split(predicate_, schema());
+    }
+  }
+
+  Status Open() override { return child_->Open(); }
+
+  Status Next(TupleBatch* out) override {
+    // Filters compact the child's batch in place; they loop until at
+    // least one tuple survives (never an empty batch mid-stream).
+    while (true) {
+      ONGOINGDB_RETURN_NOT_OK(child_->Next(out));
+      if (out->empty()) return Status::OK();
+      size_t kept = 0;
+      for (size_t i = 0; i < out->size(); ++i) {
+        Tuple& t = out->tuple(i);
+        ONGOINGDB_ASSIGN_OR_RETURN(bool keep, Keep(t));
+        if (!keep) continue;
+        if (kept != i) std::swap(out->tuple(kept), out->tuple(i));
+        ++kept;
+      }
+      out->Truncate(kept);
+      if (!out->empty()) return Status::OK();
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  Result<bool> Keep(Tuple& t) {
+    if (mode_ == ExecMode::kAtReferenceTime) {
+      return predicate_->EvalPredicateFixed(schema(), t, rt_);
+    }
+    if (split_.fixed_part != nullptr) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          bool keep, split_.fixed_part->EvalPredicateFixed(schema(), t));
+      if (!keep) return false;
+    }
+    if (split_.ongoing_part != nullptr) {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingBoolean pred,
+                                 split_.ongoing_part->EvalPredicate(schema(), t));
+      t.rt().IntersectInto(pred.st(), &rt_scratch_);
+      if (rt_scratch_.IsEmpty()) return false;
+      t.mutable_rt() = rt_scratch_;
+    }
+    return true;
+  }
+
+  PhysicalOpPtr child_;
+  ExprPtr predicate_;
+  ExecMode mode_;
+  TimePoint rt_;
+  SplitPredicate split_;
+  IntervalSet rt_scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+class ProjectOp final : public PhysicalOperator {
+ public:
+  ProjectOp(PhysicalOpPtr child, std::vector<size_t> indices)
+      : PhysicalOperator(child->schema().Project(indices)),
+        child_(std::move(child)),
+        indices_(std::move(indices)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(child_->Next(out));
+    for (size_t i = 0; i < out->size(); ++i) {
+      Tuple& t = out->tuple(i);
+      scratch_.clear();
+      scratch_.reserve(indices_.size());
+      for (size_t idx : indices_) scratch_.push_back(t.value(idx));
+      // Swap, not assign: the slot's old vector becomes the next
+      // tuple's scratch, so capacities circulate instead of freeing.
+      std::swap(t.mutable_values(), scratch_);
+    }
+    return Status::OK();
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<size_t> indices_;
+  std::vector<Value> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+// Hash join: blocking build over the left input, streaming probe over
+// the right. Emission suspends mid-chain when the output batch fills and
+// resumes from the saved (probe position, chain entry) on the next call.
+class HashJoinOp final : public PhysicalOperator {
+ public:
+  HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, EquiJoinPlan plan,
+             ExecMode mode, TimePoint rt)
+      : PhysicalOperator(plan.joined),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_indices_(std::move(plan.left_indices)),
+        right_indices_(std::move(plan.right_indices)),
+        emitter_(schema(), std::move(plan.residual), mode, rt) {}
+
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*left_, &owned_build_, &build_));
+    table_.Build(*build_, left_indices_);
+    ONGOINGDB_RETURN_NOT_OK(probe_.Open(right_.get()));
+    chain_valid_ = false;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    while (true) {
+      ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* pt, probe_.Current());
+      if (pt == nullptr) return Status::OK();
+      if (!chain_valid_) {
+        probe_hash_ = JoinKeyHash(*pt, right_indices_);
+        chain_ = table_.First(probe_hash_);
+        chain_valid_ = true;
+      }
+      while (chain_ != JoinHashTable::kEnd) {
+        const uint32_t entry = chain_;
+        chain_ = table_.Next(chain_);
+        if (table_.HashAt(entry) != probe_hash_) continue;
+        const Tuple& bt = (*build_)[entry];
+        if (!JoinKeysEqual(bt, left_indices_, *pt, right_indices_)) continue;
+        ONGOINGDB_RETURN_NOT_OK(emitter_.Emit(bt, *pt, out));
+        if (out->full()) return Status::OK();
+      }
+      probe_.Advance();
+      chain_valid_ = false;
+    }
+  }
+
+  void Close() override {
+    owned_build_.clear();
+    table_.Reset();
+    probe_.Close();
+  }
+
+ private:
+  PhysicalOpPtr left_, right_;
+  std::vector<size_t> left_indices_, right_indices_;
+  BatchJoinEmitter emitter_;
+  // Build state.
+  std::vector<Tuple> owned_build_;
+  const std::vector<Tuple>* build_ = nullptr;
+  JoinHashTable table_;
+  // Probe state: the stream position plus the suspended chain cursor.
+  TupleStream probe_;
+  size_t probe_hash_ = 0;
+  uint32_t chain_ = JoinHashTable::kEnd;
+  bool chain_valid_ = false;
+};
+
+// Nested-loop join: blocking materialization of the right (inner) input,
+// streaming over the left (outer) — the historical emission order. The
+// full join predicate is the emitter's residual.
+class NestedLoopJoinOp final : public PhysicalOperator {
+ public:
+  NestedLoopJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, Schema joined,
+                   ExprPtr predicate, ExecMode mode, TimePoint rt)
+      : PhysicalOperator(std::move(joined)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        emitter_(schema(), std::move(predicate), mode, rt) {}
+
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*right_, &owned_inner_, &inner_));
+    ONGOINGDB_RETURN_NOT_OK(outer_.Open(left_.get()));
+    inner_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    while (true) {
+      ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* lt, outer_.Current());
+      if (lt == nullptr) return Status::OK();
+      while (inner_pos_ < inner_->size()) {
+        const Tuple& st = (*inner_)[inner_pos_++];
+        ONGOINGDB_RETURN_NOT_OK(emitter_.Emit(*lt, st, out));
+        if (out->full()) return Status::OK();
+      }
+      outer_.Advance();
+      inner_pos_ = 0;
+    }
+  }
+
+  void Close() override {
+    owned_inner_.clear();
+    outer_.Close();
+  }
+
+ private:
+  PhysicalOpPtr left_, right_;
+  BatchJoinEmitter emitter_;
+  std::vector<Tuple> owned_inner_;
+  const std::vector<Tuple>* inner_ = nullptr;
+  TupleStream outer_;
+  size_t inner_pos_ = 0;
+};
+
+// Sort-merge join: both inputs materialized and index-sorted by typed
+// key at Open (the log-linear component); equal-key group cross products
+// stream out with suspension at batch boundaries.
+class SortMergeJoinOp final : public PhysicalOperator {
+ public:
+  SortMergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, EquiJoinPlan plan,
+                  ExecMode mode, TimePoint rt)
+      : PhysicalOperator(plan.joined),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_indices_(std::move(plan.left_indices)),
+        right_indices_(std::move(plan.right_indices)),
+        emitter_(schema(), std::move(plan.residual), mode, rt) {}
+
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*left_, &owned_left_, &lbuild_));
+    ONGOINGDB_RETURN_NOT_OK(
+        MaterializeInput(*right_, &owned_right_, &rbuild_));
+    ls_.resize(lbuild_->size());
+    rs_.resize(rbuild_->size());
+    std::iota(ls_.begin(), ls_.end(), size_t{0});
+    std::iota(rs_.begin(), rs_.end(), size_t{0});
+    std::sort(ls_.begin(), ls_.end(), [this](size_t a, size_t b) {
+      return CompareJoinKeys((*lbuild_)[a], left_indices_, (*lbuild_)[b],
+                             left_indices_) < 0;
+    });
+    std::sort(rs_.begin(), rs_.end(), [this](size_t a, size_t b) {
+      return CompareJoinKeys((*rbuild_)[a], right_indices_, (*rbuild_)[b],
+                             right_indices_) < 0;
+    });
+    li_ = ri_ = 0;
+    in_group_ = false;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    while (true) {
+      // Emit the cross product of the current equal-key groups.
+      while (in_group_) {
+        if (j_ >= rg_) {
+          ++i_;
+          j_ = ri_;
+          if (i_ >= lg_) {
+            in_group_ = false;
+            li_ = lg_;
+            ri_ = rg_;
+            break;
+          }
+        }
+        const Tuple& lt = (*lbuild_)[ls_[i_]];
+        const Tuple& st = (*rbuild_)[rs_[j_]];
+        ++j_;
+        ONGOINGDB_RETURN_NOT_OK(emitter_.Emit(lt, st, out));
+        if (out->full()) return Status::OK();
+      }
+      // Advance the merge to the next equal-key group.
+      if (li_ >= ls_.size() || ri_ >= rs_.size()) return Status::OK();
+      int cmp = CompareJoinKeys((*lbuild_)[ls_[li_]], left_indices_,
+                                (*rbuild_)[rs_[ri_]], right_indices_);
+      if (cmp < 0) {
+        ++li_;
+      } else if (cmp > 0) {
+        ++ri_;
+      } else {
+        lg_ = li_ + 1;
+        while (lg_ < ls_.size() &&
+               CompareJoinKeys((*lbuild_)[ls_[lg_]], left_indices_,
+                               (*lbuild_)[ls_[li_]], left_indices_) == 0) {
+          ++lg_;
+        }
+        rg_ = ri_ + 1;
+        while (rg_ < rs_.size() &&
+               CompareJoinKeys((*rbuild_)[rs_[rg_]], right_indices_,
+                               (*rbuild_)[rs_[ri_]], right_indices_) == 0) {
+          ++rg_;
+        }
+        i_ = li_;
+        j_ = ri_;
+        in_group_ = true;
+      }
+    }
+  }
+
+  void Close() override {
+    owned_left_.clear();
+    owned_right_.clear();
+    ls_.clear();
+    rs_.clear();
+  }
+
+ private:
+  PhysicalOpPtr left_, right_;
+  std::vector<size_t> left_indices_, right_indices_;
+  BatchJoinEmitter emitter_;
+  std::vector<Tuple> owned_left_, owned_right_;
+  const std::vector<Tuple>* lbuild_ = nullptr;
+  const std::vector<Tuple>* rbuild_ = nullptr;
+  std::vector<size_t> ls_, rs_;
+  // Merge cursor and current group [li_, lg_) x [ri_, rg_); (i_, j_) is
+  // the next pair to emit inside the group.
+  size_t li_ = 0, ri_ = 0, lg_ = 0, rg_ = 0, i_ = 0, j_ = 0;
+  bool in_group_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factories, lowering, drain
+// ---------------------------------------------------------------------------
+
+PhysicalOpPtr MakeScanOp(const OngoingRelation* relation, ExecMode mode,
+                         TimePoint rt) {
+  return std::make_unique<ScanOp>(relation, mode, rt);
+}
+
+Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
+                                 PhysicalOpPtr right, ExprPtr predicate,
+                                 const std::string& left_prefix,
+                                 const std::string& right_prefix,
+                                 ExecMode mode, TimePoint rt) {
+  // Key extraction runs on the operators' output schemas. In Clifford
+  // mode these are instantiated, so equality conjuncts on formerly
+  // ongoing attributes become usable keys there — matching the paper's
+  // observation that PostgreSQL hash-joins Clifford's instantiated
+  // relations (Fig. 11).
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      EquiJoinPlan plan,
+      PrepareEquiJoin(left->schema(), right->schema(), predicate, left_prefix,
+                      right_prefix));
+  // plan.has_keys is ResolveAutoJoinAlgorithm's rule — both derive from
+  // PrepareEquiJoin, so the plan rewriter and this lowering agree.
+  if (!plan.has_keys || algorithm == JoinAlgorithm::kNestedLoop) {
+    return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
+        std::move(left), std::move(right), std::move(plan.joined),
+        std::move(predicate), mode, rt));
+  }
+  if (algorithm == JoinAlgorithm::kSortMerge) {
+    return PhysicalOpPtr(std::make_unique<SortMergeJoinOp>(
+        std::move(left), std::move(right), std::move(plan), mode, rt));
+  }
+  // kHash, and the kAuto resolution when keys exist.
+  return PhysicalOpPtr(std::make_unique<HashJoinOp>(
+      std::move(left), std::move(right), std::move(plan), mode, rt));
+}
+
+Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
+                              TimePoint rt) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return MakeScanOp(&static_cast<const ScanNode*>(plan.get())->relation(),
+                        mode, rt);
+    case PlanKind::kFilter: {
+      const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                                 Compile(node->child(), mode, rt));
+      return PhysicalOpPtr(std::make_unique<FilterOp>(
+          std::move(child), node->predicate(), mode, rt));
+    }
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                                 Compile(node->child(), mode, rt));
+      std::vector<size_t> indices;
+      indices.reserve(node->names().size());
+      for (const std::string& name : node->names()) {
+        ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(name));
+        indices.push_back(idx);
+      }
+      return PhysicalOpPtr(
+          std::make_unique<ProjectOp>(std::move(child), std::move(indices)));
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                                 Compile(node->left(), mode, rt));
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                                 Compile(node->right(), mode, rt));
+      return MakeJoinOp(node->algorithm(), std::move(left), std::move(right),
+                        node->predicate(), node->left_prefix(),
+                        node->right_prefix(), mode, rt);
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<OngoingRelation> DrainToRelation(PhysicalOperator& op) {
+  // A bare ongoing scan materializes to a copy of the relation itself.
+  if (const OngoingRelation* rel = op.BorrowedRelation()) return *rel;
+  ONGOINGDB_RETURN_NOT_OK(op.Open());
+  OngoingRelation result(op.schema());
+  TupleBatch batch;
+  while (true) {
+    ONGOINGDB_RETURN_NOT_OK(op.Next(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      result.AppendUnchecked(std::move(batch.tuple(i)));
+    }
+  }
+  op.Close();
+  return result;
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,111 @@
+// The pull-based, batch-at-a-time execution API. A logical plan
+// (query/plan.h) is lowered by Compile() into a tree of physical
+// operators; consumers drive the root with the Volcano-style protocol
+//
+//   Open();                    // acquire state, (re)start the stream
+//   while (Next(&batch), !batch.empty()) { ...consume batch... }
+//   Close();                   // release bulk state
+//
+// Operator contract:
+//
+//  * Next() clears *out, then appends up to out->capacity() result
+//    tuples. An operator never returns an empty batch mid-stream: an
+//    empty batch after Next() means the stream is exhausted (a partial
+//    batch does NOT mean exhaustion — keep pulling until empty).
+//  * Every tuple a batch hands to the consumer has its reference time
+//    set; empty-RT tuples are filtered by the operators themselves
+//    (Theorem 2's x.RT != {} condition).
+//  * Batches are owned by the caller and recycled across Next() calls:
+//    slot value vectors and IntervalSet buffers are reused, so steady
+//    state emission performs no per-tuple heap allocation beyond what
+//    the tuple's own payload requires.
+//  * Open() fully resets the operator; Open/drain/Close cycles may be
+//    repeated on the same tree (materialized-view refresh does).
+//
+// Two execution modes share the operator set:
+//
+//  * kOngoing — the paper's ongoing semantics: predicates restrict
+//    tuple reference times (Sec. VIII split of conjunctive predicates).
+//  * kAtReferenceTime — Clifford semantics: scans instantiate base
+//    relations at the given reference time and all predicates evaluate
+//    with fixed semantics.
+#pragma once
+
+#include <memory>
+
+#include "query/plan.h"
+#include "relation/tuple_batch.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+
+/// The semantics a physical operator tree evaluates under.
+enum class ExecMode {
+  kOngoing,          ///< ongoing semantics; result valid at every rt
+  kAtReferenceTime,  ///< Clifford semantics at one fixed rt
+};
+
+/// A pull-based physical operator producing tuple batches.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// The compiled output schema (available before Open()).
+  const Schema& schema() const { return schema_; }
+
+  /// Acquires operator state and (re)positions the stream at the start.
+  virtual Status Open() = 0;
+
+  /// Produces the next batch of result tuples (see the contract above).
+  virtual Status Next(TupleBatch* out) = 0;
+
+  /// Releases bulk state (build tables, materialized inputs). The
+  /// operator may be reopened afterwards.
+  virtual void Close() {}
+
+  /// Non-null iff this operator streams an existing relation unchanged
+  /// (an ongoing-mode scan). Consumers that materialize their input
+  /// (join build sides, the root drain) borrow the relation directly
+  /// instead of copying it batch by batch.
+  virtual const OngoingRelation* BorrowedRelation() const { return nullptr; }
+
+ protected:
+  explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
+
+ private:
+  Schema schema_;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Lowers a logical plan into a physical operator tree. Absorbs the
+/// optimizer's join-algorithm choice: JoinAlgorithm::kAuto resolves to
+/// hash when fixed equality conjuncts exist on the (mode-specific) input
+/// schemas and to nested-loop otherwise — the same rule as
+/// ChooseJoinAlgorithms. `rt` is only meaningful for kAtReferenceTime.
+Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
+                              TimePoint rt = 0);
+
+/// A scan over an existing relation (outside any plan). In kOngoing mode
+/// the scan borrows the relation; in kAtReferenceTime mode it streams
+/// the instantiated tuples ||r||rt. The relation must outlive the
+/// operator.
+PhysicalOpPtr MakeScanOp(const OngoingRelation* relation, ExecMode mode,
+                         TimePoint rt = 0);
+
+/// A join operator over two physical inputs. kAuto resolves as in
+/// Compile(); the key-driven algorithms fall back to nested-loop when
+/// the predicate yields no fixed equality conjuncts.
+Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
+                                 PhysicalOpPtr right, ExprPtr predicate,
+                                 const std::string& left_prefix,
+                                 const std::string& right_prefix,
+                                 ExecMode mode, TimePoint rt = 0);
+
+/// Open/drain/Close the operator tree into a materialized relation —
+/// the compatibility bridge for the relation-in/relation-out API
+/// (Execute, the relation-level joins). Scans short-circuit to a plain
+/// relation copy.
+Result<OngoingRelation> DrainToRelation(PhysicalOperator& op);
+
+}  // namespace ongoingdb

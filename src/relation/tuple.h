@@ -42,6 +42,12 @@ class Tuple {
   /// Replaces RT (used by operators to restrict the reference time).
   void set_rt(IntervalSet rt) { rt_ = std::move(rt); }
 
+  /// Mutable RT access for operators that recycle tuple slots
+  /// (relation/tuple_batch.h): writing via IntersectInto or
+  /// copy-assignment reuses the slot's (possibly spilled) interval
+  /// buffer, where set_rt would free it and install a fresh copy.
+  IntervalSet& mutable_rt() { return rt_; }
+
   /// True iff the tuple belongs to the instantiated relation at rt.
   bool BelongsAt(TimePoint rt) const { return rt_.Contains(rt); }
 

@@ -1,0 +1,29 @@
+#include "relation/tuple_batch.h"
+
+#include <cassert>
+
+namespace ongoingdb {
+
+Tuple& TupleBatch::NextSlot() {
+  assert(size_ < slots_.size());
+  Tuple& slot = slots_[size_++];
+  slot.mutable_values().clear();
+  return slot;
+}
+
+void TupleBatch::PopLast() {
+  assert(size_ > 0);
+  --size_;
+}
+
+void TupleBatch::Truncate(size_t n) {
+  assert(n <= size_);
+  size_ = n;
+}
+
+Tuple& TupleBatch::tuple(size_t i) {
+  assert(i < size_);
+  return slots_[i];
+}
+
+}  // namespace ongoingdb

@@ -61,7 +61,7 @@ Value Value::Double(double v) {
 Value Value::String(std::string v) {
   Value x;
   x.type_ = ValueType::kString;
-  x.data_ = std::move(v);
+  x.data_ = std::make_shared<const std::string>(std::move(v));
   return x;
 }
 
@@ -112,7 +112,7 @@ double Value::AsDouble() const {
 
 const std::string& Value::AsString() const {
   assert(type_ == ValueType::kString);
-  return std::get<std::string>(data_);
+  return *std::get<std::shared_ptr<const std::string>>(data_);
 }
 
 bool Value::AsBool() const {
@@ -196,6 +196,14 @@ std::string Value::ToString() const {
       return AsOngoingInterval().ToString();
   }
   return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  // The shared string payload makes the variant's default comparison a
+  // pointer identity check; strings must compare by content.
+  if (type_ == ValueType::kString) return AsString() == other.AsString();
+  return data_ == other.data_;
 }
 
 namespace {

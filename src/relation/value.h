@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 
@@ -75,8 +76,9 @@ class Value {
 
   /// Structural equality (same type, same representation). For ongoing
   /// values this is representation equality, not time-dependent
-  /// equality; see OngoingValueEqual for the latter.
-  bool operator==(const Value& other) const = default;
+  /// equality; see OngoingValueEqual for the latter. String values
+  /// compare by content, not by shared-payload identity.
+  bool operator==(const Value& other) const;
 
   /// Approximate serialized width in bytes; used by the storage layer.
   size_t ByteWidth() const;
@@ -84,9 +86,16 @@ class Value {
   std::string ToString() const;
 
  private:
+  // String payloads are shared, immutable buffers: copying a string
+  // Value bumps a reference count instead of allocating and copying the
+  // characters. Join emission and projection copy every attribute of
+  // every emitted tuple, so for string-heavy schemas this is the
+  // difference between O(1) and O(len) — and one heap allocation — per
+  // copied attribute (see docs/DESIGN.md, "Hot-path memory layout").
   ValueType type_ = ValueType::kNull;
-  std::variant<std::monostate, int64_t, double, std::string, bool,
-               FixedInterval, OngoingTimePoint, OngoingInterval>
+  std::variant<std::monostate, int64_t, double,
+               std::shared_ptr<const std::string>, bool, FixedInterval,
+               OngoingTimePoint, OngoingInterval>
       data_;
 };
 

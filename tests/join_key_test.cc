@@ -18,7 +18,7 @@ namespace {
 // --- mirror of the typed key hash ------------------------------------------
 // The collision construction below inverts the hash-combine chain, which
 // requires knowing the combine formula. The mirror is asserted against
-// JoinKeyHashForTesting first, so any drift in the implementation fails
+// JoinKeyHash first, so any drift in the implementation fails
 // loudly here instead of silently weakening the collision test.
 
 constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
@@ -51,7 +51,7 @@ TEST(JoinKeyHashTest, MirrorMatchesImplementation) {
   for (const std::vector<int64_t>& key :
        {std::vector<int64_t>{0, 0}, {1, 100}, {-7, 42},
         {kMinInfinity, kMaxInfinity}}) {
-    EXPECT_EQ(JoinKeyHashForTesting(IntKeyTuple(key), indices),
+    EXPECT_EQ(JoinKeyHash(IntKeyTuple(key), indices),
               MirrorKeyHash(key))
         << "the key-hash mirror in this test has drifted from the "
            "implementation; update it together with ValueHash/KeyViewHash";
@@ -90,8 +90,8 @@ TEST(JoinKeyHashTest, CollidingMultiColumnKeysStillJoinCorrectly) {
   const int64_t d = SolveSecondColumn(2, MirrorKeyHash(key1));
   const std::vector<int64_t> key2{2, d};
   ASSERT_NE(key1, key2);
-  ASSERT_EQ(JoinKeyHashForTesting(IntKeyTuple(key1), indices),
-            JoinKeyHashForTesting(IntKeyTuple(key2), indices))
+  ASSERT_EQ(JoinKeyHash(IntKeyTuple(key1), indices),
+            JoinKeyHash(IntKeyTuple(key2), indices))
       << "constructed keys do not collide";
 
   Schema schema({{"K1", ValueType::kInt64},
