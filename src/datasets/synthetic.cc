@@ -1,53 +1,98 @@
 #include "datasets/synthetic.h"
 
 #include <algorithm>
+#include <atomic>
+#include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ongoingdb {
 namespace datasets {
+
+namespace {
+
+/// Tuples per generator morsel. Each morsel draws from its own
+/// Rng::Split stream, so the relation's content is a pure function of
+/// (options, morsel index) — independent of worker count and morsel
+/// scheduling order.
+constexpr int64_t kGeneratorMorsel = 1024;
+
+}  // namespace
 
 OngoingRelation GenerateSynthetic(const SyntheticOptions& options) {
   Schema schema({{"ID", ValueType::kInt64},
                  {"K", ValueType::kInt64},
                  {"VT", ValueType::kOngoingInterval}});
-  OngoingRelation relation(schema);
-  relation.Reserve(static_cast<size_t>(options.cardinality));
 
-  Rng rng(options.seed);
   const TimePoint history_end = options.history_end;
   const TimePoint history_start =
       history_end - static_cast<int64_t>(options.history_years) * 365;
   const int64_t span = history_end - history_start;
   const int64_t segment_span = span / options.segments;
+  const int64_t n = options.cardinality;
 
-  for (int64_t i = 0; i < options.cardinality; ++i) {
-    const bool ongoing = rng.UniformReal() < options.ongoing_fraction;
-    OngoingInterval vt;
-    if (ongoing) {
-      // The fixed endpoint of the ongoing interval: placed in the chosen
-      // segment, or anywhere in the history.
-      TimePoint anchor;
-      if (options.ongoing_segment >= 0) {
-        TimePoint seg_start =
-            history_start + options.ongoing_segment * segment_span;
-        anchor = seg_start + rng.Uniform(0, segment_span - 1);
+  // Morsel-partitioned generation: morsel m fills tuples
+  // [m * kGeneratorMorsel, ...) from the seed's Split(m) stream.
+  std::vector<Tuple> tuples(static_cast<size_t>(std::max<int64_t>(n, 0)));
+  const Rng base(options.seed);
+  auto generate_morsel = [&](int64_t m) {
+    Rng rng = base.Split(static_cast<uint64_t>(m));
+    const int64_t begin = m * kGeneratorMorsel;
+    const int64_t end = std::min(n, begin + kGeneratorMorsel);
+    for (int64_t i = begin; i < end; ++i) {
+      const bool ongoing = rng.UniformReal() < options.ongoing_fraction;
+      OngoingInterval vt;
+      if (ongoing) {
+        // The fixed endpoint of the ongoing interval: placed in the
+        // chosen segment, or anywhere in the history.
+        TimePoint anchor;
+        if (options.ongoing_segment >= 0) {
+          TimePoint seg_start =
+              history_start + options.ongoing_segment * segment_span;
+          anchor = seg_start + rng.Uniform(0, segment_span - 1);
+        } else {
+          anchor = history_start + rng.Uniform(0, span - 1);
+        }
+        vt = options.kind == OngoingKind::kExpanding
+                 ? OngoingInterval::SinceUntilNow(anchor)
+                 : OngoingInterval::FromNowUntil(anchor);
       } else {
-        anchor = history_start + rng.Uniform(0, span - 1);
+        TimePoint start = history_start + rng.Uniform(0, span - 1);
+        TimePoint end_point = start + rng.Uniform(1, options.max_duration_days);
+        vt = OngoingInterval::Fixed(start, std::min(end_point, history_end));
       }
-      vt = options.kind == OngoingKind::kExpanding
-               ? OngoingInterval::SinceUntilNow(anchor)
-               : OngoingInterval::FromNowUntil(anchor);
-    } else {
-      TimePoint start = history_start + rng.Uniform(0, span - 1);
-      TimePoint end = start + rng.Uniform(1, options.max_duration_days);
-      vt = OngoingInterval::Fixed(start, std::min(end, history_end));
+      tuples[static_cast<size_t>(i)] =
+          Tuple({Value::Int64(i),
+                 Value::Int64(rng.Uniform(0, options.key_cardinality - 1)),
+                 Value::Ongoing(vt)});
     }
-    relation.AppendUnchecked(
-        Tuple({Value::Int64(i),
-               Value::Int64(rng.Uniform(0, options.key_cardinality - 1)),
-               Value::Ongoing(vt)}));
+  };
+
+  const int64_t morsels = (n + kGeneratorMorsel - 1) / kGeneratorMorsel;
+  if (options.workers <= 1 || morsels <= 1) {
+    for (int64_t m = 0; m < morsels; ++m) generate_morsel(m);
+  } else {
+    // Workers claim morsels from a shared cursor; the per-morsel Split
+    // streams make the result identical to the serial loop above.
+    std::atomic<int64_t> next{0};
+    TaskGroup group;
+    const size_t worker_count =
+        std::min(options.workers, static_cast<size_t>(morsels));
+    for (size_t w = 0; w < worker_count; ++w) {
+      group.Spawn([&] {
+        for (int64_t m = next.fetch_add(1); m < morsels;
+             m = next.fetch_add(1)) {
+          generate_morsel(m);
+        }
+      });
+    }
+    group.Wait();
   }
+
+  OngoingRelation relation(schema);
+  relation.Reserve(tuples.size());
+  for (Tuple& t : tuples) relation.AppendUnchecked(std::move(t));
   return relation;
 }
 

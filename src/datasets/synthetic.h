@@ -40,6 +40,11 @@ struct SyntheticOptions {
   /// Maximum duration of fixed intervals, in days.
   int64_t max_duration_days = 90;
   uint64_t seed = 42;
+  /// Generator threads. Generation is morsel-partitioned with one
+  /// Rng::Split stream per morsel (util/rng.h), so every worker count
+  /// produces the identical relation bit for bit — parallel generation
+  /// reproduces the serial datasets exactly.
+  size_t workers = 1;
 };
 
 /// Schema: (ID: int64, K: int64, VT: ongoing_interval).

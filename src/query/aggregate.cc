@@ -1,9 +1,13 @@
 #include "query/aggregate.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <set>
 
+#include "query/optimizer.h"
 #include "query/physical.h"
+#include "util/thread_pool.h"
 
 namespace ongoingdb {
 
@@ -33,117 +37,8 @@ std::string StepFunction::ToString() const {
 
 namespace {
 
-// Turns the +1/-1 boundary deltas of the count sweep into maximal,
-// gap-free steps.
-StepFunction StepsFromDeltas(const std::map<TimePoint, int64_t>& deltas) {
-  StepFunction fn;
-  TimePoint cursor = kMinInfinity;
-  int64_t count = 0;
-  for (const auto& [point, delta] : deltas) {
-    if (delta == 0) continue;
-    if (point > cursor) {
-      fn.steps.push_back({FixedInterval{cursor, point}, count});
-      cursor = point;
-    }
-    count += delta;
-  }
-  if (cursor < kMaxInfinity) {
-    fn.steps.push_back({FixedInterval{cursor, kMaxInfinity}, count});
-  }
-  // Merge adjacent equal-valued steps (maximality).
-  std::vector<StepFunction::Step> merged;
-  for (const auto& step : fn.steps) {
-    if (!merged.empty() && merged.back().value == step.value) {
-      merged.back().range.end = step.range.end;
-    } else {
-      merged.push_back(step);
-    }
-  }
-  fn.steps = std::move(merged);
-  return fn;
-}
-
-}  // namespace
-
-StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
-  // Sweep over interval boundaries: +1 at each RT interval start, -1 at
-  // each end.
-  std::map<TimePoint, int64_t> deltas;
-  for (const Tuple& t : r.tuples()) {
-    for (const FixedInterval& iv : t.rt().intervals()) {
-      deltas[iv.start] += 1;
-      deltas[iv.end] -= 1;
-    }
-  }
-  return StepsFromDeltas(deltas);
-}
-
-Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan) {
-  // Batch-at-a-time ingestion: only the boundary deltas are kept, the
-  // query result itself is never materialized.
-  ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
-                             Compile(plan, ExecMode::kOngoing));
-  // A bare scan needs no batch copies: count over the relation itself.
-  if (const OngoingRelation* rel = root->BorrowedRelation()) {
-    return CountAtEachReferenceTime(*rel);
-  }
-  ONGOINGDB_RETURN_NOT_OK(root->Open());
-  std::map<TimePoint, int64_t> deltas;
-  TupleBatch batch;
-  while (true) {
-    ONGOINGDB_RETURN_NOT_OK(root->Next(&batch));
-    if (batch.empty()) break;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      for (const FixedInterval& iv : batch.tuple(i).rt().intervals()) {
-        deltas[iv.start] += 1;
-        deltas[iv.end] -= 1;
-      }
-    }
-  }
-  root->Close();
-  return StepsFromDeltas(deltas);
-}
-
-Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,
-                                                 const std::string& column) {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
-  if (IsOngoingType(r.schema().attribute(idx).type)) {
-    return Status::NotImplemented(
-        "grouping by ongoing attributes requires time-dependent groups");
-  }
-  // Partition tuples by group value, then aggregate each partition.
-  std::map<std::string, OngoingRelation> groups;
-  std::map<std::string, Value> group_values;
-  for (const Tuple& t : r.tuples()) {
-    std::string key = t.value(idx).ToString();
-    auto [it, inserted] = groups.try_emplace(key, r.schema());
-    if (inserted) group_values.emplace(key, t.value(idx));
-    it->second.AppendUnchecked(t);
-  }
-  std::vector<GroupedCount> result;
-  result.reserve(groups.size());
-  for (auto& [key, relation] : groups) {
-    result.push_back(
-        GroupedCount{group_values.at(key), CountAtEachReferenceTime(relation)});
-  }
-  return result;
-}
-
-namespace {
-
-// Shared skeleton for the weighted sweeps: collects per-boundary deltas
-// of `column` values and emits a step function.
-Result<size_t> CheckInt64Column(const OngoingRelation& r,
-                                const std::string& column) {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
-  if (r.schema().attribute(idx).type != ValueType::kInt64) {
-    return Status::TypeError("aggregate requires an int64 attribute, got " +
-                             std::string(ValueTypeToString(
-                                 r.schema().attribute(idx).type)));
-  }
-  return idx;
-}
-
+// Drops empty ranges and merges adjacent equal-valued steps
+// (maximality).
 StepFunction MergeSteps(std::vector<StepFunction::Step> steps) {
   StepFunction fn;
   for (auto& step : steps) {
@@ -157,36 +52,78 @@ StepFunction MergeSteps(std::vector<StepFunction::Step> steps) {
   return fn;
 }
 
-// Generic boundary sweep: for each maximal range between RT boundaries,
-// computes `combine` over the values of the tuples alive in that range.
-template <typename Combine>
-Result<StepFunction> SweepAggregate(const OngoingRelation& r,
-                                    const std::string& column,
-                                    int64_t empty_value, Combine&& combine) {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, CheckInt64Column(r, column));
-  // Collect all boundaries.
-  std::vector<TimePoint> boundaries{kMinInfinity, kMaxInfinity};
-  for (const Tuple& t : r.tuples()) {
-    for (const FixedInterval& iv : t.rt().intervals()) {
-      boundaries.push_back(iv.start);
-      boundaries.push_back(iv.end);
+// Turns the +1/-1 boundary deltas of the count sweep into maximal,
+// gap-free steps.
+StepFunction StepsFromDeltas(const std::map<TimePoint, int64_t>& deltas) {
+  std::vector<StepFunction::Step> steps;
+  TimePoint cursor = kMinInfinity;
+  int64_t count = 0;
+  for (const auto& [point, delta] : deltas) {
+    if (delta == 0) continue;
+    if (point > cursor) {
+      steps.push_back({FixedInterval{cursor, point}, count});
+      cursor = point;
+    }
+    count += delta;
+  }
+  if (cursor < kMaxInfinity) {
+    steps.push_back({FixedInterval{cursor, kMaxInfinity}, count});
+  }
+  return MergeSteps(std::move(steps));
+}
+
+// One (RT interval, column value) pair — the event the MIN/MAX sweep
+// reduces tuples to. Event multisets concatenate across workers, which
+// is the associative merge of the parallel MIN/MAX path.
+struct ValuedInterval {
+  FixedInterval range;
+  int64_t value = 0;
+};
+
+// Ordered sweep over (interval, value) events: between consecutive RT
+// boundaries the aggregate is the min/max of the currently alive
+// values (a multiset ordered by value), empty ranges take empty_value.
+// O(n log n) in the number of events.
+StepFunction SweepMinMax(const std::vector<ValuedInterval>& events,
+                         bool take_min, int64_t empty_value) {
+  struct Boundary {
+    TimePoint at;
+    bool add;
+    int64_t value;
+  };
+  std::vector<Boundary> bounds;
+  bounds.reserve(events.size() * 2);
+  for (const ValuedInterval& e : events) {
+    if (e.range.empty()) continue;
+    bounds.push_back({e.range.start, true, e.value});
+    bounds.push_back({e.range.end, false, e.value});
+  }
+  std::sort(bounds.begin(), bounds.end(),
+            [](const Boundary& a, const Boundary& b) { return a.at < b.at; });
+  std::multiset<int64_t> active;
+  std::vector<StepFunction::Step> steps;
+  TimePoint prev = kMinInfinity;
+  auto current = [&] {
+    if (active.empty()) return empty_value;
+    return take_min ? *active.begin() : *active.rbegin();
+  };
+  size_t i = 0;
+  while (i < bounds.size()) {
+    const TimePoint t = bounds[i].at;
+    if (t > prev) {
+      steps.push_back({FixedInterval{prev, t}, current()});
+      prev = t;
+    }
+    for (; i < bounds.size() && bounds[i].at == t; ++i) {
+      if (bounds[i].add) {
+        active.insert(bounds[i].value);
+      } else {
+        active.erase(active.find(bounds[i].value));
+      }
     }
   }
-  std::sort(boundaries.begin(), boundaries.end());
-  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
-                   boundaries.end());
-  std::vector<StepFunction::Step> steps;
-  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
-    FixedInterval range{boundaries[i], boundaries[i + 1]};
-    bool any = false;
-    int64_t acc = empty_value;
-    for (const Tuple& t : r.tuples()) {
-      if (!t.rt().Contains(range.start)) continue;
-      int64_t v = t.value(idx).AsInt64();
-      acc = any ? combine(acc, v) : v;
-      any = true;
-    }
-    steps.push_back({range, any ? acc : empty_value});
+  if (prev < kMaxInfinity) {
+    steps.push_back({FixedInterval{prev, kMaxInfinity}, current()});
   }
   if (steps.empty()) {
     steps.push_back({FixedInterval{kMinInfinity, kMaxInfinity}, empty_value});
@@ -194,26 +131,328 @@ Result<StepFunction> SweepAggregate(const OngoingRelation& r,
   return MergeSteps(std::move(steps));
 }
 
+Result<size_t> CheckInt64Column(const Schema& schema,
+                                const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+  if (schema.attribute(idx).type != ValueType::kInt64) {
+    return Status::TypeError("aggregate requires an int64 attribute, got " +
+                             std::string(ValueTypeToString(
+                                 schema.attribute(idx).type)));
+  }
+  return idx;
+}
+
+// A compiled drain of a plan's ongoing result for aggregation: either
+// the serial operator tree or EffectiveWorkers partition pipelines.
+// Run() feeds every result tuple to `consume(worker, tuple)`; distinct
+// workers run on distinct threads, so consumers index worker-local
+// state with no synchronization and merge the partials afterwards.
+class AggregationDrain {
+ public:
+  static Result<AggregationDrain> Prepare(const PlanPtr& plan,
+                                          const ParallelOptions& options) {
+    AggregationDrain drain;
+    drain.workers_ = EffectiveWorkers(plan, options);
+    if (drain.workers_ > 1) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          drain.partitioned_,
+          CompilePartitions(plan, ExecMode::kOngoing, 0, drain.workers_,
+                            options.morsel_size));
+      drain.schema_ = drain.partitioned_.pipelines.front()->schema();
+      return drain;
+    }
+    ONGOINGDB_ASSIGN_OR_RETURN(drain.serial_root_,
+                               Compile(plan, ExecMode::kOngoing));
+    drain.borrowed_ = drain.serial_root_->BorrowedRelation();
+    drain.schema_ = drain.serial_root_->schema();
+    return drain;
+  }
+
+  const Schema& schema() const { return schema_; }
+  size_t workers() const { return workers_; }
+
+  /// Non-null when the serial plan is a bare ongoing scan: consumers may
+  /// aggregate over the relation directly instead of draining batches.
+  const OngoingRelation* borrowed() const { return borrowed_; }
+
+  // `consume` stays a template parameter so the serial path keeps the
+  // per-tuple call inlined (no std::function indirection per tuple;
+  // the parallel path pays one type-erased hop per *task* only, inside
+  // TaskGroup::Spawn).
+  template <typename Consume>
+  Status Run(const Consume& consume) {
+    if (workers_ <= 1) {
+      if (borrowed_ != nullptr) {
+        for (const Tuple& t : borrowed_->tuples()) consume(0, t);
+        return Status::OK();
+      }
+      return DrainPipeline(*serial_root_, 0, consume);
+    }
+    partitioned_.exchange->Reset();
+    std::vector<Status> statuses(workers_);
+    TaskGroup group;
+    for (size_t w = 0; w < workers_; ++w) {
+      group.Spawn([this, w, &statuses, &consume] {
+        statuses[w] = DrainPipeline(*partitioned_.pipelines[w], w, consume);
+      });
+    }
+    group.Wait();
+    for (Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename Consume>
+  static Status DrainPipeline(PhysicalOperator& op, size_t worker,
+                              const Consume& consume) {
+    ONGOINGDB_RETURN_NOT_OK(op.Open());
+    TupleBatch batch;
+    while (true) {
+      ONGOINGDB_RETURN_NOT_OK(op.Next(&batch));
+      if (batch.empty()) break;
+      for (size_t i = 0; i < batch.size(); ++i) consume(worker, batch.tuple(i));
+    }
+    op.Close();
+    return Status::OK();
+  }
+
+  size_t workers_ = 1;
+  Schema schema_;
+  PhysicalOpPtr serial_root_;
+  PartitionedPlan partitioned_;
+  const OngoingRelation* borrowed_ = nullptr;
+};
+
+// Folds per-worker delta maps into per-worker StepFunction partials and
+// merges them with the associative AddStepFunctions.
+StepFunction MergeDeltaPartials(
+    const std::vector<std::map<TimePoint, int64_t>>& partials) {
+  StepFunction merged = StepsFromDeltas(partials.front());
+  for (size_t w = 1; w < partials.size(); ++w) {
+    merged = AddStepFunctions(merged, StepsFromDeltas(partials[w]));
+  }
+  return merged;
+}
+
+void AddRtDeltas(const IntervalSet& rt, int64_t weight,
+                 std::map<TimePoint, int64_t>* deltas) {
+  for (const FixedInterval& iv : rt.intervals()) {
+    (*deltas)[iv.start] += weight;
+    (*deltas)[iv.end] -= weight;
+  }
+}
+
 }  // namespace
+
+StepFunction AddStepFunctions(const StepFunction& a, const StepFunction& b) {
+  // An empty function acts as the constant 0 (the merge identity).
+  if (a.steps.empty()) return b;
+  if (b.steps.empty()) return a;
+  std::vector<StepFunction::Step> steps;
+  TimePoint cursor = kMinInfinity;
+  size_t i = 0, j = 0;
+  // Both operands are gap-free covers of (-inf, +inf), so the two-
+  // pointer walk ends with both lists consumed at +inf together.
+  while (i < a.steps.size() && j < b.steps.size()) {
+    const TimePoint end =
+        std::min(a.steps[i].range.end, b.steps[j].range.end);
+    steps.push_back(
+        {FixedInterval{cursor, end}, a.steps[i].value + b.steps[j].value});
+    cursor = end;
+    if (a.steps[i].range.end == end) ++i;
+    if (b.steps[j].range.end == end) ++j;
+  }
+  return MergeSteps(std::move(steps));
+}
+
+StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
+  // Sweep over interval boundaries: +1 at each RT interval start, -1 at
+  // each end.
+  std::map<TimePoint, int64_t> deltas;
+  for (const Tuple& t : r.tuples()) {
+    AddRtDeltas(t.rt(), 1, &deltas);
+  }
+  return StepsFromDeltas(deltas);
+}
+
+Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan,
+                                              const ParallelOptions& options) {
+  // Batch-at-a-time ingestion: only the boundary deltas are kept, the
+  // query result itself is never materialized.
+  ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
+                             AggregationDrain::Prepare(plan, options));
+  // A bare serial scan needs no batch copies: count over the relation.
+  if (drain.borrowed() != nullptr) {
+    return CountAtEachReferenceTime(*drain.borrowed());
+  }
+  std::vector<std::map<TimePoint, int64_t>> partials(drain.workers());
+  ONGOINGDB_RETURN_NOT_OK(drain.Run([&partials](size_t w, const Tuple& t) {
+    AddRtDeltas(t.rt(), 1, &partials[w]);
+  }));
+  return MergeDeltaPartials(partials);
+}
+
+namespace {
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return ValueCompare(a, b) < 0;
+  }
+};
+
+// Per-group boundary deltas; groups ordered by ValueCompare, so both
+// CountGroupedBy overloads return groups in the same order.
+using GroupDeltas = std::map<Value, std::map<TimePoint, int64_t>, ValueLess>;
+
+Status CheckGroupable(const Schema& schema, size_t idx) {
+  if (IsOngoingType(schema.attribute(idx).type)) {
+    return Status::NotImplemented(
+        "grouping by ongoing attributes requires time-dependent groups");
+  }
+  return Status::OK();
+}
+
+std::vector<GroupedCount> GroupedCountsFromDeltas(GroupDeltas& groups) {
+  std::vector<GroupedCount> result;
+  result.reserve(groups.size());
+  for (auto& [group, deltas] : groups) {
+    result.push_back(GroupedCount{group, StepsFromDeltas(deltas)});
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,
+                                                 const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
+  ONGOINGDB_RETURN_NOT_OK(CheckGroupable(r.schema(), idx));
+  GroupDeltas groups;
+  for (const Tuple& t : r.tuples()) {
+    AddRtDeltas(t.rt(), 1, &groups[t.value(idx)]);
+  }
+  return GroupedCountsFromDeltas(groups);
+}
+
+Result<std::vector<GroupedCount>> CountGroupedBy(
+    const PlanPtr& plan, const std::string& column,
+    const ParallelOptions& options) {
+  ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
+                             AggregationDrain::Prepare(plan, options));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, drain.schema().IndexOf(column));
+  ONGOINGDB_RETURN_NOT_OK(CheckGroupable(drain.schema(), idx));
+  std::vector<GroupDeltas> partials(drain.workers());
+  ONGOINGDB_RETURN_NOT_OK(drain.Run([&partials, idx](size_t w, const Tuple& t) {
+    AddRtDeltas(t.rt(), 1, &partials[w][t.value(idx)]);
+  }));
+  // Associative merge of the per-worker group maps: per group, deltas
+  // add.
+  GroupDeltas& merged = partials.front();
+  for (size_t w = 1; w < partials.size(); ++w) {
+    for (auto& [group, deltas] : partials[w]) {
+      std::map<TimePoint, int64_t>& into = merged[group];
+      for (const auto& [point, delta] : deltas) into[point] += delta;
+    }
+  }
+  return GroupedCountsFromDeltas(merged);
+}
 
 Result<StepFunction> SumAtEachReferenceTime(const OngoingRelation& r,
                                             const std::string& column) {
-  return SweepAggregate(r, column, 0,
-                        [](int64_t a, int64_t b) { return a + b; });
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, CheckInt64Column(r.schema(), column));
+  std::map<TimePoint, int64_t> deltas;
+  for (const Tuple& t : r.tuples()) {
+    AddRtDeltas(t.rt(), t.value(idx).AsInt64(), &deltas);
+  }
+  return StepsFromDeltas(deltas);
 }
+
+Result<StepFunction> SumAtEachReferenceTime(const PlanPtr& plan,
+                                            const std::string& column,
+                                            const ParallelOptions& options) {
+  ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
+                             AggregationDrain::Prepare(plan, options));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
+                             CheckInt64Column(drain.schema(), column));
+  if (drain.borrowed() != nullptr) {
+    return SumAtEachReferenceTime(*drain.borrowed(), column);
+  }
+  std::vector<std::map<TimePoint, int64_t>> partials(drain.workers());
+  ONGOINGDB_RETURN_NOT_OK(drain.Run([&partials, idx](size_t w, const Tuple& t) {
+    AddRtDeltas(t.rt(), t.value(idx).AsInt64(), &partials[w]);
+  }));
+  return MergeDeltaPartials(partials);
+}
+
+namespace {
+
+// Shared body of the MIN/MAX variants: reduce the plan's tuples to
+// per-worker (interval, value) event buffers, concatenate, sweep.
+Result<StepFunction> MinMaxOverPlan(const PlanPtr& plan,
+                                    const std::string& column, bool take_min,
+                                    int64_t empty_value,
+                                    const ParallelOptions& options) {
+  ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
+                             AggregationDrain::Prepare(plan, options));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
+                             CheckInt64Column(drain.schema(), column));
+  std::vector<std::vector<ValuedInterval>> partials(drain.workers());
+  ONGOINGDB_RETURN_NOT_OK(drain.Run([&partials, idx](size_t w, const Tuple& t) {
+    const int64_t v = t.value(idx).AsInt64();
+    for (const FixedInterval& iv : t.rt().intervals()) {
+      partials[w].push_back({iv, v});
+    }
+  }));
+  std::vector<ValuedInterval>& events = partials.front();
+  for (size_t w = 1; w < partials.size(); ++w) {
+    events.insert(events.end(), partials[w].begin(), partials[w].end());
+  }
+  return SweepMinMax(events, take_min, empty_value);
+}
+
+Result<StepFunction> MinMaxOverRelation(const OngoingRelation& r,
+                                        const std::string& column,
+                                        bool take_min, int64_t empty_value) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, CheckInt64Column(r.schema(), column));
+  std::vector<ValuedInterval> events;
+  for (const Tuple& t : r.tuples()) {
+    const int64_t v = t.value(idx).AsInt64();
+    for (const FixedInterval& iv : t.rt().intervals()) {
+      events.push_back({iv, v});
+    }
+  }
+  return SweepMinMax(events, take_min, empty_value);
+}
+
+}  // namespace
 
 Result<StepFunction> MinAtEachReferenceTime(const OngoingRelation& r,
                                             const std::string& column,
                                             int64_t empty_value) {
-  return SweepAggregate(r, column, empty_value,
-                        [](int64_t a, int64_t b) { return std::min(a, b); });
+  return MinMaxOverRelation(r, column, /*take_min=*/true, empty_value);
 }
 
 Result<StepFunction> MaxAtEachReferenceTime(const OngoingRelation& r,
                                             const std::string& column,
                                             int64_t empty_value) {
-  return SweepAggregate(r, column, empty_value,
-                        [](int64_t a, int64_t b) { return std::max(a, b); });
+  return MinMaxOverRelation(r, column, /*take_min=*/false, empty_value);
+}
+
+Result<StepFunction> MinAtEachReferenceTime(const PlanPtr& plan,
+                                            const std::string& column,
+                                            int64_t empty_value,
+                                            const ParallelOptions& options) {
+  return MinMaxOverPlan(plan, column, /*take_min=*/true, empty_value, options);
+}
+
+Result<StepFunction> MaxAtEachReferenceTime(const PlanPtr& plan,
+                                            const std::string& column,
+                                            int64_t empty_value,
+                                            const ParallelOptions& options) {
+  return MinMaxOverPlan(plan, column, /*take_min=*/false, empty_value,
+                        options);
 }
 
 }  // namespace ongoingdb

@@ -17,4 +17,20 @@ Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
   return DrainToRelation(*root);
 }
 
+Result<OngoingRelation> Execute(const PlanPtr& plan,
+                                const ParallelOptions& options) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PhysicalOpPtr root, Compile(plan, ExecMode::kOngoing, 0, options));
+  return DrainToRelation(*root);
+}
+
+Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
+                                               TimePoint rt,
+                                               const ParallelOptions& options) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PhysicalOpPtr root,
+      Compile(plan, ExecMode::kAtReferenceTime, rt, options));
+  return DrainToRelation(*root);
+}
+
 }  // namespace ongoingdb

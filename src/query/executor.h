@@ -18,6 +18,7 @@
 // and pull batches themselves.
 #pragma once
 
+#include "query/physical.h"
 #include "query/plan.h"
 #include "util/result.h"
 
@@ -29,5 +30,16 @@ Result<OngoingRelation> Execute(const PlanPtr& plan);
 /// Evaluates a plan with Clifford semantics at reference time rt.
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
                                                TimePoint rt);
+
+/// Parallel variants: drain the plan with options.workers concurrent
+/// partition pipelines (query/physical.h, "Parallel execution"). The
+/// result is the same multiset of tuples as the serial overloads; tuple
+/// ORDER within the result relation is unspecified once workers > 1.
+/// Small inputs fall back to the serial tree (EffectiveWorkers).
+Result<OngoingRelation> Execute(const PlanPtr& plan,
+                                const ParallelOptions& options);
+Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
+                                               TimePoint rt,
+                                               const ParallelOptions& options);
 
 }  // namespace ongoingdb

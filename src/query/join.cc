@@ -109,6 +109,16 @@ size_t JoinKeyHash(const Tuple& tuple, const std::vector<size_t>& indices) {
   return h;
 }
 
+size_t JoinKeyPartition(size_t hash, size_t num_partitions) {
+  // Fibonacci-multiply then fold the high bits down: the partition id
+  // depends on a different bit mix than the hash table's `hash & mask`
+  // bucket choice, so partitioning by key hash does not degrade the
+  // per-partition tables' bucket distribution.
+  uint64_t z = static_cast<uint64_t>(hash) * 0x9E3779B97F4A7C15ULL;
+  z ^= z >> 32;
+  return static_cast<size_t>(z % num_partitions);
+}
+
 bool JoinKeysEqual(const Tuple& a, const std::vector<size_t>& a_indices,
                    const Tuple& b, const std::vector<size_t>& b_indices) {
   for (size_t c = 0; c < a_indices.size(); ++c) {

@@ -66,6 +66,16 @@ Result<EquiJoinPlan> PrepareEquiJoin(const Schema& left_schema,
 /// equal hashes and verify that equality, not the hash, decides matches.
 size_t JoinKeyHash(const Tuple& tuple, const std::vector<size_t>& indices);
 
+/// Maps a JoinKeyHash to one of `num_partitions` partitions — the
+/// routing function of the parallel partitioned joins (query/physical.h,
+/// Repartition): tuples with equal keys land in the same partition, so
+/// per-partition build/probe pipelines are disjoint and complete.
+/// Remixes the hash before reduction so the partition id stays
+/// decorrelated from the JoinHashTable's bucket index (which uses the
+/// low bits): within one partition the per-partition build table still
+/// spreads over all of its buckets.
+size_t JoinKeyPartition(size_t hash, size_t num_partitions);
+
 /// Key equality via ValueEq (ValueCompare == 0), not operator==, so hash
 /// and sort-merge group keys identically (ValueEq treats NaN doubles as
 /// equal to themselves; IEEE == does not). The two operands may come

@@ -1,6 +1,9 @@
 #include "query/optimizer.h"
 
+#include <algorithm>
+
 #include "query/join.h"
+#include "util/thread_pool.h"
 
 namespace ongoingdb {
 
@@ -29,6 +32,39 @@ Result<Schema> OutputSchema(const PlanPtr& plan) {
     }
   }
   return Status::Internal("unknown plan kind");
+}
+
+namespace {
+
+// Total cardinality of the base relations a plan scans (each scan node
+// counted once per occurrence — a self-join reads its input twice).
+size_t TotalScanTuples(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return static_cast<const ScanNode*>(plan.get())->relation().size();
+    case PlanKind::kFilter:
+      return TotalScanTuples(static_cast<const FilterNode*>(plan.get())->child());
+    case PlanKind::kProject:
+      return TotalScanTuples(
+          static_cast<const ProjectNode*>(plan.get())->child());
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      return TotalScanTuples(node->left()) + TotalScanTuples(node->right());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t EffectiveWorkers(const PlanPtr& plan, const ParallelOptions& options) {
+  if (options.workers <= 1) return 1;
+  if (TotalScanTuples(plan) < options.min_parallel_tuples) return 1;
+  // Never more pipelines than scheduler threads: on a FIFO pool the
+  // surplus pipelines would run in waves after the first ones finish —
+  // no added concurrency, but each extra partition still pays the full
+  // repartition re-scan of its join inputs.
+  return std::min(options.workers, TaskScheduler::Global().worker_count());
 }
 
 namespace {

@@ -6,6 +6,7 @@
 // executor via expr::Split.
 #pragma once
 
+#include "query/physical.h"
 #include "query/plan.h"
 #include "util/result.h"
 
@@ -13,6 +14,15 @@ namespace ongoingdb {
 
 /// The output schema a plan will produce (computed without executing).
 Result<Schema> OutputSchema(const PlanPtr& plan);
+
+/// The degree-of-parallelism decision shared by the parallel Compile()
+/// overload and the streaming aggregates: options.workers, clamped to 1
+/// (serial) when the plan's base relations hold fewer than
+/// options.min_parallel_tuples tuples in total. On small inputs the
+/// parallel plan's fixed costs — pipeline setup, cross-thread batch
+/// handoff, and the K-fold re-scan of repartitioned join inputs —
+/// exceed the work being split.
+size_t EffectiveWorkers(const PlanPtr& plan, const ParallelOptions& options);
 
 /// Pushes filter conjuncts below joins when all referenced columns
 /// resolve in one join input (sigma_{theta1 ^ theta2}(R) ==

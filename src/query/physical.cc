@@ -1,12 +1,18 @@
 #include "query/physical.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "query/join.h"
+#include "query/optimizer.h"
+#include "util/thread_pool.h"
 
 namespace ongoingdb {
 
@@ -15,6 +21,30 @@ namespace {
 // ---------------------------------------------------------------------------
 // Shared pieces
 // ---------------------------------------------------------------------------
+
+// Emits one base-relation tuple into `out` under `mode` — the shared
+// per-tuple body of the serial and morsel scans. In kAtReferenceTime
+// mode this is the bind operator ||R||rt: tuples whose RT does not
+// contain rt are dropped (returns false), the rest are instantiated
+// with trivial reference time.
+inline bool EmitBaseTuple(const Tuple& t, ExecMode mode, TimePoint rt,
+                          const IntervalSet& all, TupleBatch* out) {
+  if (mode == ExecMode::kAtReferenceTime) {
+    if (!t.BelongsAt(rt)) return false;
+    Tuple& slot = out->NextSlot();
+    std::vector<Value>& values = slot.mutable_values();
+    values.reserve(t.num_values());
+    for (const Value& v : t.values()) values.push_back(v.Instantiate(rt));
+    slot.mutable_rt() = all;
+    return true;
+  }
+  Tuple& slot = out->NextSlot();
+  std::vector<Value>& values = slot.mutable_values();
+  values.reserve(t.num_values());
+  for (const Value& v : t.values()) values.push_back(v);
+  slot.mutable_rt() = t.rt();
+  return true;
+}
 
 // Materializes a physical input for a blocking consumer (join build
 // side). Ongoing-mode scans are borrowed — no copy, exactly like the
@@ -241,23 +271,7 @@ class ScanOp final : public PhysicalOperator {
     out->Clear();
     const std::vector<Tuple>& tuples = relation_->tuples();
     while (pos_ < tuples.size() && !out->full()) {
-      const Tuple& t = tuples[pos_++];
-      if (mode_ == ExecMode::kAtReferenceTime) {
-        // The bind operator ||R||rt: keep the tuples whose RT contains
-        // rt, instantiated, with trivial reference time.
-        if (!t.BelongsAt(rt_)) continue;
-        Tuple& slot = out->NextSlot();
-        std::vector<Value>& values = slot.mutable_values();
-        values.reserve(t.num_values());
-        for (const Value& v : t.values()) values.push_back(v.Instantiate(rt_));
-        slot.mutable_rt() = all_;
-      } else {
-        Tuple& slot = out->NextSlot();
-        std::vector<Value>& values = slot.mutable_values();
-        values.reserve(t.num_values());
-        for (const Value& v : t.values()) values.push_back(v);
-        slot.mutable_rt() = t.rt();
-      }
+      EmitBaseTuple(tuples[pos_++], mode_, rt_, all_, out);
     }
     return Status::OK();
   }
@@ -603,6 +617,429 @@ class SortMergeJoinOp final : public PhysicalOperator {
   bool in_group_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Parallel operators (morsel-driven execution, docs/DESIGN.md "Parallel
+// execution"). A parallel plan is K self-contained partition pipelines
+// whose streams are disjoint and together equal the serial result:
+//
+//  * ExchangeScan splits base relations into morsels all pipelines pull
+//    from a shared atomic cursor (data-level load balancing);
+//  * Repartition routes a join input's tuples to the partition their
+//    key hash selects, so key-driven joins build and probe
+//    per-partition tables;
+//  * Gather drains the pipelines concurrently on the global
+//    TaskScheduler and funnels their batches to the single consumer.
+//
+// Pipelines share no mutable state besides the morsel cursors; every
+// pipeline fills batches from its own arena (the exchange's batch
+// pool), and Value's refcounted string payloads make the cross-thread
+// tuple copies safe (relation/value.h).
+// ---------------------------------------------------------------------------
+
+// ExchangeScan: the morsel-driven parallel scan. All instances of one
+// logical scan node share an atomic morsel cursor; each Next() claims
+// the next unclaimed [begin, begin + morsel) range, so fast pipelines
+// naturally take more morsels than slow ones (no static striping).
+// Deliberately does NOT expose BorrowedRelation(): the instance streams
+// only its share of the relation.
+class MorselScanOp final : public PhysicalOperator {
+ public:
+  MorselScanOp(const OngoingRelation* relation, ExecMode mode, TimePoint rt,
+               ExchangeState::MorselCursor* cursor, size_t morsel_size)
+      : PhysicalOperator(mode == ExecMode::kOngoing
+                             ? relation->schema()
+                             : relation->schema().Instantiated()),
+        relation_(relation),
+        mode_(mode),
+        rt_(rt),
+        cursor_(cursor),
+        morsel_size_(morsel_size) {}
+
+  Status Open() override {
+    // The shared cursor is repositioned by ExchangeState::Reset() (one
+    // reset per drain round, not one per pipeline); only the local
+    // morsel window resets here.
+    pos_ = end_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    const std::vector<Tuple>& tuples = relation_->tuples();
+    while (!out->full()) {
+      if (pos_ >= end_) {
+        const size_t begin =
+            cursor_->next.fetch_add(morsel_size_, std::memory_order_relaxed);
+        if (begin >= tuples.size()) break;
+        pos_ = begin;
+        end_ = std::min(begin + morsel_size_, tuples.size());
+      }
+      EmitBaseTuple(tuples[pos_++], mode_, rt_, all_, out);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const OngoingRelation* relation_;
+  ExecMode mode_;
+  TimePoint rt_;
+  ExchangeState::MorselCursor* cursor_;
+  size_t morsel_size_;
+  const IntervalSet all_ = IntervalSet::All();
+  size_t pos_ = 0, end_ = 0;
+};
+
+// Repartition: filters its input down to the tuples whose typed
+// join-key hash routes to this partition (JoinKeyPartition). The
+// parallel lowering compiles one serial copy of the join input per
+// partition and wraps it in a Repartition, so the per-partition
+// build/probe pipelines are disjoint (a key routes to exactly one
+// partition) and complete (matching tuples share a key, hence a hash,
+// hence a partition). Ongoing-mode scans are borrowed: the common case
+// — a join directly over base relations — routes straight off the
+// shared read-only relation without staging batches first.
+class RepartitionOp final : public PhysicalOperator {
+ public:
+  RepartitionOp(PhysicalOpPtr child, std::vector<size_t> key_indices,
+                size_t partition, size_t num_partitions)
+      : PhysicalOperator(child->schema()),
+        child_(std::move(child)),
+        key_indices_(std::move(key_indices)),
+        partition_(partition),
+        num_partitions_(num_partitions) {}
+
+  Status Open() override {
+    const OngoingRelation* rel = child_->BorrowedRelation();
+    borrowed_ = rel != nullptr ? &rel->tuples() : nullptr;
+    pos_ = 0;
+    exhausted_ = false;
+    if (borrowed_ == nullptr) {
+      ONGOINGDB_RETURN_NOT_OK(child_->Open());
+      in_.Clear();
+    }
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    if (borrowed_ != nullptr) {
+      // Borrowing implies an ongoing-mode scan, so the copy is the
+      // plain ongoing emission.
+      while (pos_ < borrowed_->size() && !out->full()) {
+        const Tuple& t = (*borrowed_)[pos_++];
+        if (!Mine(t)) continue;
+        EmitBaseTuple(t, ExecMode::kOngoing, 0, all_, out);
+      }
+      return Status::OK();
+    }
+    while (!out->full()) {
+      if (pos_ >= in_.size()) {
+        if (exhausted_) break;
+        ONGOINGDB_RETURN_NOT_OK(child_->Next(&in_));
+        pos_ = 0;
+        if (in_.empty()) {
+          exhausted_ = true;
+          break;
+        }
+      }
+      Tuple& t = in_.tuple(pos_++);
+      if (!Mine(t)) continue;
+      // Swap, not copy: the kept tuple's storage moves to the output
+      // slot and the slot's recycled storage flows back into the
+      // child's batch arena.
+      std::swap(out->NextSlot(), t);
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (borrowed_ == nullptr) child_->Close();
+  }
+
+ private:
+  bool Mine(const Tuple& t) const {
+    return JoinKeyPartition(JoinKeyHash(t, key_indices_), num_partitions_) ==
+           partition_;
+  }
+
+  PhysicalOpPtr child_;
+  std::vector<size_t> key_indices_;
+  size_t partition_;
+  size_t num_partitions_;
+  const std::vector<Tuple>* borrowed_ = nullptr;
+  const IntervalSet all_ = IntervalSet::All();
+  TupleBatch in_;
+  size_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+// Gather: the exchange root. Open() launches one producer task per
+// partition pipeline on the global TaskScheduler; each producer drains
+// its pipeline into batches taken from a bounded shared pool (the
+// pool's size is the exchange's backpressure: producers block when the
+// consumer falls behind) and queues them, order-insensitive. Next()
+// hands queued batches to the consumer by swapping tuple slots — O(1)
+// per tuple, and the consumer's recycled slot storage flows back into
+// the pool. The first pipeline error cancels the remaining producers
+// and surfaces from Next().
+class GatherOp final : public PhysicalOperator {
+ public:
+  GatherOp(std::vector<PhysicalOpPtr> pipelines,
+           std::shared_ptr<ExchangeState> exchange)
+      : PhysicalOperator(pipelines.front()->schema()),
+        pipelines_(std::move(pipelines)),
+        exchange_(std::move(exchange)) {}
+
+  ~GatherOp() override { CancelAndJoin(); }
+
+  Status Open() override {
+    CancelAndJoin();  // tolerate reopen without an intervening Close
+    exchange_->Reset();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = Status::OK();
+      cancelled_ = false;
+      producing_ = pipelines_.size();
+      ready_.clear();
+      free_.clear();
+      current_.reset();
+      current_pos_ = 0;
+      // Two in-flight batches per producer: one being filled, one
+      // queued or being consumed.
+      for (size_t i = 0; i < 2 * pipelines_.size(); ++i) free_.emplace_back();
+    }
+    started_ = true;
+    for (PhysicalOpPtr& p : pipelines_) {
+      group_.Spawn([this, op = p.get()] { Produce(op); });
+    }
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    while (true) {
+      if (current_.has_value()) {
+        while (current_pos_ < current_->size() && !out->full()) {
+          std::swap(out->NextSlot(), current_->tuple(current_pos_++));
+        }
+        if (current_pos_ >= current_->size()) {
+          Recycle(std::move(*current_));
+          current_.reset();
+        }
+        // A partial batch is fine mid-stream; only empty means "done".
+        if (!out->empty()) return Status::OK();
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_cv_.wait(lock, [this] {
+        return !error_.ok() || !ready_.empty() || producing_ == 0;
+      });
+      if (!error_.ok()) {
+        const Status failed = error_;
+        cancelled_ = true;
+        producer_cv_.notify_all();
+        consumer_cv_.wait(lock, [this] { return producing_ == 0; });
+        lock.unlock();
+        group_.Wait();
+        return failed;
+      }
+      if (ready_.empty()) return Status::OK();  // all producers done
+      current_.emplace(std::move(ready_.front()));
+      ready_.pop_front();
+      current_pos_ = 0;
+    }
+  }
+
+  void Close() override { CancelAndJoin(); }
+
+ private:
+  void Produce(PhysicalOperator* pipeline) {
+    Status st = pipeline->Open();
+    if (st.ok()) {
+      while (true) {
+        std::optional<TupleBatch> batch = AcquireFree();
+        if (!batch.has_value()) break;  // cancelled
+        st = pipeline->Next(&*batch);
+        if (!st.ok() || batch->empty()) {
+          Recycle(std::move(*batch));
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ready_.push_back(std::move(*batch));
+        }
+        consumer_cv_.notify_one();
+      }
+      pipeline->Close();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!st.ok() && error_.ok()) error_ = st;
+    --producing_;
+    consumer_cv_.notify_all();
+  }
+
+  std::optional<TupleBatch> AcquireFree() {
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_cv_.wait(lock, [this] { return cancelled_ || !free_.empty(); });
+    if (cancelled_) return std::nullopt;
+    TupleBatch batch = std::move(free_.front());
+    free_.pop_front();
+    return batch;
+  }
+
+  void Recycle(TupleBatch batch) {
+    batch.Clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(std::move(batch));
+    }
+    producer_cv_.notify_one();
+  }
+
+  // Stops the producers and waits for them; safe to call repeatedly.
+  void CancelAndJoin() {
+    if (!started_) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    producer_cv_.notify_all();
+    group_.Wait();
+    started_ = false;
+    ready_.clear();
+    free_.clear();
+    current_.reset();
+  }
+
+  std::vector<PhysicalOpPtr> pipelines_;
+  std::shared_ptr<ExchangeState> exchange_;
+  TaskGroup group_;
+  std::mutex mu_;
+  std::condition_variable producer_cv_, consumer_cv_;
+  std::deque<TupleBatch> ready_, free_;
+  Status error_;
+  size_t producing_ = 0;
+  bool cancelled_ = false;
+  // Consumer-side state; touched only by the consumer thread.
+  bool started_ = false;
+  std::optional<TupleBatch> current_;
+  size_t current_pos_ = 0;
+};
+
+// Per-compilation state of the parallel lowering: the exchange state
+// plus the morsel cursor assigned to each logical scan node (shared by
+// that scan's instances across all partition pipelines).
+struct PartitionCompileState {
+  std::shared_ptr<ExchangeState> exchange;
+  std::unordered_map<const PlanNode*, ExchangeState::MorselCursor*> cursors;
+  size_t morsel_size = 1;
+  size_t num_partitions = 1;
+
+  ExchangeState::MorselCursor* CursorFor(const PlanNode* node) {
+    auto [it, inserted] = cursors.try_emplace(node, nullptr);
+    if (inserted) it->second = exchange->NewCursor();
+    return it->second;
+  }
+};
+
+// Lowers `plan` into the pipeline of one partition. Scans become morsel
+// scans; filters and projections stay per-pipeline; joins either
+// repartition both inputs by key hash (key-driven algorithms) or
+// morsel-partition the outer side and replicate the inner
+// (nested-loop). The partition streams are disjoint and complete by
+// construction — see the class comments above.
+Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
+                                          TimePoint rt, size_t partition,
+                                          PartitionCompileState* state) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      const auto* node = static_cast<const ScanNode*>(plan.get());
+      return PhysicalOpPtr(std::make_unique<MorselScanOp>(
+          &node->relation(), mode, rt, state->CursorFor(plan.get()),
+          state->morsel_size));
+    }
+    case PlanKind::kFilter: {
+      const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          CompileForPartition(node->child(), mode, rt, partition, state));
+      return PhysicalOpPtr(std::make_unique<FilterOp>(
+          std::move(child), node->predicate(), mode, rt));
+    }
+    case PlanKind::kProject: {
+      const auto* node = static_cast<const ProjectNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          CompileForPartition(node->child(), mode, rt, partition, state));
+      std::vector<size_t> indices;
+      indices.reserve(node->names().size());
+      for (const std::string& name : node->names()) {
+        ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(name));
+        indices.push_back(idx);
+      }
+      return PhysicalOpPtr(
+          std::make_unique<ProjectOp>(std::move(child), std::move(indices)));
+    }
+    case PlanKind::kJoin: {
+      const auto* node = static_cast<const JoinNode*>(plan.get());
+      // Key extraction runs on the mode-specific *physical* schemas —
+      // in Clifford mode every attribute instantiates, so equality on
+      // formerly ongoing attributes becomes a usable key, exactly as in
+      // the serial lowering (MakeJoinOp keys off the compiled
+      // operators' schemas; physical schema == logical output schema,
+      // instantiated in kAtReferenceTime mode).
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema,
+                                 OutputSchema(node->left()));
+      ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema,
+                                 OutputSchema(node->right()));
+      if (mode == ExecMode::kAtReferenceTime) {
+        left_schema = left_schema.Instantiated();
+        right_schema = right_schema.Instantiated();
+      }
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          EquiJoinPlan join_plan,
+          PrepareEquiJoin(left_schema, right_schema, node->predicate(),
+                          node->left_prefix(), node->right_prefix()));
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                                 Compile(node->right(), mode, rt));
+      if (!join_plan.has_keys ||
+          node->algorithm() == JoinAlgorithm::kNestedLoop) {
+        // Nested-loop: morsel-partition the streaming outer side and
+        // replicate the materialized inner side (borrowed outright when
+        // it is a base relation; otherwise each partition materializes
+        // its own copy — K-fold memory, which the serial fallback keeps
+        // off small inputs).
+        ONGOINGDB_ASSIGN_OR_RETURN(
+            PhysicalOpPtr outer,
+            CompileForPartition(node->left(), mode, rt, partition, state));
+        return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
+            std::move(outer), std::move(right), std::move(join_plan.joined),
+            node->predicate(), mode, rt));
+      }
+      // Key-driven joins: hash-partition both inputs, build and probe
+      // per-partition tables.
+      ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                                 Compile(node->left(), mode, rt));
+      std::vector<size_t> left_indices = join_plan.left_indices;
+      std::vector<size_t> right_indices = join_plan.right_indices;
+      PhysicalOpPtr part_left = std::make_unique<RepartitionOp>(
+          std::move(left), std::move(left_indices), partition,
+          state->num_partitions);
+      PhysicalOpPtr part_right = std::make_unique<RepartitionOp>(
+          std::move(right), std::move(right_indices), partition,
+          state->num_partitions);
+      if (node->algorithm() == JoinAlgorithm::kSortMerge) {
+        return PhysicalOpPtr(std::make_unique<SortMergeJoinOp>(
+            std::move(part_left), std::move(part_right), std::move(join_plan),
+            mode, rt));
+      }
+      return PhysicalOpPtr(std::make_unique<HashJoinOp>(
+          std::move(part_left), std::move(part_right), std::move(join_plan),
+          mode, rt));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -682,6 +1119,35 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
     }
   }
   return Status::Internal("unknown plan kind");
+}
+
+Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
+                                          TimePoint rt, size_t workers,
+                                          size_t morsel_size) {
+  PartitionedPlan result;
+  result.exchange = std::make_shared<ExchangeState>();
+  PartitionCompileState state;
+  state.exchange = result.exchange;
+  state.morsel_size = std::max<size_t>(morsel_size, 1);
+  state.num_partitions = std::max<size_t>(workers, 1);
+  result.pipelines.reserve(state.num_partitions);
+  for (size_t p = 0; p < state.num_partitions; ++p) {
+    ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr pipeline,
+                               CompileForPartition(plan, mode, rt, p, &state));
+    result.pipelines.push_back(std::move(pipeline));
+  }
+  return result;
+}
+
+Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode, TimePoint rt,
+                              const ParallelOptions& options) {
+  const size_t workers = EffectiveWorkers(plan, options);
+  if (workers <= 1) return Compile(plan, mode, rt);
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PartitionedPlan partitioned,
+      CompilePartitions(plan, mode, rt, workers, options.morsel_size));
+  return PhysicalOpPtr(std::make_unique<GatherOp>(
+      std::move(partitioned.pipelines), std::move(partitioned.exchange)));
 }
 
 Result<OngoingRelation> DrainToRelation(PhysicalOperator& op) {

@@ -31,7 +31,10 @@
 //    with fixed semantics.
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "query/plan.h"
 #include "relation/tuple_batch.h"
@@ -85,6 +88,85 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
 /// ChooseJoinAlgorithms. `rt` is only meaningful for kAtReferenceTime.
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
                               TimePoint rt = 0);
+
+// ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+/// Degree-of-parallelism knobs for the morsel-driven parallel lowering.
+/// workers == 1 (the default) is exactly the serial operator tree —
+/// same operators, same allocation behavior.
+struct ParallelOptions {
+  /// Number of partition pipelines drained concurrently. Clamped to 1
+  /// by the serial fallback below.
+  size_t workers = 1;
+
+  /// Tuples per morsel an exchange scan claims from the shared cursor.
+  /// Small enough for dynamic load balancing, large enough that the
+  /// atomic fetch_add amortizes to nothing.
+  size_t morsel_size = 1024;
+
+  /// Serial fallback threshold: when the plan's base relations hold
+  /// fewer tuples than this in total, Compile() ignores `workers` and
+  /// builds the serial tree (pipeline setup, thread handoff and the
+  /// K-fold re-scan of repartitioned join inputs would dominate).
+  /// Set to 0 to force parallel lowering regardless of input size
+  /// (the equivalence tests do).
+  size_t min_parallel_tuples = 4096;
+};
+
+/// Shared coordination state of one parallel compilation: the atomic
+/// morsel cursors the exchange scans pull from. One cursor per logical
+/// scan node, shared by that scan's instances across all partition
+/// pipelines. Reset() repositions every cursor at the start; callers
+/// that drive a PartitionedPlan's pipelines directly must Reset()
+/// before each round of Open()s (the gather operator does it inside its
+/// own Open()).
+class ExchangeState {
+ public:
+  struct MorselCursor {
+    std::atomic<size_t> next{0};
+  };
+
+  MorselCursor* NewCursor() { return &cursors_.emplace_back(); }
+
+  void Reset() {
+    for (MorselCursor& c : cursors_) c.next.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::deque<MorselCursor> cursors_;  // deque: stable addresses
+};
+
+/// A parallel lowering of a plan into `workers` partition pipelines.
+/// The pipelines' output streams are disjoint and their multiset union
+/// equals the serial plan's result; tuple order across pipelines is
+/// unspecified. Each pipeline is a self-contained operator tree — no
+/// shared mutable state besides the exchange cursors — so the pipelines
+/// may be Open()ed/Next()ed/Close()d from different threads
+/// concurrently (one thread per pipeline).
+struct PartitionedPlan {
+  std::vector<PhysicalOpPtr> pipelines;
+  std::shared_ptr<ExchangeState> exchange;
+};
+
+/// Lowers `plan` into `workers` partition pipelines (see PartitionedPlan
+/// for the contract). Used by consumers that merge per-worker partial
+/// results themselves (the parallel streaming aggregates); query
+/// execution goes through the 4-argument Compile() below, which gathers
+/// the pipelines behind a single pull-based root.
+Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
+                                          TimePoint rt, size_t workers,
+                                          size_t morsel_size);
+
+/// Parallel-aware lowering: decides the effective worker count via
+/// EffectiveWorkers (query/optimizer.h) and either returns the serial
+/// tree (workers == 1 or small input) or the partition pipelines behind
+/// a gather operator that drains them concurrently on the global
+/// TaskScheduler. The returned operator keeps the serial pull contract:
+/// Open/Next/Close from one consumer thread.
+Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode, TimePoint rt,
+                              const ParallelOptions& options);
 
 /// A scan over an existing relation (outside any plan). In kOngoing mode
 /// the scan borrows the relation; in kAtReferenceTime mode it streams

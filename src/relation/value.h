@@ -92,6 +92,17 @@ class Value {
   // every emitted tuple, so for string-heavy schemas this is the
   // difference between O(1) and O(len) — and one heap allocation — per
   // copied attribute (see docs/DESIGN.md, "Hot-path memory layout").
+  //
+  // THREADING RULE (parallel execution, query/physical.h): the payload
+  // refcount is the std::shared_ptr control block, whose increments and
+  // decrements are atomic in a threaded program (the library links
+  // Threads PUBLIC to pin this down). Copying Values of the same shared
+  // payload from different partition pipelines concurrently is
+  // therefore safe, and the payload bytes themselves are immutable
+  // (const std::string) — never const_cast them. What stays unsafe, as
+  // for any shared_ptr, is mutating one Value *object* from two threads;
+  // the exchange operators hand every tuple slot to exactly one thread
+  // at a time (docs/DESIGN.md, "Parallel execution").
   ValueType type_ = ValueType::kNull;
   std::variant<std::monostate, int64_t, double,
                std::shared_ptr<const std::string>, bool, FixedInterval,

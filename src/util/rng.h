@@ -12,7 +12,24 @@ namespace ongoingdb {
 /// A seeded Mersenne-Twister wrapper with convenience draws.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child generator for stream `stream_id`,
+  /// keyed on this generator's *seed* (not its current draw position):
+  /// Split(i) returns the same stream no matter how many draws happened
+  /// before, or on which thread. The per-worker/per-morsel seeding of
+  /// partitioned dataset generation and parallel tests relies on this —
+  /// a relation generated morsel by morsel from Split(0), Split(1), ...
+  /// is bit-for-bit identical whether the morsels are generated serially
+  /// or concurrently. The derivation is a SplitMix64 finalization of
+  /// (seed, stream_id), so child seeds are well mixed even for
+  /// consecutive stream ids.
+  Rng Split(uint64_t stream_id) const {
+    uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
 
   /// Uniform integer in [lo, hi] (inclusive).
   int64_t Uniform(int64_t lo, int64_t hi) {
@@ -52,6 +69,7 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  uint64_t seed_;
 };
 
 }  // namespace ongoingdb

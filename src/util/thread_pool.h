@@ -1,0 +1,94 @@
+// A fixed-pool task scheduler for the parallel execution subsystem
+// (query/physical.h) and the morsel-partitioned dataset generators.
+//
+// Deliberately work-stealing-free: the engine's parallelism is
+// morsel-driven — producers pull fixed-size morsels from shared atomic
+// cursors, so load balancing happens at the data level and the scheduler
+// can stay a plain FIFO queue over a fixed set of worker threads. Tasks
+// are coarse (one per partition pipeline, each draining many morsels),
+// so queue contention is negligible.
+//
+// Tasks must not throw; error reporting happens through the Status
+// values the parallel operators collect per pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ongoingdb {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+class TaskScheduler {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit TaskScheduler(size_t workers);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks run in submission order, one per free
+  /// worker; a task that blocks (e.g. on exchange backpressure) holds
+  /// its worker but never prevents the submitting thread from making
+  /// progress — consumers drain on their own thread.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool the query engine schedules on. Sized to the
+  /// hardware concurrency but at least kMinGlobalWorkers, so worker
+  /// sweeps (benches, tests) up to that width get one OS thread per
+  /// pipeline even on low-core hosts. EffectiveWorkers
+  /// (query/optimizer.h) clamps the degree of parallelism to this pool
+  /// size — pipelines beyond it would run in serialized waves while
+  /// still paying the per-partition repartition re-scan.
+  static constexpr size_t kMinGlobalWorkers = 8;
+  static TaskScheduler& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+/// Tracks a set of tasks spawned on a scheduler and waits for all of
+/// them to finish. Reusable: Spawn/Wait cycles may repeat (the exchange
+/// operator reopens its producers on every Open()).
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskScheduler* scheduler = &TaskScheduler::Global())
+      : scheduler_(scheduler) {}
+
+  /// Waits for stragglers so spawned tasks never outlive the state they
+  /// capture.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `task` to the scheduler and counts it as pending until it
+  /// returns.
+  void Spawn(std::function<void()> task);
+
+  /// Blocks until every spawned task has finished.
+  void Wait();
+
+ private:
+  TaskScheduler* scheduler_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+};
+
+}  // namespace ongoingdb

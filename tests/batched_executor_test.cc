@@ -7,6 +7,7 @@
 // batched join emission (this test links the counting allocator).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -440,6 +441,137 @@ TEST(BatchBoundaryTest, ReopenRestartsTheStream) {
   EXPECT_EQ(Fingerprint(*first), Fingerprint(*second));
 }
 
+// --- parallel execution ------------------------------------------------------
+// The morsel-driven parallel path (query/physical.h, ParallelOptions)
+// must produce the same tuple multiset as the serial reference for
+// every worker count, execution mode and join algorithm. Fingerprints
+// are order-normalized (multisets), since tuple order across partition
+// pipelines is unspecified.
+
+class ParallelExecutorEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelExecutorEquivalenceTest, MatchesSerialInBothModes) {
+  Rng rng(GetParam() * 104729 + 7);
+  PlanFixture fx;
+  PlanPtr plan = RandomPlan(rng, &fx, 3);
+
+  auto reference = ReferenceExecute(plan);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::multiset<std::string> expected = Fingerprint(*reference);
+
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    ParallelOptions options;
+    options.workers = workers;
+    // Tiny morsels and no serial fallback: even the 5-tuple base
+    // relations split across several claims, so partition handoff,
+    // empty partitions and suspension all get exercised.
+    options.morsel_size = 7;
+    options.min_parallel_tuples = 0;
+    for (JoinAlgorithm algorithm :
+         {JoinAlgorithm::kNestedLoop, JoinAlgorithm::kHash,
+          JoinAlgorithm::kSortMerge}) {
+      PlanPtr forced = WithAlgorithm(plan, algorithm);
+      auto parallel = Execute(forced, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(Fingerprint(*parallel), expected)
+          << "ongoing mode, workers " << workers << ", algorithm "
+          << static_cast<int>(algorithm);
+      for (TimePoint rt : {TimePoint{15}, TimePoint{140}}) {
+        auto reference_at = ReferenceExecuteAt(plan, rt);
+        ASSERT_TRUE(reference_at.ok()) << reference_at.status();
+        auto parallel_at = ExecuteAtReferenceTime(forced, rt, options);
+        ASSERT_TRUE(parallel_at.ok()) << parallel_at.status();
+        EXPECT_EQ(Fingerprint(*parallel_at), Fingerprint(*reference_at))
+            << "clifford mode at rt=" << rt << ", workers " << workers
+            << ", algorithm " << static_cast<int>(algorithm);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ParallelExecutorEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(ParallelExecutorTest, GatherTreeSurvivesReopen) {
+  // Materialized-view-style reuse of a parallel tree: Open/drain/Close
+  // twice on the same gather root.
+  Rng rng(17);
+  OngoingRelation r = MakeBase(rng, "A_", 40);
+  OngoingRelation s = MakeBase(rng, "B_", 40);
+  PlanPtr plan = Join(Scan(&r, "A"), Scan(&s, "B"),
+                      Eq(Col("A_K"), Col("B_K")), "L", "R");
+  ParallelOptions options;
+  options.workers = 3;
+  options.morsel_size = 5;
+  options.min_parallel_tuples = 0;
+  auto op = Compile(plan, ExecMode::kOngoing, 0, options);
+  ASSERT_TRUE(op.ok());
+  auto first = DrainToRelation(**op);
+  auto second = DrainToRelation(**op);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->size(), 0u);
+  EXPECT_EQ(Fingerprint(*first), Fingerprint(*second));
+}
+
+TEST(ParallelExecutorTest, SerialFallbackKicksInOnSmallInputs) {
+  // Below min_parallel_tuples the 4-argument Compile must hand back the
+  // serial tree; a bare scan then still reports its borrowed relation
+  // (the gather operator never does).
+  Rng rng(3);
+  OngoingRelation r = MakeBase(rng, "A_", 10);
+  PlanPtr plan = Scan(&r, "A");
+  ParallelOptions options;
+  options.workers = 4;
+  options.min_parallel_tuples = 1000;
+  auto op = Compile(plan, ExecMode::kOngoing, 0, options);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ((*op)->BorrowedRelation(), &r);
+  options.min_parallel_tuples = 0;
+  auto parallel_op = Compile(plan, ExecMode::kOngoing, 0, options);
+  ASSERT_TRUE(parallel_op.ok());
+  EXPECT_EQ((*parallel_op)->BorrowedRelation(), nullptr);
+}
+
+// --- StepFunction merge (parallel aggregation) -------------------------------
+
+TEST(StepFunctionMergeTest, AddStepFunctionsIsAssociativeAndCommutative) {
+  // The parallel COUNT/SUM path merges per-worker StepFunction partials
+  // with AddStepFunctions in whatever grouping the workers finish in;
+  // the merge must therefore be associative and commutative, with the
+  // empty function as identity.
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    OngoingRelation r1 = MakeBase(rng, "A_", 15);
+    OngoingRelation r2 = MakeBase(rng, "B_", 15);
+    OngoingRelation r3 = MakeBase(rng, "C_", 15);
+    const StepFunction a = CountAtEachReferenceTime(r1);
+    const StepFunction b = CountAtEachReferenceTime(r2);
+    const StepFunction c = CountAtEachReferenceTime(r3);
+    EXPECT_EQ(AddStepFunctions(AddStepFunctions(a, b), c),
+              AddStepFunctions(a, AddStepFunctions(b, c)));
+    EXPECT_EQ(AddStepFunctions(a, b), AddStepFunctions(b, a));
+    EXPECT_EQ(AddStepFunctions(a, StepFunction{}), a);
+  }
+}
+
+TEST(StepFunctionMergeTest, PartitionedCountsMergeToTheWholeCount) {
+  // Any partitioning of a relation must aggregate to the same count
+  // after the merge — the correctness statement of per-worker partials.
+  Rng rng(41);
+  OngoingRelation whole = MakeBase(rng, "A_", 64);
+  std::vector<OngoingRelation> parts(3, OngoingRelation(whole.schema()));
+  for (size_t i = 0; i < whole.size(); ++i) {
+    parts[i % parts.size()].AppendUnchecked(whole.tuples()[i]);
+  }
+  StepFunction merged;
+  for (const OngoingRelation& part : parts) {
+    merged = AddStepFunctions(merged, CountAtEachReferenceTime(part));
+  }
+  EXPECT_EQ(merged, CountAtEachReferenceTime(whole));
+}
+
 // --- streaming aggregation over the batched executor ------------------------
 
 TEST(BatchedAggregateTest, StreamingCountMatchesMaterializedCount) {
@@ -453,6 +585,93 @@ TEST(BatchedAggregateTest, StreamingCountMatchesMaterializedCount) {
   auto streamed = CountAtEachReferenceTime(plan);
   ASSERT_TRUE(streamed.ok());
   EXPECT_EQ(*streamed, CountAtEachReferenceTime(*materialized));
+}
+
+TEST(BatchedAggregateTest, StreamingPlanOverloadsMatchMaterialized) {
+  // Every aggregate must stream through the batched path: the PlanPtr
+  // overloads of SUM/MIN/MAX/grouped COUNT equal the relation-level
+  // aggregates over the materialized query result.
+  Rng rng(29);
+  OngoingRelation r = MakeBase(rng, "A_", 50);
+  PlanPtr plan = Filter(Scan(&r, "A"),
+                        OverlapsExpr(Col("A_VT"),
+                                     Lit(OngoingInterval::Fixed(20, 80))));
+  auto materialized = Execute(plan);
+  ASSERT_TRUE(materialized.ok());
+
+  auto sum = SumAtEachReferenceTime(plan, "A_ID");
+  ASSERT_TRUE(sum.ok()) << sum.status();
+  EXPECT_EQ(*sum, *SumAtEachReferenceTime(*materialized, "A_ID"));
+
+  auto min = MinAtEachReferenceTime(plan, "A_ID", -1);
+  ASSERT_TRUE(min.ok()) << min.status();
+  EXPECT_EQ(*min, *MinAtEachReferenceTime(*materialized, "A_ID", -1));
+
+  auto max = MaxAtEachReferenceTime(plan, "A_ID", -1);
+  ASSERT_TRUE(max.ok()) << max.status();
+  EXPECT_EQ(*max, *MaxAtEachReferenceTime(*materialized, "A_ID", -1));
+
+  auto grouped = CountGroupedBy(plan, "A_K");
+  ASSERT_TRUE(grouped.ok()) << grouped.status();
+  auto grouped_ref = CountGroupedBy(*materialized, "A_K");
+  ASSERT_TRUE(grouped_ref.ok());
+  ASSERT_EQ(grouped->size(), grouped_ref->size());
+  std::map<std::string, StepFunction> by_group;
+  for (const GroupedCount& g : *grouped_ref) {
+    by_group.emplace(g.group.ToString(), g.count);
+  }
+  for (const GroupedCount& g : *grouped) {
+    ASSERT_TRUE(by_group.count(g.group.ToString()) > 0);
+    EXPECT_EQ(g.count, by_group.at(g.group.ToString()));
+  }
+}
+
+TEST(BatchedAggregateTest, ParallelAggregatesMatchSerial) {
+  // Per-worker partials + associative merge must equal the serial
+  // single-stream aggregation for every aggregate.
+  Rng rng(31);
+  OngoingRelation r = MakeBase(rng, "A_", 60);
+  OngoingRelation s = MakeBase(rng, "B_", 60);
+  PlanPtr plan = Join(Scan(&r, "A"), Scan(&s, "B"),
+                      Eq(Col("A_K"), Col("B_K")), "L", "R");
+  ParallelOptions par;
+  par.workers = 4;
+  par.morsel_size = 9;
+  par.min_parallel_tuples = 0;
+
+  auto count_serial = CountAtEachReferenceTime(plan);
+  auto count_parallel = CountAtEachReferenceTime(plan, par);
+  ASSERT_TRUE(count_serial.ok());
+  ASSERT_TRUE(count_parallel.ok()) << count_parallel.status();
+  EXPECT_EQ(*count_parallel, *count_serial);
+
+  auto sum_serial = SumAtEachReferenceTime(plan, "A_ID");
+  auto sum_parallel = SumAtEachReferenceTime(plan, "A_ID", par);
+  ASSERT_TRUE(sum_serial.ok());
+  ASSERT_TRUE(sum_parallel.ok()) << sum_parallel.status();
+  EXPECT_EQ(*sum_parallel, *sum_serial);
+
+  auto min_serial = MinAtEachReferenceTime(plan, "B_ID", -7);
+  auto min_parallel = MinAtEachReferenceTime(plan, "B_ID", -7, par);
+  ASSERT_TRUE(min_serial.ok());
+  ASSERT_TRUE(min_parallel.ok()) << min_parallel.status();
+  EXPECT_EQ(*min_parallel, *min_serial);
+
+  auto max_serial = MaxAtEachReferenceTime(plan, "B_ID", -7);
+  auto max_parallel = MaxAtEachReferenceTime(plan, "B_ID", -7, par);
+  ASSERT_TRUE(max_serial.ok());
+  ASSERT_TRUE(max_parallel.ok()) << max_parallel.status();
+  EXPECT_EQ(*max_parallel, *max_serial);
+
+  auto grouped_serial = CountGroupedBy(plan, "A_K");
+  auto grouped_parallel = CountGroupedBy(plan, "A_K", par);
+  ASSERT_TRUE(grouped_serial.ok());
+  ASSERT_TRUE(grouped_parallel.ok()) << grouped_parallel.status();
+  ASSERT_EQ(grouped_parallel->size(), grouped_serial->size());
+  for (size_t i = 0; i < grouped_serial->size(); ++i) {
+    EXPECT_EQ((*grouped_parallel)[i].group, (*grouped_serial)[i].group);
+    EXPECT_EQ((*grouped_parallel)[i].count, (*grouped_serial)[i].count);
+  }
 }
 
 // --- allocation bounds ------------------------------------------------------

@@ -73,6 +73,28 @@ TEST(SyntheticTest, DeterministicUnderSeed) {
   }
 }
 
+TEST(SyntheticTest, PartitionedGenerationIsBitForBitIdentical) {
+  // Generation draws from one Rng::Split stream per morsel, so the
+  // relation is a pure function of the options: any worker count —
+  // including counts that do not divide the morsel count — must
+  // reproduce the serial dataset exactly, tuple by tuple.
+  SyntheticOptions options;
+  options.cardinality = 5000;  // several morsels plus a partial one
+  options.key_cardinality = 97;
+  options.seed = 1234;
+  options.workers = 1;
+  OngoingRelation serial = GenerateSynthetic(options);
+  for (size_t workers : {2u, 3u, 8u}) {
+    options.workers = workers;
+    OngoingRelation parallel = GenerateSynthetic(options);
+    ASSERT_EQ(parallel.size(), serial.size()) << "workers=" << workers;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel.tuple(i), serial.tuple(i))
+          << "workers=" << workers << " tuple " << i;
+    }
+  }
+}
+
 TEST(MozillaTest, TableIIICharacteristics) {
   MozillaBugs data = GenerateMozillaBugs(5000);
   // Row ratios: A ~1.475x, S ~1.10x the bugs.
