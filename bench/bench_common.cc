@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace ongoingdb {
 namespace bench {
@@ -31,11 +34,12 @@ Result<FixedInterval> SelectionInterval(const OngoingRelation& r,
 }
 
 PlanPtr SelectionPlan(const OngoingRelation* r, AllenOp pred,
-                      FixedInterval interval) {
+                      FixedInterval interval, AccessPath path) {
   return Filter(Scan(r, "R"),
                 Allen(pred, Col("VT"),
                       Lit(OngoingInterval::Fixed(interval.start,
-                                                 interval.end))));
+                                                 interval.end))),
+                path);
 }
 
 PlanPtr JoinPlan(const OngoingRelation* r, const OngoingRelation* s,
@@ -154,6 +158,12 @@ std::string BenchJsonWriter::ToJson() const {
   AppendEscaped(suite_, &out);
   out += "\",\n  ";
   AppendNumber("scale", Scale(), &out);
+  out += ",\n  ";
+  AppendNumber("hardware_concurrency",
+               static_cast<double>(std::thread::hardware_concurrency()), &out);
+  out += ",\n  ";
+  AppendNumber("effective_workers",
+               static_cast<double>(TaskScheduler::DefaultWorkerCount()), &out);
   out += ",\n  \"benchmarks\": [";
   for (size_t i = 0; i < records_.size(); ++i) {
     const BenchRecord& r = records_[i];

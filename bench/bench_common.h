@@ -51,8 +51,13 @@ inline TimePoint CliffMax(const OngoingRelation& r) {
 }
 
 /// Builds the selection plan Q^sigma_pred = sigma_{VT pred [ts,te)}(R).
+/// Defaults to AccessPath::kFullScan so the figures reproducing the
+/// paper's (index-free) testbed keep measuring the scan-based selection;
+/// the index ablations (ablation_index, fig09) opt into kIndex/kAuto
+/// explicitly.
 PlanPtr SelectionPlan(const OngoingRelation* r, AllenOp pred,
-                      FixedInterval interval);
+                      FixedInterval interval,
+                      AccessPath path = AccessPath::kFullScan);
 
 /// Builds the join plan Q^join_pred = R |x|_{L.K = R.K ^ L.VT pred R.VT} S.
 PlanPtr JoinPlan(const OngoingRelation* r, const OngoingRelation* s,
@@ -96,7 +101,11 @@ struct BenchRecord {
 };
 
 /// Collects BenchRecords and renders them as a JSON document
-/// {"suite": ..., "scale": ..., "benchmarks": [...]}.
+/// {"suite": ..., "scale": ..., "hardware_concurrency": ...,
+/// "effective_workers": ..., "benchmarks": [...]}. The host's hardware
+/// concurrency and the global scheduler's effective worker count are
+/// recorded in every suite, so baselines captured on constrained hosts
+/// (the PR 3 1-core-container caveat) are machine-readably marked.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string suite) : suite_(std::move(suite)) {}

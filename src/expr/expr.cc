@@ -211,6 +211,8 @@ class LiteralExpr final : public Expr {
 
   std::string ToString() const override { return value_.ToString(); }
 
+  const Value& value() const { return value_; }
+
  private:
   Value value_;
 };
@@ -339,6 +341,10 @@ class AllenExpr final : public Expr {
     return "(" + lhs_->ToString() + " " + AllenOpName(op_) + " " +
            rhs_->ToString() + ")";
   }
+
+  AllenOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
 
  private:
   AllenOp op_;
@@ -682,6 +688,17 @@ std::optional<CompareParts> AsCompare(const ExprPtr& expr) {
 std::optional<std::string> AsColumnName(const ExprPtr& expr) {
   if (expr->kind() != ExprKind::kColumn) return std::nullopt;
   return static_cast<const ColumnExpr*>(expr.get())->name();
+}
+
+std::optional<AllenParts> AsAllen(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::kAllen) return std::nullopt;
+  const auto* node = static_cast<const AllenExpr*>(expr.get());
+  return AllenParts{node->op(), node->lhs(), node->rhs()};
+}
+
+std::optional<Value> AsLiteralValue(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::kLiteral) return std::nullopt;
+  return static_cast<const LiteralExpr*>(expr.get())->value();
 }
 
 void CollectTopLevelConjuncts(const ExprPtr& expr,

@@ -178,6 +178,19 @@ std::optional<CompareParts> AsCompare(const ExprPtr& expr);
 /// reference.
 std::optional<std::string> AsColumnName(const ExprPtr& expr);
 
+/// The parts of an Allen predicate node; nullopt if `expr` is not an
+/// Allen node. Used by the optimizer's index-scan matching
+/// (query/optimizer.h, MatchIndexScan).
+struct AllenParts {
+  AllenOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+std::optional<AllenParts> AsAllen(const ExprPtr& expr);
+
+/// The literal's value; nullopt if `expr` is not a literal node.
+std::optional<Value> AsLiteralValue(const ExprPtr& expr);
+
 /// Appends the top-level conjuncts of `expr` (flattening nested ANDs).
 void CollectTopLevelConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
 

@@ -8,19 +8,6 @@ namespace ongoingdb {
 
 namespace {
 
-// Resolves the indexed column on `r`; assumes the index was built on it
-// (the Build factory validated the type).
-Result<size_t> IntervalColumn(const OngoingRelation& r) {
-  for (size_t i = 0; i < r.schema().num_attributes(); ++i) {
-    ValueType type = r.schema().attribute(i).type;
-    if (type == ValueType::kOngoingInterval ||
-        type == ValueType::kFixedInterval) {
-      return i;
-    }
-  }
-  return Status::NotFound("relation has no interval attribute");
-}
-
 OngoingInterval LiftIntervalValue(const Value& v) {
   if (v.type() == ValueType::kFixedInterval) {
     FixedInterval f = v.AsInterval();
@@ -29,18 +16,54 @@ OngoingInterval LiftIntervalValue(const Value& v) {
   return v.AsOngoingInterval();
 }
 
-}  // namespace
+inline uint64_t MixBound(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
 
-Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
-                                           const std::string& column) {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
-  ValueType type = r.schema().attribute(idx).type;
+Result<size_t> ValidateIntervalColumn(const OngoingRelation& r,
+                                      size_t column_index) {
+  if (column_index >= r.schema().num_attributes()) {
+    return Status::InvalidArgument("interval column ordinal out of range");
+  }
+  ValueType type = r.schema().attribute(column_index).type;
   if (type != ValueType::kOngoingInterval &&
       type != ValueType::kFixedInterval) {
     return Status::TypeError("interval index requires an interval attribute");
   }
+  return column_index;
+}
+
+}  // namespace
+
+Result<uint64_t> IntervalIndex::ColumnFingerprint(const OngoingRelation& r,
+                                                  size_t column_index) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
+                             ValidateIntervalColumn(r, column_index));
+  uint64_t h = MixBound(r.size(), idx);
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Value& v = r.tuple(i).value(idx);
+    OngoingInterval iv = LiftIntervalValue(v);
+    h = MixBound(h, static_cast<uint64_t>(iv.start().a()));
+    h = MixBound(h, static_cast<uint64_t>(iv.start().b()));
+    h = MixBound(h, static_cast<uint64_t>(iv.end().a()));
+    h = MixBound(h, static_cast<uint64_t>(iv.end().b()));
+  }
+  return h;
+}
+
+Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
+                                           const std::string& column) {
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, r.schema().IndexOf(column));
+  ONGOINGDB_ASSIGN_OR_RETURN(idx, ValidateIntervalColumn(r, idx));
   IntervalIndex index;
+  index.column_index_ = idx;
   index.entries_.reserve(r.size());
+  // The fingerprint folds into the build loop (same mixing order as
+  // ColumnFingerprint, which Ensure() compares against later): one pass
+  // over the column instead of two.
+  uint64_t h = MixBound(r.size(), idx);
   for (size_t i = 0; i < r.size(); ++i) {
     const Value& v = r.tuple(i).value(idx);
     Entry e;
@@ -51,8 +74,13 @@ Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
       const OngoingInterval& iv = v.AsOngoingInterval();
       e = Entry{iv.start().a(), iv.start().b(), iv.end().a(), iv.end().b(), i};
     }
+    h = MixBound(h, static_cast<uint64_t>(e.min_start));
+    h = MixBound(h, static_cast<uint64_t>(e.max_start));
+    h = MixBound(h, static_cast<uint64_t>(e.min_end));
+    h = MixBound(h, static_cast<uint64_t>(e.max_end));
     index.entries_.push_back(e);
   }
+  index.fingerprint_ = h;
   std::sort(index.entries_.begin(), index.entries_.end(),
             [](const Entry& x, const Entry& y) {
               return x.min_start < y.min_start;
@@ -79,11 +107,14 @@ std::vector<size_t> IntervalIndex::OverlapCandidates(
 std::vector<size_t> IntervalIndex::BeforeCandidates(
     const FixedInterval& probe) const {
   // Before at some rt requires the interval to be able to end no later
-  // than the probe's start: min_end <= probe.start. Its start then also
-  // precedes the probe (non-empty check happens in the exact predicate).
+  // than the probe's start: min_end <= probe.start. The sweep stop bound
+  // matches that condition: entries with min_start == probe.start can
+  // still satisfy it (degenerate candidates with min_start == min_end ==
+  // probe.start), so the sorted sweep only breaks once min_start exceeds
+  // the probe's start.
   std::vector<size_t> candidates;
   for (const Entry& e : entries_) {
-    if (e.min_start >= probe.start) break;  // sorted by min_start
+    if (e.min_start > probe.start) break;  // sorted by min_start
     if (e.min_end <= probe.start) candidates.push_back(e.tuple_index);
   }
   return candidates;
@@ -91,13 +122,17 @@ std::vector<size_t> IntervalIndex::BeforeCandidates(
 
 Result<OngoingRelation> IntervalIndex::SelectOverlaps(
     const OngoingRelation& r, const FixedInterval& probe) const {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, IntervalColumn(r));
+  // The stored ordinal, not a schema scan: on a bitemporal relation the
+  // "first interval attribute" may be a different column than the one
+  // the index was built on.
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t col,
+                             ValidateIntervalColumn(r, column_index_));
   OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
   OngoingRelation result(r.schema());
   for (size_t i : OverlapCandidates(probe)) {
     const Tuple& t = r.tuple(i);
     OngoingBoolean pred =
-        Overlaps(LiftIntervalValue(t.value(vt)), probe_iv);
+        Overlaps(LiftIntervalValue(t.value(col)), probe_iv);
     IntervalSet rt = t.rt().Intersect(pred.st());
     if (rt.IsEmpty()) continue;
     result.AppendUnchecked(Tuple(t.values(), std::move(rt)));
@@ -107,12 +142,13 @@ Result<OngoingRelation> IntervalIndex::SelectOverlaps(
 
 Result<OngoingRelation> IntervalIndex::SelectBefore(
     const OngoingRelation& r, const FixedInterval& probe) const {
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, IntervalColumn(r));
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t col,
+                             ValidateIntervalColumn(r, column_index_));
   OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
   OngoingRelation result(r.schema());
   for (size_t i : BeforeCandidates(probe)) {
     const Tuple& t = r.tuple(i);
-    OngoingBoolean pred = Before(LiftIntervalValue(t.value(vt)), probe_iv);
+    OngoingBoolean pred = Before(LiftIntervalValue(t.value(col)), probe_iv);
     IntervalSet rt = t.rt().Intersect(pred.st());
     if (rt.IsEmpty()) continue;
     result.AppendUnchecked(Tuple(t.values(), std::move(rt)));

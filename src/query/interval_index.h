@@ -11,8 +11,15 @@
 // and ts < max_end). The index answers these with binary searches over
 // sorted bound lists and returns a candidate set; the exact ongoing
 // predicate is then evaluated only on the candidates.
+//
+// The execution engine promotes this into the batched pipeline: eligible
+// Filter(Scan) plans lower to an IndexScanOp (query/physical.h) that
+// streams the candidate list and applies the exact predicate as a
+// residual — see docs/DESIGN.md, "Index access path".
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "relation/relation.h"
@@ -24,7 +31,9 @@ namespace ongoingdb {
 class IntervalIndex {
  public:
   /// Builds the index over `column` of `r` (borrowed; the relation must
-  /// outlive the index).
+  /// outlive the index). The resolved column ordinal is stored so later
+  /// selections evaluate exactly the indexed column — never a guess from
+  /// the schema (a bitemporal relation has several interval attributes).
   static Result<IntervalIndex> Build(const OngoingRelation& r,
                                      const std::string& column);
 
@@ -33,13 +42,30 @@ class IntervalIndex {
   std::vector<size_t> OverlapCandidates(const FixedInterval& probe) const;
 
   /// Tuple indices whose interval could be strictly before [ts, te) at
-  /// some reference time.
+  /// some reference time (superset of the exact answer, including
+  /// degenerate candidates whose earliest start and earliest end both
+  /// coincide with the probe's start).
   std::vector<size_t> BeforeCandidates(const FixedInterval& probe) const;
 
   size_t size() const { return entries_.size(); }
 
+  /// The ordinal of the indexed column, resolved at Build time.
+  size_t column_index() const { return column_index_; }
+
+  /// Order-sensitive fingerprint of the indexed column's endpoint bounds
+  /// as of Build time. Recompute with ColumnFingerprint to detect base
+  /// data changes (tuples appended, removed, or interval values
+  /// modified) that make the index stale.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Fingerprint of `column`'s current endpoint bounds on `r` (position-
+  /// seeded, so shifted or reordered tuples with different bounds
+  /// change it). Fails when the column is not an interval attribute.
+  static Result<uint64_t> ColumnFingerprint(const OngoingRelation& r,
+                                            size_t column_index);
+
   /// Index-accelerated ongoing selection: equivalent to
-  /// Select(r, pred(VT, probe)) for pred in {overlaps, before}, but the
+  /// Select(r, pred(col, probe)) for pred in {overlaps, before}, but the
   /// exact ongoing predicate is evaluated only on the index's candidate
   /// set. `r` must be the relation the index was built on.
   Result<OngoingRelation> SelectOverlaps(const OngoingRelation& r,
@@ -61,6 +87,8 @@ class IntervalIndex {
   // Entries sorted by min_start; by_min_start_[k] holds the k-th
   // smallest.
   std::vector<Entry> entries_;
+  size_t column_index_ = 0;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace ongoingdb

@@ -34,7 +34,10 @@ class MaterializedView {
   /// Re-runs the query; required only after base-data modifications,
   /// not after the passage of time. The plan is lowered once at view
   /// creation; refreshes re-open and drain the cached physical operator
-  /// tree instead of recompiling.
+  /// tree instead of recompiling. Index-backed temporal selections
+  /// (IndexScanOp, query/physical.h) keep their IntervalIndex inside
+  /// that cached tree, so refreshes reuse the index and only rebuild it
+  /// when the indexed column's fingerprint shows the base data changed.
   Status Refresh();
 
  private:

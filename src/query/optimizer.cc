@@ -103,6 +103,68 @@ std::optional<ExprPtr> TryRewriteForSide(const ExprPtr& conjunct,
 
 }  // namespace
 
+namespace {
+
+// The fixed probe interval a literal value denotes, if any: a fixed
+// interval literal, or an ongoing interval literal whose endpoints have
+// collapsed bounds (a == b), i.e. one that instantiates identically at
+// every reference time.
+std::optional<FixedInterval> AsFixedProbe(const Value& v) {
+  if (v.type() == ValueType::kFixedInterval) return v.AsInterval();
+  if (v.type() == ValueType::kOngoingInterval) {
+    const OngoingInterval& iv = v.AsOngoingInterval();
+    if (iv.start().a() == iv.start().b() && iv.end().a() == iv.end().b()) {
+      return FixedInterval{iv.start().a(), iv.end().a()};
+    }
+  }
+  return std::nullopt;
+}
+
+// Matches one conjunct as `col op probe` (or `probe op col` for the
+// symmetric overlaps) against the scanned relation's schema.
+std::optional<IndexScanInfo> MatchIndexConjunct(const ExprPtr& conjunct,
+                                                const OngoingRelation* rel) {
+  std::optional<AllenParts> allen = AsAllen(conjunct);
+  if (!allen) return std::nullopt;
+  if (allen->op != AllenOp::kOverlaps && allen->op != AllenOp::kBefore) {
+    return std::nullopt;
+  }
+  ExprPtr col_expr = allen->lhs;
+  ExprPtr lit_expr = allen->rhs;
+  if (!AsColumnName(col_expr) && allen->op == AllenOp::kOverlaps) {
+    std::swap(col_expr, lit_expr);  // overlaps is symmetric
+  }
+  std::optional<std::string> column = AsColumnName(col_expr);
+  if (!column) return std::nullopt;
+  std::optional<Value> literal = AsLiteralValue(lit_expr);
+  if (!literal) return std::nullopt;
+  std::optional<FixedInterval> probe = AsFixedProbe(*literal);
+  if (!probe) return std::nullopt;
+  auto idx = rel->schema().IndexOf(*column);
+  if (!idx.ok()) return std::nullopt;
+  ValueType type = rel->schema().attribute(*idx).type;
+  if (type != ValueType::kOngoingInterval &&
+      type != ValueType::kFixedInterval) {
+    return std::nullopt;
+  }
+  return IndexScanInfo{rel, *column, *idx, allen->op, *probe};
+}
+
+}  // namespace
+
+std::optional<IndexScanInfo> MatchIndexScan(const FilterNode& filter) {
+  if (filter.child()->kind() != PlanKind::kScan) return std::nullopt;
+  const auto* scan = static_cast<const ScanNode*>(filter.child().get());
+  std::vector<ExprPtr> conjuncts;
+  CollectTopLevelConjuncts(filter.predicate(), &conjuncts);
+  for (const ExprPtr& conjunct : conjuncts) {
+    if (auto info = MatchIndexConjunct(conjunct, &scan->relation())) {
+      return info;
+    }
+  }
+  return std::nullopt;
+}
+
 Result<JoinAlgorithm> ResolveAutoJoinAlgorithm(const JoinNode& node,
                                                const Schema& left_schema,
                                                const Schema& right_schema) {
@@ -139,7 +201,8 @@ Result<PlanPtr> PushDownFilters(const PlanPtr& plan) {
       ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
                                  PushDownFilters(node->child()));
       if (child->kind() != PlanKind::kJoin) {
-        return Filter(std::move(child), node->predicate());
+        return Filter(std::move(child), node->predicate(),
+                      node->access_path());
       }
       const auto* join = static_cast<const JoinNode*>(child.get());
       ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema,
@@ -160,14 +223,26 @@ Result<PlanPtr> PushDownFilters(const PlanPtr& plan) {
           stay.push_back(conjunct);
         }
       }
+      // The pushed and residual filters inherit the original filter's
+      // access-path annotation: a forced kFullScan (the benches'
+      // ablation baseline) must not silently revert to kAuto — and
+      // thus to the index — just because the filter commuted with a
+      // join.
       PlanPtr new_left = join->left();
       PlanPtr new_right = join->right();
-      if (!to_left.empty()) new_left = Filter(new_left, AndAll(to_left));
-      if (!to_right.empty()) new_right = Filter(new_right, AndAll(to_right));
+      if (!to_left.empty()) {
+        new_left = Filter(new_left, AndAll(to_left), node->access_path());
+      }
+      if (!to_right.empty()) {
+        new_right = Filter(new_right, AndAll(to_right), node->access_path());
+      }
       PlanPtr new_join =
           Join(std::move(new_left), std::move(new_right), join->predicate(),
                join->left_prefix(), join->right_prefix(), join->algorithm());
       if (stay.empty()) return new_join;
+      // The residual sits above the join, where no index applies; it
+      // reverts to kAuto so a forced kIndex whose eligible conjunct was
+      // just pushed down does not fail compilation up here.
       return Filter(std::move(new_join), AndAll(stay));
     }
   }
@@ -182,7 +257,8 @@ Result<PlanPtr> ChooseJoinAlgorithms(const PlanPtr& plan) {
       const auto* node = static_cast<const FilterNode*>(plan.get());
       ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr child,
                                  ChooseJoinAlgorithms(node->child()));
-      return Filter(std::move(child), node->predicate());
+      return Filter(std::move(child), node->predicate(),
+                    node->access_path());
     }
     case PlanKind::kProject: {
       const auto* node = static_cast<const ProjectNode*>(plan.get());

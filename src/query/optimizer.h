@@ -6,6 +6,9 @@
 // executor via expr::Split.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "query/physical.h"
 #include "query/plan.h"
 #include "util/result.h"
@@ -28,6 +31,27 @@ size_t EffectiveWorkers(const PlanPtr& plan, const ParallelOptions& options);
 /// resolve in one join input (sigma_{theta1 ^ theta2}(R) ==
 /// sigma_theta1(sigma_theta2(R)) plus commuting with join inputs).
 Result<PlanPtr> PushDownFilters(const PlanPtr& plan);
+
+/// A recognized index-eligible temporal selection: Filter(Scan) whose
+/// predicate has a top-level conjunct `col op probe` with op in
+/// {overlaps, before}, `col` an interval attribute of the scanned
+/// relation, and `probe` a literal with fixed endpoint bounds (a fixed
+/// interval, or an ongoing interval literal that instantiates
+/// identically at every reference time). For the symmetric overlaps,
+/// `probe op col` also matches. The full predicate remains the residual:
+/// the index only prunes candidates, it never decides membership.
+struct IndexScanInfo {
+  const OngoingRelation* relation;  ///< the scanned base relation
+  std::string column;               ///< indexed attribute name
+  size_t column_index;              ///< resolved ordinal on the relation
+  AllenOp op;                       ///< kOverlaps or kBefore
+  FixedInterval probe;              ///< the fixed probe interval
+};
+
+/// Matches `filter` against the eligibility rules above; nullopt when
+/// the plan cannot use the interval index. Shared by the serial and
+/// parallel lowerings (query/physical.cc), so they cannot disagree.
+std::optional<IndexScanInfo> MatchIndexScan(const FilterNode& filter);
 
 /// The algorithm JoinAlgorithm::kAuto resolves to, given the join
 /// inputs' schemas: kHash when the predicate yields fixed equality

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "query/interval_index.h"
 #include "query/join.h"
 #include "query/optimizer.h"
 #include "util/thread_pool.h"
@@ -292,20 +293,56 @@ class ScanOp final : public PhysicalOperator {
 // Filter
 // ---------------------------------------------------------------------------
 
+// The per-tuple selection decision shared by FilterOp and IndexScanOp.
+// In ongoing mode the predicate is split per Sec. VIII — the fixed part
+// is an ordinary WHERE filter, the ongoing part restricts the tuple's
+// RT (mutating it in place); in kAtReferenceTime mode the whole
+// predicate evaluates fixed at rt.
+class PredicateEvaluator {
+ public:
+  PredicateEvaluator(ExprPtr predicate, const Schema& schema, ExecMode mode,
+                     TimePoint rt)
+      : predicate_(std::move(predicate)), schema_(schema), mode_(mode),
+        rt_(rt) {
+    if (mode_ == ExecMode::kOngoing) split_ = Split(predicate_, schema_);
+  }
+
+  Result<bool> Keep(Tuple& t) {
+    if (mode_ == ExecMode::kAtReferenceTime) {
+      return predicate_->EvalPredicateFixed(schema_, t, rt_);
+    }
+    if (split_.fixed_part != nullptr) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          bool keep, split_.fixed_part->EvalPredicateFixed(schema_, t));
+      if (!keep) return false;
+    }
+    if (split_.ongoing_part != nullptr) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          OngoingBoolean pred, split_.ongoing_part->EvalPredicate(schema_, t));
+      t.rt().IntersectInto(pred.st(), &rt_scratch_);
+      if (rt_scratch_.IsEmpty()) return false;
+      t.mutable_rt() = rt_scratch_;
+    }
+    return true;
+  }
+
+ private:
+  ExprPtr predicate_;
+  const Schema& schema_;
+  ExecMode mode_;
+  TimePoint rt_;
+  SplitPredicate split_;
+  IntervalSet rt_scratch_;
+};
+
 class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(PhysicalOpPtr child, ExprPtr predicate, ExecMode mode, TimePoint rt)
       : PhysicalOperator(child->schema()),
         child_(std::move(child)),
-        predicate_(std::move(predicate)),
-        mode_(mode),
-        rt_(rt) {
-    if (mode_ == ExecMode::kOngoing) {
-      // Sec. VIII split: the fixed part is an ordinary WHERE filter, the
-      // ongoing part restricts the result tuples' RT.
-      split_ = Split(predicate_, schema());
-    }
-  }
+        evaluator_(std::move(predicate), schema(), mode, rt) {}
+
+  const char* Name() const override { return "Filter"; }
 
   Status Open() override { return child_->Open(); }
 
@@ -318,7 +355,7 @@ class FilterOp final : public PhysicalOperator {
       size_t kept = 0;
       for (size_t i = 0; i < out->size(); ++i) {
         Tuple& t = out->tuple(i);
-        ONGOINGDB_ASSIGN_OR_RETURN(bool keep, Keep(t));
+        ONGOINGDB_ASSIGN_OR_RETURN(bool keep, evaluator_.Keep(t));
         if (!keep) continue;
         if (kept != i) std::swap(out->tuple(kept), out->tuple(i));
         ++kept;
@@ -331,32 +368,158 @@ class FilterOp final : public PhysicalOperator {
   void Close() override { child_->Close(); }
 
  private:
-  Result<bool> Keep(Tuple& t) {
-    if (mode_ == ExecMode::kAtReferenceTime) {
-      return predicate_->EvalPredicateFixed(schema(), t, rt_);
+  PhysicalOpPtr child_;
+  PredicateEvaluator evaluator_;
+};
+
+// ---------------------------------------------------------------------------
+// Index scan (docs/DESIGN.md, "Index access path")
+// ---------------------------------------------------------------------------
+
+// The index and candidate list behind one lowered temporal selection,
+// shared by every IndexScanOp instance of that selection (one per
+// partition pipeline in a parallel plan; a MaterializedView's cached
+// operator tree keeps it alive across Refresh() calls). Ensure() is the
+// build-or-reuse decision: the indexed column is fingerprinted on every
+// Open(), and the index + candidate list are rebuilt only when the
+// fingerprint no longer matches the one recorded at Build time — so
+// repeated drains of an unmodified relation pay an O(n) bound sweep
+// instead of the O(n log n) sort, and base-data modifications
+// (TemporalInsert/Delete/Update, plain inserts) are picked up on the
+// next Open(). Concurrent Ensure() calls from parallel pipeline Open()s
+// serialize on the mutex; after the first (re)build the state is only
+// read.
+struct IndexScanState {
+  IndexScanInfo info;
+  std::mutex mu;
+  std::optional<IntervalIndex> index;
+  std::vector<size_t> candidates;
+  uint64_t validated_generation = 0;
+
+  // `generation` is the exchange's drain-round counter (0 when the scan
+  // is serial, i.e. outside any exchange): the base data cannot change
+  // mid-round, so only the round's first opener pays the O(n)
+  // fingerprint sweep — the W-1 other pipeline Open()s return here
+  // without touching the relation.
+  Status Ensure(uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (generation != 0 && generation == validated_generation) {
+      return Status::OK();
     }
-    if (split_.fixed_part != nullptr) {
+    ONGOINGDB_ASSIGN_OR_RETURN(
+        uint64_t fp,
+        IntervalIndex::ColumnFingerprint(*info.relation, info.column_index));
+    if (!index.has_value() || index->fingerprint() != fp) {
       ONGOINGDB_ASSIGN_OR_RETURN(
-          bool keep, split_.fixed_part->EvalPredicateFixed(schema(), t));
-      if (!keep) return false;
+          IntervalIndex built,
+          IntervalIndex::Build(*info.relation, info.column));
+      candidates = info.op == AllenOp::kOverlaps
+                       ? built.OverlapCandidates(info.probe)
+                       : built.BeforeCandidates(info.probe);
+      index = std::move(built);
     }
-    if (split_.ongoing_part != nullptr) {
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingBoolean pred,
-                                 split_.ongoing_part->EvalPredicate(schema(), t));
-      t.rt().IntersectInto(pred.st(), &rt_scratch_);
-      if (rt_scratch_.IsEmpty()) return false;
-      t.mutable_rt() = rt_scratch_;
-    }
-    return true;
+    validated_generation = generation;
+    return Status::OK();
+  }
+};
+
+// Index-backed temporal selection: the lowering of an eligible
+// Filter(Scan). Streams the tuples the IntervalIndex's candidate list
+// names — a superset of the exact answer — and applies the *full*
+// predicate as a residual on each, so the result equals the FilterOp
+// lowering in both execution modes (in kAtReferenceTime mode the
+// candidate set still covers every tuple matching at the one probed rt).
+// In a parallel plan all partition instances pull morsel ranges of the
+// shared candidate list from an atomic cursor, exactly like MorselScanOp
+// does over base relations; serially the whole list is one morsel.
+class IndexScanOp final : public PhysicalOperator {
+ public:
+  IndexScanOp(std::shared_ptr<IndexScanState> state, ExprPtr predicate,
+              ExecMode mode, TimePoint rt,
+              std::shared_ptr<ExchangeState> exchange,
+              ExchangeState::MorselCursor* cursor, size_t morsel_size)
+      : PhysicalOperator(mode == ExecMode::kOngoing
+                             ? state->info.relation->schema()
+                             : state->info.relation->schema().Instantiated()),
+        state_(std::move(state)),
+        mode_(mode),
+        rt_(rt),
+        exchange_(std::move(exchange)),
+        cursor_(cursor),
+        morsel_size_(morsel_size),
+        evaluator_(std::move(predicate), schema(), mode, rt) {}
+
+  const char* Name() const override { return "IndexScan"; }
+
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(
+        state_->Ensure(exchange_ != nullptr ? exchange_->generation() : 0));
+    // The shared cursor (if any) is repositioned by
+    // ExchangeState::Reset(); only the local window resets here.
+    pos_ = end_ = 0;
+    serial_done_ = false;
+    return Status::OK();
   }
 
-  PhysicalOpPtr child_;
-  ExprPtr predicate_;
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    const std::vector<size_t>& candidates = state_->candidates;
+    const std::vector<Tuple>& tuples = state_->info.relation->tuples();
+    while (!out->full()) {
+      if (pos_ >= end_) {
+        if (cursor_ != nullptr) {
+          const size_t begin =
+              cursor_->next.fetch_add(morsel_size_, std::memory_order_relaxed);
+          if (begin >= candidates.size()) break;
+          pos_ = begin;
+          end_ = std::min(begin + morsel_size_, candidates.size());
+        } else {
+          if (serial_done_) break;
+          serial_done_ = true;
+          pos_ = 0;
+          end_ = candidates.size();
+          if (end_ == 0) break;
+        }
+      }
+      const Tuple& t = tuples[candidates[pos_++]];
+      if (!EmitBaseTuple(t, mode_, rt_, all_, out)) continue;
+      // Residual: the exact predicate on the claimed slot; PopLast
+      // un-claims rejected candidates without a heap allocation.
+      ONGOINGDB_ASSIGN_OR_RETURN(bool keep,
+                                 evaluator_.Keep(out->tuple(out->size() - 1)));
+      if (!keep) out->PopLast();
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<IndexScanState> state_;
   ExecMode mode_;
   TimePoint rt_;
-  SplitPredicate split_;
-  IntervalSet rt_scratch_;
+  std::shared_ptr<ExchangeState> exchange_;
+  ExchangeState::MorselCursor* cursor_;
+  size_t morsel_size_;
+  PredicateEvaluator evaluator_;
+  const IntervalSet all_ = IntervalSet::All();
+  size_t pos_ = 0, end_ = 0;
+  bool serial_done_ = false;
 };
+
+// The filter lowering decision shared by the serial and parallel
+// compilers: the matched index selection when the node's access path
+// allows one, nullopt for the FilterOp path. Forcing AccessPath::kIndex
+// on an ineligible plan is a compile error, not a silent fallback.
+Result<std::optional<IndexScanInfo>> ResolveFilterAccessPath(
+    const FilterNode& node) {
+  std::optional<IndexScanInfo> info;
+  if (node.access_path() != AccessPath::kFullScan) info = MatchIndexScan(node);
+  if (node.access_path() == AccessPath::kIndex && !info.has_value()) {
+    return Status::InvalidArgument(
+        "AccessPath::kIndex requires Filter(Scan) with an overlaps/before "
+        "conjunct on an interval attribute against a fixed probe interval");
+  }
+  return info;
+}
 
 // ---------------------------------------------------------------------------
 // Project
@@ -931,12 +1094,28 @@ class GatherOp final : public PhysicalOperator {
 struct PartitionCompileState {
   std::shared_ptr<ExchangeState> exchange;
   std::unordered_map<const PlanNode*, ExchangeState::MorselCursor*> cursors;
+  std::unordered_map<const PlanNode*, std::shared_ptr<IndexScanState>>
+      index_states;
   size_t morsel_size = 1;
   size_t num_partitions = 1;
 
   ExchangeState::MorselCursor* CursorFor(const PlanNode* node) {
     auto [it, inserted] = cursors.try_emplace(node, nullptr);
     if (inserted) it->second = exchange->NewCursor();
+    return it->second;
+  }
+
+  // One IndexScanState per lowered filter node, shared by that
+  // selection's instances across all partition pipelines (the index is
+  // built once; the pipelines split the candidate list via the shared
+  // morsel cursor).
+  std::shared_ptr<IndexScanState> IndexStateFor(const PlanNode* node,
+                                                const IndexScanInfo& info) {
+    auto [it, inserted] = index_states.try_emplace(node, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<IndexScanState>();
+      it->second->info = info;
+    }
     return it->second;
   }
 };
@@ -959,6 +1138,17 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
     }
     case PlanKind::kFilter: {
       const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(std::optional<IndexScanInfo> index_info,
+                                 ResolveFilterAccessPath(*node));
+      if (index_info.has_value()) {
+        // Candidate-list morsels: every partition instance pulls ranges
+        // of the shared candidate list from one atomic cursor, so the
+        // load balancing matches the exchange scans'.
+        return PhysicalOpPtr(std::make_unique<IndexScanOp>(
+            state->IndexStateFor(plan.get(), *index_info), node->predicate(),
+            mode, rt, state->exchange, state->CursorFor(plan.get()),
+            state->morsel_size));
+      }
       ONGOINGDB_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
           CompileForPartition(node->child(), mode, rt, partition, state));
@@ -1089,6 +1279,15 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
                         mode, rt);
     case PlanKind::kFilter: {
       const auto* node = static_cast<const FilterNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(std::optional<IndexScanInfo> index_info,
+                                 ResolveFilterAccessPath(*node));
+      if (index_info.has_value()) {
+        auto state = std::make_shared<IndexScanState>();
+        state->info = *index_info;
+        return PhysicalOpPtr(std::make_unique<IndexScanOp>(
+            std::move(state), node->predicate(), mode, rt,
+            /*exchange=*/nullptr, /*cursor=*/nullptr, /*morsel_size=*/0));
+      }
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
                                  Compile(node->child(), mode, rt));
       return PhysicalOpPtr(std::make_unique<FilterOp>(

@@ -56,6 +56,11 @@ class PhysicalOperator {
   /// The compiled output schema (available before Open()).
   const Schema& schema() const { return schema_; }
 
+  /// A short operator name for diagnostics and tests ("IndexScan",
+  /// "Filter", ...). Tests use it to assert which lowering Compile()
+  /// picked; it carries no execution semantics.
+  virtual const char* Name() const { return "Operator"; }
+
   /// Acquires operator state and (re)positions the stream at the start.
   virtual Status Open() = 0;
 
@@ -85,7 +90,13 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
 /// optimizer's join-algorithm choice: JoinAlgorithm::kAuto resolves to
 /// hash when fixed equality conjuncts exist on the (mode-specific) input
 /// schemas and to nested-loop otherwise — the same rule as
-/// ChooseJoinAlgorithms. `rt` is only meaningful for kAtReferenceTime.
+/// ChooseJoinAlgorithms. Likewise absorbs the filter access-path choice:
+/// an AccessPath::kAuto Filter(Scan) whose predicate is an eligible
+/// temporal selection (MatchIndexScan, query/optimizer.h) lowers to an
+/// IndexScanOp that streams an IntervalIndex's candidate list and
+/// evaluates the exact predicate as a residual; AccessPath::kIndex on an
+/// ineligible plan is a compile error. `rt` is only meaningful for
+/// kAtReferenceTime.
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
                               TimePoint rt = 0);
 
@@ -132,10 +143,20 @@ class ExchangeState {
 
   void Reset() {
     for (MorselCursor& c : cursors_) c.next.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// The drain-round counter Reset() bumps. Index scans use it to
+  /// validate their shared index's staleness fingerprint once per round
+  /// instead of once per pipeline Open() (0 = never reset; always
+  /// validate).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
   }
 
  private:
   std::deque<MorselCursor> cursors_;  // deque: stable addresses
+  std::atomic<uint64_t> generation_{0};
 };
 
 /// A parallel lowering of a plan into `workers` partition pipelines.

@@ -12,8 +12,15 @@ std::string ScanNode::ToString(int indent) const {
 }
 
 std::string FilterNode::ToString(int indent) const {
-  return Indent(indent) + "Filter " + predicate_->ToString() + "\n" +
-         child_->ToString(indent + 1);
+  // kAuto renders bare; only forced access paths are annotated.
+  const char* path = "";
+  switch (access_path_) {
+    case AccessPath::kAuto: path = ""; break;
+    case AccessPath::kFullScan: path = "[full-scan]"; break;
+    case AccessPath::kIndex: path = "[index]"; break;
+  }
+  return Indent(indent) + "Filter" + path + " " + predicate_->ToString() +
+         "\n" + child_->ToString(indent + 1);
 }
 
 std::string ProjectNode::ToString(int indent) const {
@@ -43,8 +50,9 @@ PlanPtr Scan(const OngoingRelation* relation, std::string name) {
   return std::make_shared<ScanNode>(relation, std::move(name));
 }
 
-PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
-  return std::make_shared<FilterNode>(std::move(child), std::move(predicate));
+PlanPtr Filter(PlanPtr child, ExprPtr predicate, AccessPath access_path) {
+  return std::make_shared<FilterNode>(std::move(child), std::move(predicate),
+                                      access_path);
 }
 
 PlanPtr ProjectPlan(PlanPtr child, std::vector<std::string> names) {

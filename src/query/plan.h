@@ -23,6 +23,17 @@ enum class JoinAlgorithm {
   kSortMerge,   ///< log-linear sort on fixed equality conjuncts
 };
 
+/// Physical access-path selection for a Filter directly over a Scan.
+/// Mirrors JoinAlgorithm: the plan carries the choice, Compile absorbs
+/// kAuto (query/physical.h lowers eligible temporal selections to an
+/// IndexScanOp over an IntervalIndex; see MatchIndexScan in
+/// query/optimizer.h for the eligibility rules).
+enum class AccessPath {
+  kAuto,      ///< index when the predicate is eligible, full scan otherwise
+  kFullScan,  ///< never use the interval index (ablation baseline)
+  kIndex,     ///< require the index; Compile fails if ineligible
+};
+
 /// Logical plan node kinds.
 enum class PlanKind { kScan, kFilter, kProject, kJoin };
 
@@ -59,18 +70,22 @@ class ScanNode final : public PlanNode {
 /// Selection sigma_theta(child).
 class FilterNode final : public PlanNode {
  public:
-  FilterNode(PlanPtr child, ExprPtr predicate)
+  FilterNode(PlanPtr child, ExprPtr predicate,
+             AccessPath access_path = AccessPath::kAuto)
       : PlanNode(PlanKind::kFilter),
         child_(std::move(child)),
-        predicate_(std::move(predicate)) {}
+        predicate_(std::move(predicate)),
+        access_path_(access_path) {}
 
   const PlanPtr& child() const { return child_; }
   const ExprPtr& predicate() const { return predicate_; }
+  AccessPath access_path() const { return access_path_; }
   std::string ToString(int indent) const override;
 
  private:
   PlanPtr child_;
   ExprPtr predicate_;
+  AccessPath access_path_;
 };
 
 /// Projection pi_names(child).
@@ -121,7 +136,8 @@ class JoinNode final : public PlanNode {
 
 // Builders.
 PlanPtr Scan(const OngoingRelation* relation, std::string name);
-PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+PlanPtr Filter(PlanPtr child, ExprPtr predicate,
+               AccessPath access_path = AccessPath::kAuto);
 PlanPtr ProjectPlan(PlanPtr child, std::vector<std::string> names);
 PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr predicate,
              std::string left_prefix, std::string right_prefix,

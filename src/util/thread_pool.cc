@@ -47,8 +47,7 @@ void TaskScheduler::WorkerLoop() {
 }
 
 TaskScheduler& TaskScheduler::Global() {
-  static TaskScheduler pool(std::max<size_t>(
-      std::thread::hardware_concurrency(), kMinGlobalWorkers));
+  static TaskScheduler pool(DefaultWorkerCount());
   return pool;
 }
 

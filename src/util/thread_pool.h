@@ -12,6 +12,7 @@
 // values the parallel operators collect per pipeline.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -51,6 +52,15 @@ class TaskScheduler {
   /// still paying the per-partition repartition re-scan.
   static constexpr size_t kMinGlobalWorkers = 8;
   static TaskScheduler& Global();
+
+  /// The worker count Global() is (or would be) sized to —
+  /// max(hardware concurrency, kMinGlobalWorkers) — computed without
+  /// instantiating the pool, so metadata reporters (BenchJsonWriter)
+  /// can record the effective width without spawning threads.
+  static size_t DefaultWorkerCount() {
+    return std::max<size_t>(std::thread::hardware_concurrency(),
+                            kMinGlobalWorkers);
+  }
 
  private:
   void WorkerLoop();

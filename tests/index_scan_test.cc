@@ -1,0 +1,347 @@
+// Tests of the index-backed temporal selection in the batched/parallel
+// pipeline: Compile() must lower eligible Filter(Scan) plans to
+// IndexScanOp (and respect forced access paths), and the index path
+// must be equivalent to the full-scan filter — randomized over
+// overlaps/before probes, ongoing + fixed + mixed interval columns,
+// serial and parallel drains, and both execution modes. Also covers the
+// MaterializedView contract: the index is cached inside the compiled
+// tree across Refresh() and rebuilt when base-data modifications change
+// the indexed column.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "query/materialized_view.h"
+#include "query/optimizer.h"
+#include "query/physical.h"
+#include "relation/modifications.h"
+#include "util/rng.h"
+
+namespace ongoingdb {
+namespace {
+
+// Tuple multiset incl. RT (normalized interval sets render equal), so
+// parallel results compare order-insensitively.
+std::multiset<std::string> Fingerprint(const OngoingRelation& r) {
+  std::multiset<std::string> rows;
+  for (const Tuple& t : r.tuples()) rows.insert(t.ToString());
+  return rows;
+}
+
+OngoingInterval RandomOngoingInterval(Rng& rng) {
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      return OngoingInterval::SinceUntilNow(rng.Uniform(0, 100));
+    case 1:
+      return OngoingInterval::FromNowUntil(rng.Uniform(0, 100));
+    case 2: {
+      TimePoint a1 = rng.Uniform(0, 80);
+      TimePoint a2 = rng.Uniform(0, 80);
+      return OngoingInterval(OngoingTimePoint(a1, a1 + rng.Uniform(0, 40)),
+                             OngoingTimePoint(a2, a2 + rng.Uniform(0, 40)));
+    }
+    default: {
+      TimePoint s = rng.Uniform(0, 100);
+      return OngoingInterval::Fixed(s, s + rng.Uniform(1, 40));
+    }
+  }
+}
+
+// A relation with one ongoing and one fixed interval column, so probes
+// can target either representation (and the bitemporal-style mix keeps
+// the column-resolution regression covered end to end).
+OngoingRelation MakeMixedRelation(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval},
+                            {"FT", ValueType::kFixedInterval}}));
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint fs = rng.Uniform(0, 100);
+    EXPECT_TRUE(
+        r.Insert({Value::Int64(static_cast<int64_t>(i)),
+                  Value::Ongoing(RandomOngoingInterval(rng)),
+                  Value::Interval(FixedInterval{fs, fs + rng.Uniform(1, 40)})})
+            .ok());
+  }
+  return r;
+}
+
+PlanPtr ProbePlan(const OngoingRelation* r, AllenOp op,
+                  const std::string& column, FixedInterval probe,
+                  AccessPath path, ExprPtr extra_conjunct = nullptr) {
+  ExprPtr pred = Allen(op, Col(column),
+                       Lit(OngoingInterval::Fixed(probe.start, probe.end)));
+  if (extra_conjunct != nullptr) pred = And(std::move(pred), extra_conjunct);
+  return Filter(Scan(r, "R"), std::move(pred), path);
+}
+
+TEST(IndexScanLoweringTest, EligibleFilterScanLowersToIndexScan) {
+  OngoingRelation r = MakeMixedRelation(1, 16);
+  for (AllenOp op : {AllenOp::kOverlaps, AllenOp::kBefore}) {
+    for (const char* column : {"VT", "FT"}) {
+      PlanPtr plan =
+          ProbePlan(&r, op, column, FixedInterval{40, 60}, AccessPath::kAuto);
+      auto compiled = Compile(plan, ExecMode::kOngoing);
+      ASSERT_TRUE(compiled.ok());
+      EXPECT_STREQ((*compiled)->Name(), "IndexScan");
+      auto compiled_at = Compile(plan, ExecMode::kAtReferenceTime, 50);
+      ASSERT_TRUE(compiled_at.ok());
+      EXPECT_STREQ((*compiled_at)->Name(), "IndexScan");
+    }
+  }
+  // A residual conjunct rides along: the filter is still index-backed.
+  PlanPtr with_residual =
+      ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{40, 60},
+                AccessPath::kAuto, Lt(Col("ID"), Lit(int64_t{8})));
+  auto compiled = Compile(with_residual, ExecMode::kOngoing);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_STREQ((*compiled)->Name(), "IndexScan");
+  // The symmetric overlaps with the literal on the left is eligible too.
+  PlanPtr swapped = Filter(
+      Scan(&r, "R"),
+      OverlapsExpr(Lit(OngoingInterval::Fixed(40, 60)), Col("VT")));
+  auto compiled_swapped = Compile(swapped, ExecMode::kOngoing);
+  ASSERT_TRUE(compiled_swapped.ok());
+  EXPECT_STREQ((*compiled_swapped)->Name(), "IndexScan");
+}
+
+TEST(IndexScanLoweringTest, IneligiblePredicatesKeepTheFilterLowering) {
+  OngoingRelation r = MakeMixedRelation(2, 16);
+  // Not an Allen probe at all.
+  PlanPtr fixed_only = Filter(Scan(&r, "R"), Lt(Col("ID"), Lit(int64_t{8})));
+  auto c1 = Compile(fixed_only, ExecMode::kOngoing);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_STREQ((*c1)->Name(), "Filter");
+  // An unsupported Allen operator.
+  PlanPtr during = Filter(Scan(&r, "R"),
+                          Allen(AllenOp::kDuring, Col("VT"),
+                                Lit(OngoingInterval::Fixed(40, 60))));
+  auto c2 = Compile(during, ExecMode::kOngoing);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_STREQ((*c2)->Name(), "Filter");
+  // A probe that is not fixed at every reference time.
+  PlanPtr ongoing_probe =
+      Filter(Scan(&r, "R"),
+             OverlapsExpr(Col("VT"), Lit(OngoingInterval::SinceUntilNow(40))));
+  auto c3 = Compile(ongoing_probe, ExecMode::kOngoing);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_STREQ((*c3)->Name(), "Filter");
+  // Column-vs-column predicates have no fixed probe.
+  PlanPtr col_col = Filter(Scan(&r, "R"), OverlapsExpr(Col("VT"), Col("FT")));
+  auto c4 = Compile(col_col, ExecMode::kOngoing);
+  ASSERT_TRUE(c4.ok());
+  EXPECT_STREQ((*c4)->Name(), "Filter");
+}
+
+TEST(IndexScanLoweringTest, ForcedAccessPathsAreRespected) {
+  OngoingRelation r = MakeMixedRelation(3, 16);
+  PlanPtr forced_scan = ProbePlan(&r, AllenOp::kOverlaps, "VT",
+                                  FixedInterval{40, 60}, AccessPath::kFullScan);
+  auto c1 = Compile(forced_scan, ExecMode::kOngoing);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_STREQ((*c1)->Name(), "Filter");
+
+  PlanPtr forced_index = ProbePlan(&r, AllenOp::kBefore, "VT",
+                                   FixedInterval{40, 60}, AccessPath::kIndex);
+  auto c2 = Compile(forced_index, ExecMode::kOngoing);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_STREQ((*c2)->Name(), "IndexScan");
+
+  // Forcing the index on an ineligible predicate is a compile error.
+  PlanPtr bad = Filter(Scan(&r, "R"), Lt(Col("ID"), Lit(int64_t{3})),
+                       AccessPath::kIndex);
+  EXPECT_FALSE(Compile(bad, ExecMode::kOngoing).ok());
+  EXPECT_FALSE(Execute(bad).ok());
+}
+
+// The optimizer's rewrites preserve the access-path annotation.
+TEST(IndexScanLoweringTest, OptimizePreservesAccessPath) {
+  OngoingRelation r = MakeMixedRelation(4, 16);
+  PlanPtr plan = ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{40, 60},
+                           AccessPath::kFullScan);
+  auto optimized = Optimize(plan);
+  ASSERT_TRUE(optimized.ok());
+  auto compiled = Compile(*optimized, ExecMode::kOngoing);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_STREQ((*compiled)->Name(), "Filter");
+}
+
+// Pushing a forced-kFullScan filter's conjuncts below a join must keep
+// the annotation on the pushed filter — otherwise the ablation baseline
+// silently reverts to kAuto (and thus the index) after pushdown.
+TEST(IndexScanLoweringTest, PushDownPreservesAccessPathOnPushedFilters) {
+  OngoingRelation r = MakeMixedRelation(5, 16);
+  OngoingRelation s = MakeMixedRelation(6, 16);
+  PlanPtr plan = Filter(
+      Join(Scan(&r, "A"), Scan(&s, "B"), Eq(Col("L.ID"), Col("R.ID")), "L",
+           "R"),
+      OverlapsExpr(Col("L.VT"), Lit(OngoingInterval::Fixed(40, 60))),
+      AccessPath::kFullScan);
+  auto pushed = PushDownFilters(plan);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_EQ((*pushed)->kind(), PlanKind::kJoin);
+  const auto* join = static_cast<const JoinNode*>(pushed->get());
+  ASSERT_EQ(join->left()->kind(), PlanKind::kFilter);
+  const auto* pushed_filter =
+      static_cast<const FilterNode*>(join->left().get());
+  EXPECT_EQ(pushed_filter->access_path(), AccessPath::kFullScan);
+  auto compiled = Compile(join->left(), ExecMode::kOngoing);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_STREQ((*compiled)->Name(), "Filter");
+}
+
+class IndexScanEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Index-backed selection == full-scan selection: randomized probes over
+// both predicates and both interval columns, with and without a fixed
+// residual conjunct, in both execution modes, serial and parallel.
+TEST_P(IndexScanEquivalenceTest, IndexPathMatchesFullScan) {
+  const uint64_t seed = GetParam();
+  OngoingRelation r = MakeMixedRelation(seed, 300);
+  Rng rng(seed + 100);
+  for (int probe_i = 0; probe_i < 4; ++probe_i) {
+    const AllenOp op =
+        rng.Bernoulli(0.5) ? AllenOp::kOverlaps : AllenOp::kBefore;
+    const std::string column = rng.Bernoulli(0.5) ? "VT" : "FT";
+    TimePoint s = rng.Uniform(0, 120);
+    const FixedInterval probe{s, s + rng.Uniform(1, 50)};
+    ExprPtr residual = rng.Bernoulli(0.5)
+                           ? Lt(Col("ID"), Lit(rng.Uniform(0, 300)))
+                           : nullptr;
+    PlanPtr indexed =
+        ProbePlan(&r, op, column, probe, AccessPath::kIndex, residual);
+    PlanPtr scanned =
+        ProbePlan(&r, op, column, probe, AccessPath::kFullScan, residual);
+
+    auto scan_result = Execute(scanned);
+    ASSERT_TRUE(scan_result.ok());
+    const std::multiset<std::string> expected = Fingerprint(*scan_result);
+
+    auto index_result = Execute(indexed);
+    ASSERT_TRUE(index_result.ok());
+    EXPECT_EQ(Fingerprint(*index_result), expected)
+        << "serial, op=" << static_cast<int>(op) << " column=" << column;
+
+    for (size_t workers : {2u, 4u}) {
+      ParallelOptions options;
+      options.workers = workers;
+      options.morsel_size = 64;
+      options.min_parallel_tuples = 0;  // force the parallel lowering
+      auto parallel_result = Execute(indexed, options);
+      ASSERT_TRUE(parallel_result.ok());
+      EXPECT_EQ(Fingerprint(*parallel_result), expected)
+          << "workers=" << workers;
+    }
+
+    // Clifford semantics at sampled reference times.
+    for (TimePoint rt : {TimePoint{-10}, TimePoint{25}, TimePoint{80},
+                         TimePoint{160}}) {
+      auto scan_at = ExecuteAtReferenceTime(scanned, rt);
+      ASSERT_TRUE(scan_at.ok());
+      auto index_at = ExecuteAtReferenceTime(indexed, rt);
+      ASSERT_TRUE(index_at.ok());
+      EXPECT_EQ(Fingerprint(*index_at), Fingerprint(*scan_at)) << "rt=" << rt;
+      ParallelOptions options;
+      options.workers = 4;
+      options.morsel_size = 64;
+      options.min_parallel_tuples = 0;
+      auto parallel_at = ExecuteAtReferenceTime(indexed, rt, options);
+      ASSERT_TRUE(parallel_at.ok());
+      EXPECT_EQ(Fingerprint(*parallel_at), Fingerprint(*scan_at))
+          << "parallel rt=" << rt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IndexScanEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// Batch-boundary sizes through the index path: results of exactly
+// 0, 1, capacity and capacity + 1 tuples.
+TEST(IndexScanBatchBoundaryTest, ExactResultSizes) {
+  const size_t cap = TupleBatch::kDefaultCapacity;
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (size_t i = 0; i < cap + 50; ++i) {
+    ASSERT_TRUE(r.Insert({Value::Int64(static_cast<int64_t>(i)),
+                          Value::Ongoing(OngoingInterval::Fixed(10, 20))})
+                    .ok());
+  }
+  for (size_t want : {size_t{0}, size_t{1}, cap, cap + 1}) {
+    PlanPtr plan =
+        ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{12, 18},
+                  AccessPath::kIndex,
+                  Lt(Col("ID"), Lit(static_cast<int64_t>(want))));
+    auto result = Execute(plan);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), want);
+  }
+}
+
+// Re-opening the same compiled tree must reset the candidate cursor.
+TEST(IndexScanBatchBoundaryTest, ReopenProducesTheSameResult) {
+  OngoingRelation r = MakeMixedRelation(7, 200);
+  PlanPtr plan = ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{30, 70},
+                           AccessPath::kIndex);
+  auto compiled = Compile(plan, ExecMode::kOngoing);
+  ASSERT_TRUE(compiled.ok());
+  auto first = DrainToRelation(**compiled);
+  ASSERT_TRUE(first.ok());
+  auto second = DrainToRelation(**compiled);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Fingerprint(*first), Fingerprint(*second));
+}
+
+// MaterializedView: the compiled tree (and the index inside it) is
+// cached across Refresh(); modifications that change the indexed column
+// — including in-place valid-time updates that keep the relation size —
+// are detected via the column fingerprint and produce fresh results.
+TEST(IndexScanMaterializedViewTest, RefreshRebuildsStaleIndex) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(r.Insert({Value::Int64(i),
+                          Value::Ongoing(OngoingInterval::SinceUntilNow(i))})
+                    .ok());
+  }
+  const FixedInterval probe{100, 200};
+  PlanPtr plan =
+      ProbePlan(&r, AllenOp::kBefore, "VT", probe, AccessPath::kIndex);
+  auto view = MaterializedView::Create(plan);
+  ASSERT_TRUE(view.ok());
+  const size_t before_size = view->ongoing_result().size();
+
+  // A refresh without modifications reuses the cached index.
+  ASSERT_TRUE(view->Refresh().ok());
+  EXPECT_EQ(view->ongoing_result().size(), before_size);
+
+  // Close half the tuples at tc = 60: their VT becomes [i, 60), which
+  // is before [100, 200) — an in-place, size-preserving change.
+  auto deleted = TemporalDelete(&r, 1, 60, [](const Tuple& t) {
+    return t.value(0).AsInt64() < 25;
+  });
+  ASSERT_TRUE(deleted.ok());
+  ASSERT_EQ(r.size(), 50u);
+  ASSERT_TRUE(view->Refresh().ok());
+
+  PlanPtr rescan =
+      ProbePlan(&r, AllenOp::kBefore, "VT", probe, AccessPath::kFullScan);
+  auto expected = Execute(rescan);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Fingerprint(view->ongoing_result()), Fingerprint(*expected));
+
+  // Appending tuples is detected as well.
+  ASSERT_TRUE(r.Insert({Value::Int64(50),
+                        Value::Ongoing(OngoingInterval::Fixed(0, 90))})
+                  .ok());
+  ASSERT_TRUE(view->Refresh().ok());
+  auto expected2 = Execute(rescan);
+  ASSERT_TRUE(expected2.ok());
+  EXPECT_EQ(Fingerprint(view->ongoing_result()), Fingerprint(*expected2));
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -44,6 +44,87 @@ TEST(IntervalIndexTest, RequiresIntervalAttribute) {
   EXPECT_FALSE(IntervalIndex::Build(r, "Missing").ok());
 }
 
+// Regression: on a bitemporal relation whose transaction-time column
+// precedes the valid-time column, selections through an index built on
+// VT must evaluate VT — the old code re-resolved "the first interval
+// attribute" and evaluated TT instead.
+TEST(IntervalIndexTest, SelectsOnTheIndexedColumnNotTheFirstIntervalColumn) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"TT", ValueType::kOngoingInterval},
+                            {"VT", ValueType::kOngoingInterval}}));
+  // TT far in the past, VT overlapping the probe: the tuple matches on
+  // VT only.
+  ASSERT_TRUE(r.Insert({Value::Int64(1),
+                        Value::Ongoing(OngoingInterval::Fixed(0, 10)),
+                        Value::Ongoing(OngoingInterval::Fixed(100, 200))})
+                  .ok());
+  // VT far in the future: no match on VT (TT would match the probe).
+  ASSERT_TRUE(r.Insert({Value::Int64(2),
+                        Value::Ongoing(OngoingInterval::Fixed(100, 200)),
+                        Value::Ongoing(OngoingInterval::Fixed(500, 600))})
+                  .ok());
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->column_index(), 2u);
+
+  const FixedInterval probe{100, 150};
+  auto overlaps = index->SelectOverlaps(r, probe);
+  ASSERT_TRUE(overlaps.ok());
+  ASSERT_EQ(overlaps->size(), 1u);
+  EXPECT_EQ(overlaps->tuple(0).value(0).AsInt64(), 1);
+
+  // Before [300, 400): VT of tuple 1 ends at 200 (match); tuple 2's VT
+  // starts at 500 (no match) even though its TT is long finished.
+  auto before = index->SelectBefore(r, FixedInterval{300, 400});
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 1u);
+  EXPECT_EQ(before->tuple(0).value(0).AsInt64(), 1);
+}
+
+// Regression: the before-sweep used to stop at min_start >= probe.start,
+// dropping degenerate candidates with min_start == min_end ==
+// probe.start even though they satisfy the candidate condition
+// min_end <= probe.start.
+TEST(IntervalIndexTest, BeforeCandidatesKeepDegenerateStopBoundEntries) {
+  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  // min_start == min_end == 5: start = 5+, end = 5+9.
+  OngoingInterval degenerate(OngoingTimePoint::Growing(5),
+                             OngoingTimePoint(5, 9));
+  ASSERT_TRUE(r.Insert({Value::Int64(0),
+                        Value::Ongoing(OngoingInterval::Fixed(0, 3))})
+                  .ok());
+  ASSERT_TRUE(r.Insert({Value::Int64(1), Value::Ongoing(degenerate)}).ok());
+  ASSERT_TRUE(r.Insert({Value::Int64(2),
+                        Value::Ongoing(OngoingInterval::Fixed(7, 12))})
+                  .ok());
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+
+  const FixedInterval probe{5, 8};
+  std::vector<size_t> c = index->BeforeCandidates(probe);
+  std::set<size_t> candidates(c.begin(), c.end());
+  EXPECT_TRUE(candidates.count(0) > 0);
+  EXPECT_TRUE(candidates.count(1) > 0)
+      << "degenerate min_start == min_end == probe.start entry dropped";
+  EXPECT_EQ(candidates.count(2), 0u);
+
+  // The exact selection stays equivalent to the full scan.
+  auto indexed = index->SelectBefore(r, probe);
+  ASSERT_TRUE(indexed.ok());
+  OngoingInterval probe_iv = OngoingInterval::Fixed(probe.start, probe.end);
+  OngoingRelation scanned = Select(r, [&probe_iv](const Tuple& t) {
+    return Before(t.value(1).AsOngoingInterval(), probe_iv);
+  });
+  EXPECT_EQ(indexed->size(), scanned.size());
+  for (TimePoint rt = -5; rt <= 20; ++rt) {
+    EXPECT_TRUE(
+        InstantiatedRelationsEqual(InstantiateRelation(*indexed, rt),
+                                   InstantiateRelation(scanned, rt)))
+        << "rt=" << rt;
+  }
+}
+
 class IntervalIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(IntervalIndexPropertyTest, OverlapCandidatesAreSupersetOfExact) {
