@@ -527,6 +527,9 @@ class ContainsNode final : public Expr {
     return "(" + lhs_->ToString() + " contains " + rhs_->ToString() + ")";
   }
 
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
  private:
   ExprPtr lhs_, rhs_;
 };
@@ -699,6 +702,12 @@ std::optional<AllenParts> AsAllen(const ExprPtr& expr) {
 std::optional<Value> AsLiteralValue(const ExprPtr& expr) {
   if (expr->kind() != ExprKind::kLiteral) return std::nullopt;
   return static_cast<const LiteralExpr*>(expr.get())->value();
+}
+
+std::optional<ContainsParts> AsContains(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::kContains) return std::nullopt;
+  const auto* node = static_cast<const ContainsNode*>(expr.get());
+  return ContainsParts{node->lhs(), node->rhs()};
 }
 
 void CollectTopLevelConjuncts(const ExprPtr& expr,

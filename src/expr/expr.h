@@ -191,6 +191,15 @@ std::optional<AllenParts> AsAllen(const ExprPtr& expr);
 /// The literal's value; nullopt if `expr` is not a literal node.
 std::optional<Value> AsLiteralValue(const ExprPtr& expr);
 
+/// The parts of a containment (timeslice) predicate node; nullopt if
+/// `expr` is not a kContains node. Used by the optimizer's index-scan
+/// matching for timeslice-point probes.
+struct ContainsParts {
+  ExprPtr interval;  ///< the interval-valued operand
+  ExprPtr point;     ///< the time-point-valued operand
+};
+std::optional<ContainsParts> AsContains(const ExprPtr& expr);
+
 /// Appends the top-level conjuncts of `expr` (flattening nested ANDs).
 void CollectTopLevelConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
 

@@ -85,38 +85,117 @@ Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
             [](const Entry& x, const Entry& y) {
               return x.min_start < y.min_start;
             });
+  index.by_max_start_.resize(index.entries_.size());
+  for (uint32_t i = 0; i < index.by_max_start_.size(); ++i) {
+    index.by_max_start_[i] = i;
+  }
+  std::sort(index.by_max_start_.begin(), index.by_max_start_.end(),
+            [&index](uint32_t a, uint32_t b) {
+              return index.entries_[a].max_start < index.entries_[b].max_start;
+            });
   return index;
+}
+
+// Every probe below returns a superset of the tuples that satisfy the
+// exact predicate at some reference time, for any probe instantiation
+// inside the probe's bounds. The derivations pick, per op, the loosest
+// bound each side can reach:
+//
+//   kOverlaps  exact: s_e < e_p ^ s_p < e_e (+ both non-empty)
+//              => min_start < P.max_end  ^  max_end > P.min_start
+//   kBefore    exact: e_e <= s_p ^ entry non-empty
+//              => min_end <= P.max_start (and min_start <= P.max_start,
+//                 keeping the degenerate min_start == min_end ==
+//                 P.max_start candidates — the PR 4 stop-bound rule)
+//   kAfter     exact: e_p <= s_e ^ entry non-empty
+//              => max_start >= P.min_end  ^  max_end > P.min_end
+//   kMeets     exact: e_e = s_p ^ both non-empty
+//              => min_end <= P.max_start ^ max_end >= P.min_start
+//                 ^ min_start < P.max_start
+//   kMetBy     exact: e_p = s_e ^ both non-empty
+//              => min_start <= P.max_end ^ max_start >= P.min_end
+//                 ^ max_end > P.min_end
+//   kContains  exact: s_e <= t ^ t < e_e  (t = P.min_start)
+//              => min_start <= t ^ max_end > t
+//
+// The min_start conditions are prefixes of the sorted entry list (binary
+// search / early break); kAfter's max_start condition is a suffix of the
+// secondary by_max_start_ order.
+void IntervalIndex::CandidatesInto(IntervalProbeOp op,
+                                   const IntervalBounds& probe,
+                                   std::vector<size_t>* out) const {
+  out->clear();
+  switch (op) {
+    case IntervalProbeOp::kOverlaps: {
+      auto end_it = std::lower_bound(
+          entries_.begin(), entries_.end(), probe.max_end,
+          [](const Entry& e, TimePoint v) { return e.min_start < v; });
+      for (auto it = entries_.begin(); it != end_it; ++it) {
+        if (it->max_end > probe.min_start) out->push_back(it->tuple_index);
+      }
+      return;
+    }
+    case IntervalProbeOp::kBefore: {
+      for (const Entry& e : entries_) {
+        if (e.min_start > probe.max_start) break;  // sorted by min_start
+        if (e.min_end <= probe.max_start) out->push_back(e.tuple_index);
+      }
+      return;
+    }
+    case IntervalProbeOp::kAfter: {
+      auto begin_it = std::lower_bound(
+          by_max_start_.begin(), by_max_start_.end(), probe.min_end,
+          [this](uint32_t pos, TimePoint v) {
+            return entries_[pos].max_start < v;
+          });
+      for (auto it = begin_it; it != by_max_start_.end(); ++it) {
+        const Entry& e = entries_[*it];
+        if (e.max_end > probe.min_end) out->push_back(e.tuple_index);
+      }
+      return;
+    }
+    case IntervalProbeOp::kMeets: {
+      for (const Entry& e : entries_) {
+        if (e.min_start >= probe.max_start) break;
+        if (e.min_end <= probe.max_start && e.max_end >= probe.min_start) {
+          out->push_back(e.tuple_index);
+        }
+      }
+      return;
+    }
+    case IntervalProbeOp::kMetBy: {
+      for (const Entry& e : entries_) {
+        if (e.min_start > probe.max_end) break;
+        if (e.max_start >= probe.min_end && e.max_end > probe.min_end) {
+          out->push_back(e.tuple_index);
+        }
+      }
+      return;
+    }
+    case IntervalProbeOp::kContains: {
+      const TimePoint t = probe.min_start;
+      for (const Entry& e : entries_) {
+        if (e.min_start > t) break;
+        if (e.max_end > t) out->push_back(e.tuple_index);
+      }
+      return;
+    }
+  }
 }
 
 std::vector<size_t> IntervalIndex::OverlapCandidates(
     const FixedInterval& probe) const {
-  // Overlap at some rt requires the interval to be able to start before
-  // the probe ends (min_start < probe.end) and to be able to end after
-  // the probe starts (max_end > probe.start). The first condition is a
-  // prefix of the min_start-sorted list found by binary search.
   std::vector<size_t> candidates;
-  auto end_it = std::lower_bound(
-      entries_.begin(), entries_.end(), probe.end,
-      [](const Entry& e, TimePoint v) { return e.min_start < v; });
-  for (auto it = entries_.begin(); it != end_it; ++it) {
-    if (it->max_end > probe.start) candidates.push_back(it->tuple_index);
-  }
+  CandidatesInto(IntervalProbeOp::kOverlaps, IntervalBounds::Of(probe),
+                 &candidates);
   return candidates;
 }
 
 std::vector<size_t> IntervalIndex::BeforeCandidates(
     const FixedInterval& probe) const {
-  // Before at some rt requires the interval to be able to end no later
-  // than the probe's start: min_end <= probe.start. The sweep stop bound
-  // matches that condition: entries with min_start == probe.start can
-  // still satisfy it (degenerate candidates with min_start == min_end ==
-  // probe.start), so the sorted sweep only breaks once min_start exceeds
-  // the probe's start.
   std::vector<size_t> candidates;
-  for (const Entry& e : entries_) {
-    if (e.min_start > probe.start) break;  // sorted by min_start
-    if (e.min_end <= probe.start) candidates.push_back(e.tuple_index);
-  }
+  CandidatesInto(IntervalProbeOp::kBefore, IntervalBounds::Of(probe),
+                 &candidates);
   return candidates;
 }
 

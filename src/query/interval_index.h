@@ -6,22 +6,24 @@
 //   max_end   = end.b    (the latest it can ever end)
 //
 // For a fixed probe interval [ts, te), any tuple whose ongoing interval
-// can overlap/precede/follow the probe at *some* reference time must
+// can overlap/precede/follow/meet the probe at *some* reference time must
 // satisfy simple bound conditions (e.g. overlap requires min_start < te
 // and ts < max_end). The index answers these with binary searches over
 // sorted bound lists and returns a candidate set; the exact ongoing
 // predicate is then evaluated only on the candidates.
 //
 // The execution engine promotes this into the batched pipeline: eligible
-// Filter(Scan) plans lower to an IndexScanOp (query/physical.h) that
-// streams the candidate list and applies the exact predicate as a
-// residual — see docs/DESIGN.md, "Index access path".
+// Filter(Scan) plans lower to an IndexScanOp and eligible temporal join
+// conjuncts to an IndexJoinOp (query/physical.h) that probes the index
+// once per outer tuple; both apply the exact predicate as a residual —
+// see docs/DESIGN.md, "Index access path".
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/interval_bounds.h"
 #include "relation/relation.h"
 #include "util/result.h"
 
@@ -36,6 +38,17 @@ class IntervalIndex {
   /// the schema (a bitemporal relation has several interval attributes).
   static Result<IntervalIndex> Build(const OngoingRelation& r,
                                      const std::string& column);
+
+  /// The probe dispatch: appends to *out (cleared first) the indices of
+  /// every tuple that could satisfy `op` against a probe interval with
+  /// the given conservative bounds at *some* reference time — a superset
+  /// of the exact answer for every probe instantiation inside `probe`'s
+  /// bounds. The destination is reused across calls (the zero-allocation
+  /// contract the index-nested-loop join's per-outer-tuple probing
+  /// relies on): steady state performs no heap allocation once *out has
+  /// grown to the largest candidate set.
+  void CandidatesInto(IntervalProbeOp op, const IntervalBounds& probe,
+                      std::vector<size_t>* out) const;
 
   /// Tuple indices whose interval could overlap [ts, te) at some
   /// reference time (superset of the exact answer).
@@ -87,6 +100,10 @@ class IntervalIndex {
   // Entries sorted by min_start; by_min_start_[k] holds the k-th
   // smallest.
   std::vector<Entry> entries_;
+  // Secondary order for the suffix probes (kAfter): positions into
+  // entries_, sorted ascending by max_start. Entries whose start can
+  // reach past a probe's end form a binary-searched suffix here.
+  std::vector<uint32_t> by_max_start_;
   size_t column_index_ = 0;
   uint64_t fingerprint_ = 0;
 };

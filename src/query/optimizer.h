@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "core/interval_bounds.h"
 #include "query/physical.h"
 #include "query/plan.h"
 #include "util/result.h"
@@ -34,18 +35,20 @@ Result<PlanPtr> PushDownFilters(const PlanPtr& plan);
 
 /// A recognized index-eligible temporal selection: Filter(Scan) whose
 /// predicate has a top-level conjunct `col op probe` with op in
-/// {overlaps, before}, `col` an interval attribute of the scanned
-/// relation, and `probe` a literal with fixed endpoint bounds (a fixed
-/// interval, or an ongoing interval literal that instantiates
-/// identically at every reference time). For the symmetric overlaps,
-/// `probe op col` also matches. The full predicate remains the residual:
-/// the index only prunes candidates, it never decides membership.
+/// {overlaps, before, meets} or `col CONTAINS point`, `col` an interval
+/// attribute of the scanned relation, and `probe` a literal with fixed
+/// endpoint bounds (a fixed interval / time point, or an ongoing
+/// literal that instantiates identically at every reference time).
+/// `probe op col` also matches — for the symmetric overlaps directly,
+/// for before/meets by flipping to the kAfter/kMetBy probe. The full
+/// predicate remains the residual: the index only prunes candidates, it
+/// never decides membership.
 struct IndexScanInfo {
   const OngoingRelation* relation;  ///< the scanned base relation
   std::string column;               ///< indexed attribute name
   size_t column_index;              ///< resolved ordinal on the relation
-  AllenOp op;                       ///< kOverlaps or kBefore
-  FixedInterval probe;              ///< the fixed probe interval
+  IntervalProbeOp op;               ///< probe op, indexed side's view
+  IntervalBounds probe;             ///< the fixed probe bounds
 };
 
 /// Matches `filter` against the eligibility rules above; nullopt when
@@ -53,11 +56,41 @@ struct IndexScanInfo {
 /// parallel lowerings (query/physical.cc), so they cannot disagree.
 std::optional<IndexScanInfo> MatchIndexScan(const FilterNode& filter);
 
+/// A recognized index-eligible temporal join conjunct: the join
+/// predicate has a top-level conjunct `outer.col op inner.col` (either
+/// orientation) with op in {overlaps, before, meets}, the inner (right)
+/// input a bare base-relation Scan, and both columns interval
+/// attributes. IndexJoinOp (query/physical.cc) builds an IntervalIndex
+/// on the inner column and probes it with each outer tuple's
+/// conservative interval bounds; the full join predicate remains the
+/// residual.
+struct IndexJoinInfo {
+  const OngoingRelation* inner;   ///< the inner side's base relation
+  std::string inner_column;       ///< indexed attribute name on `inner`
+  size_t inner_column_index;      ///< resolved ordinal on `inner`
+  size_t outer_column_index;      ///< ordinal on the outer input schema
+  IntervalProbeOp op;             ///< probe op, inner (indexed) side's view
+};
+
+/// Matches `node` against the index-join eligibility rules above, given
+/// the join inputs' (mode-specific) schemas; nullopt when no conjunct
+/// qualifies. Shared by the kAuto cost gate, the serial lowering, and
+/// the parallel lowering, so they cannot disagree.
+std::optional<IndexJoinInfo> MatchIndexJoin(const JoinNode& node,
+                                            const Schema& left_schema,
+                                            const Schema& right_schema);
+
 /// The algorithm JoinAlgorithm::kAuto resolves to, given the join
-/// inputs' schemas: kHash when the predicate yields fixed equality
-/// conjuncts, kNestedLoop otherwise. Shared by the plan rewriter below
-/// and the physical lowering (query/physical.h, Compile), so the two
-/// can never disagree.
+/// inputs' schemas. Without an index-eligible temporal conjunct the
+/// historical rule applies: kHash when the predicate yields fixed
+/// equality conjuncts, kNestedLoop otherwise. When MatchIndexJoin
+/// recognizes a conjunct (and the inner side is large enough to
+/// amortize an index build), the choice is cost-based: interval
+/// histograms (storage/stats.h) estimate the probe selectivity, and the
+/// cheapest of index-NL / hash / scan-NL wins. Shared by the plan
+/// rewriter below and the physical lowering (query/physical.h,
+/// Compile), so the two can never disagree; the estimate is
+/// deterministic (stride sampling, no RNG).
 Result<JoinAlgorithm> ResolveAutoJoinAlgorithm(const JoinNode& node,
                                                const Schema& left_schema,
                                                const Schema& right_schema);

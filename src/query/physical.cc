@@ -13,6 +13,7 @@
 #include "query/interval_index.h"
 #include "query/join.h"
 #include "query/optimizer.h"
+#include "storage/stats.h"
 #include "util/thread_pool.h"
 
 namespace ongoingdb {
@@ -413,9 +414,7 @@ struct IndexScanState {
       ONGOINGDB_ASSIGN_OR_RETURN(
           IntervalIndex built,
           IntervalIndex::Build(*info.relation, info.column));
-      candidates = info.op == AllenOp::kOverlaps
-                       ? built.OverlapCandidates(info.probe)
-                       : built.BeforeCandidates(info.probe);
+      built.CandidatesInto(info.op, info.probe, &candidates);
       index = std::move(built);
     }
     validated_generation = generation;
@@ -515,8 +514,9 @@ Result<std::optional<IndexScanInfo>> ResolveFilterAccessPath(
   if (node.access_path() != AccessPath::kFullScan) info = MatchIndexScan(node);
   if (node.access_path() == AccessPath::kIndex && !info.has_value()) {
     return Status::InvalidArgument(
-        "AccessPath::kIndex requires Filter(Scan) with an overlaps/before "
-        "conjunct on an interval attribute against a fixed probe interval");
+        "AccessPath::kIndex requires Filter(Scan) with an "
+        "overlaps/before/meets conjunct on an interval attribute against a "
+        "fixed probe interval, or a CONTAINS against a fixed time point");
   }
   return info;
 }
@@ -674,6 +674,170 @@ class NestedLoopJoinOp final : public PhysicalOperator {
   TupleStream outer_;
   size_t inner_pos_ = 0;
 };
+
+// The inner-side index behind one lowered index-nested-loop join,
+// shared by every IndexJoinOp instance of that join (one per partition
+// pipeline in a parallel plan — the inner index is shared immutably,
+// unlike the nested-loop lowering's per-partition inner copies; a
+// MaterializedView's cached operator tree keeps it alive across
+// Refresh() calls). Ensure() is the same build-or-reuse decision as
+// IndexScanState's: fingerprint the indexed column per drain round,
+// rebuild only on change.
+struct IndexJoinState {
+  IndexJoinInfo info;
+  std::mutex mu;
+  std::optional<IntervalIndex> index;
+  uint64_t validated_generation = 0;
+
+  Status Ensure(uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (generation != 0 && generation == validated_generation) {
+      return Status::OK();
+    }
+    ONGOINGDB_ASSIGN_OR_RETURN(
+        uint64_t fp, IntervalIndex::ColumnFingerprint(
+                         *info.inner, info.inner_column_index));
+    if (!index.has_value() || index->fingerprint() != fp) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          IntervalIndex built,
+          IntervalIndex::Build(*info.inner, info.inner_column));
+      index = std::move(built);
+    }
+    validated_generation = generation;
+    return Status::OK();
+  }
+};
+
+// Index-nested-loop join: streams the outer (left) input and, per outer
+// tuple, probes the shared IntervalIndex on the inner base relation
+// with the tuple's conservative interval bounds instead of scanning the
+// whole inner side. The candidate list is a superset of the matching
+// inner tuples at every reference time (hence also of the Clifford
+// answer at the one probed rt), and the *full* join predicate is the
+// emitter's residual — so the result equals the nested-loop lowering in
+// both execution modes by construction. Candidates are fetched through
+// the zero-allocation CandidatesInto reuse API: steady state performs
+// no per-probe heap allocation. In a parallel plan the outer side is
+// morsel-split (the compiled outer is an exchange scan subtree) while
+// all partition instances share one immutable inner index.
+class IndexJoinOp final : public PhysicalOperator {
+ public:
+  IndexJoinOp(PhysicalOpPtr outer, std::shared_ptr<IndexJoinState> state,
+              Schema joined, ExprPtr predicate, ExecMode mode, TimePoint rt,
+              std::shared_ptr<ExchangeState> exchange)
+      : PhysicalOperator(std::move(joined)),
+        outer_(std::move(outer)),
+        state_(std::move(state)),
+        mode_(mode),
+        rt_(rt),
+        exchange_(std::move(exchange)),
+        emitter_(schema(), std::move(predicate), mode, rt) {}
+
+  const char* Name() const override { return "IndexJoin"; }
+
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(
+        state_->Ensure(exchange_ != nullptr ? exchange_->generation() : 0));
+    ONGOINGDB_RETURN_NOT_OK(outer_stream_.Open(outer_.get()));
+    cands_valid_ = false;
+    cand_pos_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    const std::vector<Tuple>& inner = state_->info.inner->tuples();
+    while (true) {
+      ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* lt, outer_stream_.Current());
+      if (lt == nullptr) return Status::OK();
+      if (!cands_valid_) {
+        state_->index->CandidatesInto(
+            state_->info.op,
+            IntervalBoundsOfValue(
+                lt->value(state_->info.outer_column_index)),
+            &cands_);
+        cand_pos_ = 0;
+        cands_valid_ = true;
+      }
+      while (cand_pos_ < cands_.size()) {
+        const Tuple* st = &inner[cands_[cand_pos_++]];
+        if (mode_ == ExecMode::kAtReferenceTime) {
+          // The inner side bypasses a scan operator, so the bind
+          // operator ||R||rt applies here: drop tuples absent at rt and
+          // instantiate the rest (into a reused scratch tuple).
+          if (!st->BelongsAt(rt_)) continue;
+          std::vector<Value>& values = inner_scratch_.mutable_values();
+          values.clear();
+          values.reserve(st->num_values());
+          for (const Value& v : st->values()) {
+            values.push_back(v.Instantiate(rt_));
+          }
+          inner_scratch_.mutable_rt() = all_;
+          st = &inner_scratch_;
+        }
+        ONGOINGDB_RETURN_NOT_OK(emitter_.Emit(*lt, *st, out));
+        if (out->full()) return Status::OK();
+      }
+      outer_stream_.Advance();
+      cands_valid_ = false;
+    }
+  }
+
+  void Close() override { outer_stream_.Close(); }
+
+ private:
+  PhysicalOpPtr outer_;
+  std::shared_ptr<IndexJoinState> state_;
+  ExecMode mode_;
+  TimePoint rt_;
+  std::shared_ptr<ExchangeState> exchange_;
+  BatchJoinEmitter emitter_;
+  const IntervalSet all_ = IntervalSet::All();
+  // Probe state: the outer stream position plus the suspended candidate
+  // cursor; cands_ is reused across probes (CandidatesInto contract).
+  TupleStream outer_stream_;
+  std::vector<size_t> cands_;
+  size_t cand_pos_ = 0;
+  bool cands_valid_ = false;
+  Tuple inner_scratch_;
+};
+
+// The join lowering decision shared by the serial and parallel
+// compilers: the concrete algorithm a node compiles to under `mode`.
+// kAuto resolves cost-based via ResolveAutoJoinAlgorithm (histograms +
+// MatchIndexJoin); a forced algorithm passes through unchanged.
+Result<JoinAlgorithm> ResolveJoinAlgorithm(const JoinNode& node,
+                                           ExecMode mode) {
+  if (node.algorithm() != JoinAlgorithm::kAuto) return node.algorithm();
+  ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema, OutputSchema(node.left()));
+  ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(node.right()));
+  if (mode == ExecMode::kAtReferenceTime) {
+    left_schema = left_schema.Instantiated();
+    right_schema = right_schema.Instantiated();
+  }
+  return ResolveAutoJoinAlgorithm(node, left_schema, right_schema);
+}
+
+// The matched index-join conjunct for a node that lowers to kIndexNL.
+// Forcing kIndexNL on an ineligible join is a compile error, not a
+// silent fallback — mirroring AccessPath::kIndex.
+Result<IndexJoinInfo> ResolveIndexJoin(const JoinNode& node, ExecMode mode) {
+  ONGOINGDB_ASSIGN_OR_RETURN(Schema left_schema, OutputSchema(node.left()));
+  ONGOINGDB_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(node.right()));
+  if (mode == ExecMode::kAtReferenceTime) {
+    left_schema = left_schema.Instantiated();
+    right_schema = right_schema.Instantiated();
+  }
+  std::optional<IndexJoinInfo> match =
+      MatchIndexJoin(node, left_schema, right_schema);
+  if (!match.has_value()) {
+    return Status::InvalidArgument(
+        "JoinAlgorithm::kIndexNL requires an overlaps/before/meets conjunct "
+        "between interval columns of the two inputs, with the inner (right) "
+        "input a base-relation scan");
+  }
+  return *match;
+}
 
 // Sort-merge join: both inputs materialized and index-sorted by typed
 // key at Open (the log-linear component); equal-key group cross products
@@ -1096,6 +1260,12 @@ struct PartitionCompileState {
   std::unordered_map<const PlanNode*, ExchangeState::MorselCursor*> cursors;
   std::unordered_map<const PlanNode*, std::shared_ptr<IndexScanState>>
       index_states;
+  std::unordered_map<const PlanNode*, std::shared_ptr<IndexJoinState>>
+      index_join_states;
+  // Memoized kAuto resolutions: the cost gate samples histograms and
+  // key pairs, which is deterministic but not free — one resolution per
+  // join node per compilation, not one per partition pipeline.
+  std::unordered_map<const PlanNode*, JoinAlgorithm> join_algorithms;
   size_t morsel_size = 1;
   size_t num_partitions = 1;
 
@@ -1114,6 +1284,19 @@ struct PartitionCompileState {
     auto [it, inserted] = index_states.try_emplace(node, nullptr);
     if (inserted) {
       it->second = std::make_shared<IndexScanState>();
+      it->second->info = info;
+    }
+    return it->second;
+  }
+
+  // One IndexJoinState per lowered index-NL join node: the inner index
+  // is built once and shared immutably across all partition pipelines
+  // (the outer side is what the morsel cursors split).
+  std::shared_ptr<IndexJoinState> IndexJoinStateFor(
+      const PlanNode* node, const IndexJoinInfo& info) {
+    auto [it, inserted] = index_join_states.try_emplace(node, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<IndexJoinState>();
       it->second->info = info;
     }
     return it->second;
@@ -1185,14 +1368,48 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
         left_schema = left_schema.Instantiated();
         right_schema = right_schema.Instantiated();
       }
+      JoinAlgorithm algorithm;
+      if (auto it = state->join_algorithms.find(plan.get());
+          it != state->join_algorithms.end()) {
+        algorithm = it->second;
+      } else {
+        ONGOINGDB_ASSIGN_OR_RETURN(algorithm,
+                                   ResolveJoinAlgorithm(*node, mode));
+        state->join_algorithms.emplace(plan.get(), algorithm);
+      }
+      if (algorithm == JoinAlgorithm::kIndexNL) {
+        // Index-NL: morsel-split the streaming outer side (like the
+        // nested-loop lowering) but share ONE immutable inner index
+        // across all partition pipelines — no per-partition inner copy.
+        // The eligibility match is memoized with the shared state.
+        auto it = state->index_join_states.find(plan.get());
+        if (it == state->index_join_states.end()) {
+          ONGOINGDB_ASSIGN_OR_RETURN(IndexJoinInfo info,
+                                     ResolveIndexJoin(*node, mode));
+          state->IndexJoinStateFor(plan.get(), info);
+          it = state->index_join_states.find(plan.get());
+        }
+        std::shared_ptr<IndexJoinState> join_state = it->second;
+        ONGOINGDB_ASSIGN_OR_RETURN(
+            PhysicalOpPtr outer,
+            CompileForPartition(node->left(), mode, rt, partition, state));
+        Schema inner_schema = mode == ExecMode::kOngoing
+                                  ? join_state->info.inner->schema()
+                                  : join_state->info.inner->schema()
+                                        .Instantiated();
+        Schema joined = outer->schema().Concat(
+            inner_schema, node->left_prefix(), node->right_prefix());
+        return PhysicalOpPtr(std::make_unique<IndexJoinOp>(
+            std::move(outer), std::move(join_state), std::move(joined),
+            node->predicate(), mode, rt, state->exchange));
+      }
       ONGOINGDB_ASSIGN_OR_RETURN(
           EquiJoinPlan join_plan,
           PrepareEquiJoin(left_schema, right_schema, node->predicate(),
                           node->left_prefix(), node->right_prefix()));
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
                                  Compile(node->right(), mode, rt));
-      if (!join_plan.has_keys ||
-          node->algorithm() == JoinAlgorithm::kNestedLoop) {
+      if (!join_plan.has_keys || algorithm == JoinAlgorithm::kNestedLoop) {
         // Nested-loop: morsel-partition the streaming outer side and
         // replicate the materialized inner side (borrowed outright when
         // it is a base relation; otherwise each partition materializes
@@ -1217,7 +1434,7 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
       PhysicalOpPtr part_right = std::make_unique<RepartitionOp>(
           std::move(right), std::move(right_indices), partition,
           state->num_partitions);
-      if (node->algorithm() == JoinAlgorithm::kSortMerge) {
+      if (algorithm == JoinAlgorithm::kSortMerge) {
         return PhysicalOpPtr(std::make_unique<SortMergeJoinOp>(
             std::move(part_left), std::move(part_right), std::move(join_plan),
             mode, rt));
@@ -1255,8 +1472,15 @@ Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
       EquiJoinPlan plan,
       PrepareEquiJoin(left->schema(), right->schema(), predicate, left_prefix,
                       right_prefix));
-  // plan.has_keys is ResolveAutoJoinAlgorithm's rule — both derive from
-  // PrepareEquiJoin, so the plan rewriter and this lowering agree.
+  if (algorithm == JoinAlgorithm::kIndexNL) {
+    return Status::InvalidArgument(
+        "JoinAlgorithm::kIndexNL lowers at plan level only (the inner side "
+        "must be a base-relation scan the IntervalIndex can be built on); "
+        "compile the JoinNode via Compile() instead of MakeJoinOp");
+  }
+  // plan.has_keys is ResolveAutoJoinAlgorithm's keyless rule — both
+  // derive from PrepareEquiJoin, so the plan rewriter and this lowering
+  // agree.
   if (!plan.has_keys || algorithm == JoinAlgorithm::kNestedLoop) {
     return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
         std::move(left), std::move(right), std::move(plan.joined),
@@ -1308,11 +1532,29 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
     }
     case PlanKind::kJoin: {
       const auto* node = static_cast<const JoinNode*>(plan.get());
+      ONGOINGDB_ASSIGN_OR_RETURN(JoinAlgorithm algorithm,
+                                 ResolveJoinAlgorithm(*node, mode));
+      if (algorithm == JoinAlgorithm::kIndexNL) {
+        ONGOINGDB_ASSIGN_OR_RETURN(IndexJoinInfo info,
+                                   ResolveIndexJoin(*node, mode));
+        auto state = std::make_shared<IndexJoinState>();
+        state->info = info;
+        ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr outer,
+                                   Compile(node->left(), mode, rt));
+        Schema inner_schema = mode == ExecMode::kOngoing
+                                  ? info.inner->schema()
+                                  : info.inner->schema().Instantiated();
+        Schema joined = outer->schema().Concat(
+            inner_schema, node->left_prefix(), node->right_prefix());
+        return PhysicalOpPtr(std::make_unique<IndexJoinOp>(
+            std::move(outer), std::move(state), std::move(joined),
+            node->predicate(), mode, rt, /*exchange=*/nullptr));
+      }
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr left,
                                  Compile(node->left(), mode, rt));
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
                                  Compile(node->right(), mode, rt));
-      return MakeJoinOp(node->algorithm(), std::move(left), std::move(right),
+      return MakeJoinOp(algorithm, std::move(left), std::move(right),
                         node->predicate(), node->left_prefix(),
                         node->right_prefix(), mode, rt);
     }

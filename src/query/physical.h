@@ -87,16 +87,18 @@ class PhysicalOperator {
 using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
 
 /// Lowers a logical plan into a physical operator tree. Absorbs the
-/// optimizer's join-algorithm choice: JoinAlgorithm::kAuto resolves to
-/// hash when fixed equality conjuncts exist on the (mode-specific) input
-/// schemas and to nested-loop otherwise — the same rule as
+/// optimizer's join-algorithm choice: JoinAlgorithm::kAuto resolves via
+/// ResolveAutoJoinAlgorithm (query/optimizer.h) — cost-based between
+/// index-nested-loop, hash and scan-nested-loop when an index-eligible
+/// temporal conjunct exists (MatchIndexJoin + interval histograms),
+/// hash/nested-loop by the key rule otherwise — the same rule as
 /// ChooseJoinAlgorithms. Likewise absorbs the filter access-path choice:
 /// an AccessPath::kAuto Filter(Scan) whose predicate is an eligible
 /// temporal selection (MatchIndexScan, query/optimizer.h) lowers to an
 /// IndexScanOp that streams an IntervalIndex's candidate list and
-/// evaluates the exact predicate as a residual; AccessPath::kIndex on an
-/// ineligible plan is a compile error. `rt` is only meaningful for
-/// kAtReferenceTime.
+/// evaluates the exact predicate as a residual. Forcing an ineligible
+/// path (AccessPath::kIndex, JoinAlgorithm::kIndexNL) is a compile
+/// error. `rt` is only meaningful for kAtReferenceTime.
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
                               TimePoint rt = 0);
 

@@ -40,6 +40,7 @@ std::string JoinNode::ToString(int indent) const {
     case JoinAlgorithm::kNestedLoop: algo = "nested-loop"; break;
     case JoinAlgorithm::kHash: algo = "hash"; break;
     case JoinAlgorithm::kSortMerge: algo = "sort-merge"; break;
+    case JoinAlgorithm::kIndexNL: algo = "index-nl"; break;
   }
   return Indent(indent) + "Join[" + algo + "] " + predicate_->ToString() +
          "\n" + left_->ToString(indent + 1) + "\n" +

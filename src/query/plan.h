@@ -17,10 +17,16 @@ using PlanPtr = std::shared_ptr<const PlanNode>;
 
 /// Physical join algorithm selection.
 enum class JoinAlgorithm {
-  kAuto,        ///< let the optimizer pick
+  kAuto,        ///< let the optimizer pick (cost-based once an
+                ///< index-eligible temporal conjunct exists; see
+                ///< ResolveAutoJoinAlgorithm in query/optimizer.h)
   kNestedLoop,  ///< generic theta join
   kHash,        ///< linear-time build/probe on fixed equality conjuncts
   kSortMerge,   ///< log-linear sort on fixed equality conjuncts
+  kIndexNL,     ///< index-nested-loop: probe an IntervalIndex on the
+                ///< inner (right) base relation with each outer tuple's
+                ///< interval bounds; Compile fails if no eligible
+                ///< overlaps/before/meets conjunct exists
 };
 
 /// Physical access-path selection for a Filter directly over a Scan.

@@ -1,10 +1,12 @@
 // Equivalence tests for the pull-based batched executor
-// (query/physical.h) against a reference evaluator built from the
-// independently tested relational algebra primitives: randomized plans
-// across all three join algorithms and both execution modes, the
+// (query/physical.h) against the shared randomized plan-generator
+// harness (tests/testing/plan_fuzz.h): randomized plans across all
+// three forced join algorithms and both execution modes, the
 // batch-boundary edge cases (results of exactly 0, 1, capacity and
-// capacity + 1 tuples), re-open semantics, and the allocation bounds of
-// batched join emission (this test links the counting allocator).
+// capacity + 1 tuples), re-open semantics, the parallel workers-1/2/4
+// sweep, and the allocation bounds of batched join emission (this test
+// links the counting allocator). Failures print their fuzz seed;
+// replay with ONGOINGDB_TEST_SEED=<seed>.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -19,301 +21,23 @@
 #include "query/optimizer.h"
 #include "query/physical.h"
 #include "relation/algebra.h"
+#include "testing/plan_fuzz.h"
 #include "util/alloc_counter.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
 namespace {
 
-// --- reference evaluator ----------------------------------------------------
-// Materializes every node with the algebra's nested-loop primitives and
-// evaluates predicates unsplit — a deliberately different code path from
-// the batched operators (no split, no keys, no batches).
-
-std::vector<Value> ConcatValues(const Tuple& r, const Tuple& s) {
-  std::vector<Value> values;
-  values.reserve(r.num_values() + s.num_values());
-  for (const Value& v : r.values()) values.push_back(v);
-  for (const Value& v : s.values()) values.push_back(v);
-  return values;
-}
-
-Result<OngoingRelation> ReferenceExecute(const PlanPtr& plan) {
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-      return static_cast<const ScanNode*>(plan.get())->relation();
-    case PlanKind::kFilter: {
-      const auto* node = static_cast<const FilterNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation in,
-                                 ReferenceExecute(node->child()));
-      OngoingRelation out(in.schema());
-      for (const Tuple& t : in.tuples()) {
-        ONGOINGDB_ASSIGN_OR_RETURN(
-            OngoingBoolean b, node->predicate()->EvalPredicate(in.schema(), t));
-        IntervalSet rt = t.rt().Intersect(b.st());
-        if (!rt.IsEmpty()) out.AppendUnchecked(Tuple(t.values(), std::move(rt)));
-      }
-      return out;
-    }
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation in,
-                                 ReferenceExecute(node->child()));
-      return Project(in, node->names());
-    }
-    case PlanKind::kJoin: {
-      const auto* node = static_cast<const JoinNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation left,
-                                 ReferenceExecute(node->left()));
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation right,
-                                 ReferenceExecute(node->right()));
-      Schema joined = left.schema().Concat(right.schema(), node->left_prefix(),
-                                           node->right_prefix());
-      OngoingRelation out(joined);
-      for (const Tuple& lt : left.tuples()) {
-        for (const Tuple& st : right.tuples()) {
-          Tuple c(ConcatValues(lt, st), lt.rt().Intersect(st.rt()));
-          if (c.rt().IsEmpty()) continue;
-          ONGOINGDB_ASSIGN_OR_RETURN(
-              OngoingBoolean b, node->predicate()->EvalPredicate(joined, c));
-          IntervalSet rt = c.rt().Intersect(b.st());
-          if (rt.IsEmpty()) continue;
-          out.AppendUnchecked(Tuple(c.values(), std::move(rt)));
-        }
-      }
-      return out;
-    }
-  }
-  return Status::Internal("unknown plan kind");
-}
-
-Result<OngoingRelation> ReferenceExecuteAt(const PlanPtr& plan, TimePoint rt) {
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-      return InstantiateRelation(
-          static_cast<const ScanNode*>(plan.get())->relation(), rt);
-    case PlanKind::kFilter: {
-      const auto* node = static_cast<const FilterNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation in,
-                                 ReferenceExecuteAt(node->child(), rt));
-      OngoingRelation out(in.schema());
-      for (const Tuple& t : in.tuples()) {
-        ONGOINGDB_ASSIGN_OR_RETURN(
-            bool keep, node->predicate()->EvalPredicateFixed(in.schema(), t, rt));
-        if (keep) out.AppendUnchecked(t);
-      }
-      return out;
-    }
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation in,
-                                 ReferenceExecuteAt(node->child(), rt));
-      return Project(in, node->names());
-    }
-    case PlanKind::kJoin: {
-      const auto* node = static_cast<const JoinNode*>(plan.get());
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation left,
-                                 ReferenceExecuteAt(node->left(), rt));
-      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation right,
-                                 ReferenceExecuteAt(node->right(), rt));
-      Schema joined = left.schema().Concat(right.schema(), node->left_prefix(),
-                                           node->right_prefix());
-      OngoingRelation out(joined);
-      for (const Tuple& lt : left.tuples()) {
-        for (const Tuple& st : right.tuples()) {
-          Tuple c(ConcatValues(lt, st));
-          ONGOINGDB_ASSIGN_OR_RETURN(
-              bool keep, node->predicate()->EvalPredicateFixed(joined, c, rt));
-          if (keep) out.AppendUnchecked(std::move(c));
-        }
-      }
-      return out;
-    }
-  }
-  return Status::Internal("unknown plan kind");
-}
-
-// Tuple multiset incl. RT: interval sets are normalized, so equal sets
-// render identically.
-std::multiset<std::string> Fingerprint(const OngoingRelation& r) {
-  std::multiset<std::string> rows;
-  for (const Tuple& t : r.tuples()) rows.insert(t.ToString());
-  return rows;
-}
-
-// --- randomized plan generator ----------------------------------------------
-// Base relations carry globally unique attribute names, so concatenated
-// schemas never qualify and generated predicates stay resolvable at any
-// plan depth.
-
-const std::vector<std::string>& StringPool() {
-  static const std::vector<std::string> pool = {
-      "component-spam-filter", "component-crash-reporter",
-      "component-preferences", "component-bookmarks"};
-  return pool;
-}
-
-OngoingRelation MakeBase(Rng& rng, const std::string& prefix, size_t n) {
-  OngoingRelation r(Schema({{prefix + "ID", ValueType::kInt64},
-                            {prefix + "K", ValueType::kInt64},
-                            {prefix + "S", ValueType::kString},
-                            {prefix + "VT", ValueType::kOngoingInterval}}));
-  for (size_t i = 0; i < n; ++i) {
-    OngoingInterval vt;
-    if (rng.Bernoulli(0.3)) {
-      vt = OngoingInterval::SinceUntilNow(rng.Uniform(0, 100));
-    } else if (rng.Bernoulli(0.2)) {
-      vt = OngoingInterval::FromNowUntil(rng.Uniform(0, 100));
-    } else {
-      TimePoint s = rng.Uniform(0, 100);
-      vt = OngoingInterval::Fixed(s, s + rng.Uniform(1, 40));
-    }
-    EXPECT_TRUE(
-        r.Insert({Value::Int64(static_cast<int64_t>(i)),
-                  Value::Int64(rng.Uniform(0, 4)),
-                  Value::String(StringPool()[static_cast<size_t>(
-                      rng.Uniform(0, 3))]),
-                  Value::Ongoing(vt)})
-            .ok());
-  }
-  return r;
-}
-
-std::vector<std::string> NamesOfType(const Schema& schema, ValueType type) {
-  std::vector<std::string> names;
-  for (const Attribute& a : schema.attributes()) {
-    if (a.type == type) names.push_back(a.name);
-  }
-  return names;
-}
-
-template <typename T>
-const T& PickOne(Rng& rng, const std::vector<T>& pool) {
-  return pool[static_cast<size_t>(
-      rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
-}
-
-ExprPtr RandomFilterPredicate(Rng& rng, const Schema& schema) {
-  std::vector<ExprPtr> conjuncts;
-  auto ints = NamesOfType(schema, ValueType::kInt64);
-  auto strs = NamesOfType(schema, ValueType::kString);
-  auto vts = NamesOfType(schema, ValueType::kOngoingInterval);
-  if (!ints.empty() && rng.Bernoulli(0.7)) {
-    conjuncts.push_back(
-        Lt(Col(PickOne(rng, ints)), Lit(rng.Uniform(0, 12))));
-  }
-  if (!strs.empty() && rng.Bernoulli(0.3)) {
-    conjuncts.push_back(Eq(Col(PickOne(rng, strs)),
-                           Lit(Value::String(PickOne(rng, StringPool())))));
-  }
-  if (!vts.empty() && rng.Bernoulli(0.6)) {
-    TimePoint s = rng.Uniform(0, 90);
-    conjuncts.push_back(
-        OverlapsExpr(Col(PickOne(rng, vts)),
-                     Lit(OngoingInterval::Fixed(s, s + rng.Uniform(5, 40)))));
-  }
-  if (conjuncts.empty()) {
-    conjuncts.push_back(Lt(Lit(int64_t{0}), Lit(int64_t{1})));
-  }
-  return AndAll(conjuncts);
-}
-
-ExprPtr RandomJoinPredicate(Rng& rng, const Schema& left,
-                            const Schema& right) {
-  std::vector<ExprPtr> conjuncts;
-  auto lints = NamesOfType(left, ValueType::kInt64);
-  auto rints = NamesOfType(right, ValueType::kInt64);
-  auto lstrs = NamesOfType(left, ValueType::kString);
-  auto rstrs = NamesOfType(right, ValueType::kString);
-  auto lvts = NamesOfType(left, ValueType::kOngoingInterval);
-  auto rvts = NamesOfType(right, ValueType::kOngoingInterval);
-  if (!lints.empty() && !rints.empty() && rng.Bernoulli(0.8)) {
-    conjuncts.push_back(
-        Eq(Col(PickOne(rng, lints)), Col(PickOne(rng, rints))));
-  }
-  if (!lstrs.empty() && !rstrs.empty() && rng.Bernoulli(0.3)) {
-    conjuncts.push_back(
-        Eq(Col(PickOne(rng, lstrs)), Col(PickOne(rng, rstrs))));
-  }
-  if (!lvts.empty() && !rvts.empty() && rng.Bernoulli(0.6)) {
-    conjuncts.push_back(
-        OverlapsExpr(Col(PickOne(rng, lvts)), Col(PickOne(rng, rvts))));
-  }
-  if (conjuncts.empty()) {
-    // Degenerate cross product (keeps the generator total when
-    // projections dropped every joinable column).
-    conjuncts.push_back(Lt(Lit(int64_t{0}), Lit(int64_t{1})));
-  }
-  return AndAll(conjuncts);
-}
-
-// Owns the base relations a generated plan borrows.
-struct PlanFixture {
-  std::vector<std::unique_ptr<OngoingRelation>> relations;
-  int join_counter = 0;
-};
-
-PlanPtr RandomPlan(Rng& rng, PlanFixture* fx, int budget) {
-  if (budget <= 0 || rng.Bernoulli(0.25)) {
-    auto rel = std::make_unique<OngoingRelation>(
-        MakeBase(rng, "R" + std::to_string(fx->relations.size()) + "_",
-                 static_cast<size_t>(rng.Uniform(5, 14))));
-    fx->relations.push_back(std::move(rel));
-    PlanPtr scan = Scan(fx->relations.back().get(),
-                        "R" + std::to_string(fx->relations.size() - 1));
-    return scan;
-  }
-  const double roll = rng.UniformReal();
-  if (roll < 0.35) {
-    PlanPtr child = RandomPlan(rng, fx, budget - 1);
-    Schema schema = *OutputSchema(child);
-    return Filter(std::move(child), RandomFilterPredicate(rng, schema));
-  }
-  if (roll < 0.55) {
-    PlanPtr child = RandomPlan(rng, fx, budget - 1);
-    Schema schema = *OutputSchema(child);
-    // Keep a random non-empty prefix-free subset, preserving order.
-    std::vector<std::string> names;
-    for (const Attribute& a : schema.attributes()) {
-      if (rng.Bernoulli(0.6)) names.push_back(a.name);
-    }
-    if (names.empty()) names.push_back(schema.attribute(0).name);
-    return ProjectPlan(std::move(child), std::move(names));
-  }
-  PlanPtr left = RandomPlan(rng, fx, budget - 1);
-  PlanPtr right = RandomPlan(rng, fx, budget - 1);
-  Schema ls = *OutputSchema(left);
-  Schema rs = *OutputSchema(right);
-  const int id = fx->join_counter++;
-  return Join(std::move(left), std::move(right),
-              RandomJoinPredicate(rng, ls, rs), "L" + std::to_string(id),
-              "R" + std::to_string(id));
-}
-
-// Rebuilds the plan with every join forced to `algorithm`.
-PlanPtr WithAlgorithm(const PlanPtr& plan, JoinAlgorithm algorithm) {
-  switch (plan->kind()) {
-    case PlanKind::kScan:
-      return plan;
-    case PlanKind::kFilter: {
-      const auto* node = static_cast<const FilterNode*>(plan.get());
-      return Filter(WithAlgorithm(node->child(), algorithm),
-                    node->predicate());
-    }
-    case PlanKind::kProject: {
-      const auto* node = static_cast<const ProjectNode*>(plan.get());
-      return ProjectPlan(WithAlgorithm(node->child(), algorithm),
-                         node->names());
-    }
-    case PlanKind::kJoin: {
-      const auto* node = static_cast<const JoinNode*>(plan.get());
-      return Join(WithAlgorithm(node->left(), algorithm),
-                  WithAlgorithm(node->right(), algorithm), node->predicate(),
-                  node->left_prefix(), node->right_prefix(), algorithm);
-    }
-  }
-  return plan;
-}
+using plan_fuzz::DrainCountWithCapacity;
+using plan_fuzz::Fingerprint;
+using plan_fuzz::ForcedParallel;
+using plan_fuzz::FuzzSeeds;
+using plan_fuzz::MakeBase;
+using plan_fuzz::PlanFixture;
+using plan_fuzz::RandomPlan;
+using plan_fuzz::ReferenceExecute;
+using plan_fuzz::ReferenceExecuteAt;
+using plan_fuzz::WithAlgorithm;
 
 // --- randomized equivalence -------------------------------------------------
 
@@ -321,7 +45,9 @@ class BatchedExecutorEquivalenceTest
     : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BatchedExecutorEquivalenceTest, MatchesReferenceInBothModes) {
-  Rng rng(GetParam() * 7919 + 13);
+  const uint64_t seed = GetParam();
+  ONGOINGDB_FUZZ_SEED_TRACE(seed);
+  Rng rng(seed * 7919 + 13);
   PlanFixture fx;
   PlanPtr plan = RandomPlan(rng, &fx, 3);
 
@@ -358,26 +84,9 @@ TEST_P(BatchedExecutorEquivalenceTest, MatchesReferenceInBothModes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, BatchedExecutorEquivalenceTest,
-                         ::testing::Range<uint64_t>(0, 30));
+                         ::testing::ValuesIn(FuzzSeeds(30)));
 
 // --- batch boundaries -------------------------------------------------------
-
-// Drains `op` with caller-chosen batch capacity; verifies the protocol
-// (no empty batch mid-stream, every tuple within capacity) and returns
-// the total tuple count.
-size_t DrainCountWithCapacity(PhysicalOperator& op, size_t capacity) {
-  EXPECT_TRUE(op.Open().ok());
-  TupleBatch batch(capacity);
-  size_t total = 0;
-  while (true) {
-    EXPECT_TRUE(op.Next(&batch).ok());
-    if (batch.empty()) break;
-    EXPECT_LE(batch.size(), capacity);
-    total += batch.size();
-  }
-  op.Close();
-  return total;
-}
 
 TEST(BatchBoundaryTest, FilterResultsOfExactly0_1_Capacity_CapacityPlus1) {
   // With batch capacity 4, result sizes 0, 1, 4 and 5 cover "no batch",
@@ -452,7 +161,9 @@ class ParallelExecutorEquivalenceTest
     : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParallelExecutorEquivalenceTest, MatchesSerialInBothModes) {
-  Rng rng(GetParam() * 104729 + 7);
+  const uint64_t seed = GetParam();
+  ONGOINGDB_FUZZ_SEED_TRACE(seed);
+  Rng rng(seed * 104729 + 7);
   PlanFixture fx;
   PlanPtr plan = RandomPlan(rng, &fx, 3);
 
@@ -461,13 +172,10 @@ TEST_P(ParallelExecutorEquivalenceTest, MatchesSerialInBothModes) {
   const std::multiset<std::string> expected = Fingerprint(*reference);
 
   for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
-    ParallelOptions options;
-    options.workers = workers;
     // Tiny morsels and no serial fallback: even the 5-tuple base
     // relations split across several claims, so partition handoff,
     // empty partitions and suspension all get exercised.
-    options.morsel_size = 7;
-    options.min_parallel_tuples = 0;
+    ParallelOptions options = ForcedParallel(workers, 7);
     for (JoinAlgorithm algorithm :
          {JoinAlgorithm::kNestedLoop, JoinAlgorithm::kHash,
           JoinAlgorithm::kSortMerge}) {
@@ -491,7 +199,7 @@ TEST_P(ParallelExecutorEquivalenceTest, MatchesSerialInBothModes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, ParallelExecutorEquivalenceTest,
-                         ::testing::Range<uint64_t>(0, 20));
+                         ::testing::ValuesIn(FuzzSeeds(20)));
 
 TEST(ParallelExecutorTest, GatherTreeSurvivesReopen) {
   // Materialized-view-style reuse of a parallel tree: Open/drain/Close
@@ -501,11 +209,7 @@ TEST(ParallelExecutorTest, GatherTreeSurvivesReopen) {
   OngoingRelation s = MakeBase(rng, "B_", 40);
   PlanPtr plan = Join(Scan(&r, "A"), Scan(&s, "B"),
                       Eq(Col("A_K"), Col("B_K")), "L", "R");
-  ParallelOptions options;
-  options.workers = 3;
-  options.morsel_size = 5;
-  options.min_parallel_tuples = 0;
-  auto op = Compile(plan, ExecMode::kOngoing, 0, options);
+  auto op = Compile(plan, ExecMode::kOngoing, 0, ForcedParallel(3, 5));
   ASSERT_TRUE(op.ok());
   auto first = DrainToRelation(**op);
   auto second = DrainToRelation(**op);
@@ -634,10 +338,7 @@ TEST(BatchedAggregateTest, ParallelAggregatesMatchSerial) {
   OngoingRelation s = MakeBase(rng, "B_", 60);
   PlanPtr plan = Join(Scan(&r, "A"), Scan(&s, "B"),
                       Eq(Col("A_K"), Col("B_K")), "L", "R");
-  ParallelOptions par;
-  par.workers = 4;
-  par.morsel_size = 9;
-  par.min_parallel_tuples = 0;
+  ParallelOptions par = ForcedParallel(4, 9);
 
   auto count_serial = CountAtEachReferenceTime(plan);
   auto count_parallel = CountAtEachReferenceTime(plan, par);

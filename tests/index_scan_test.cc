@@ -2,11 +2,14 @@
 // pipeline: Compile() must lower eligible Filter(Scan) plans to
 // IndexScanOp (and respect forced access paths), and the index path
 // must be equivalent to the full-scan filter — randomized over
-// overlaps/before probes, ongoing + fixed + mixed interval columns,
-// serial and parallel drains, and both execution modes. Also covers the
-// MaterializedView contract: the index is cached inside the compiled
-// tree across Refresh() and rebuilt when base-data modifications change
-// the indexed column.
+// overlaps/before/meets probes in both orientations plus timeslice
+// CONTAINS points, ongoing + fixed + mixed interval columns, serial and
+// parallel drains, and both execution modes (shared harness:
+// tests/testing/plan_fuzz.h; failures print their fuzz seed, replay
+// with ONGOINGDB_TEST_SEED=<seed>). Also covers the MaterializedView
+// contract: the index is cached inside the compiled tree across
+// Refresh() and rebuilt when base-data modifications change the indexed
+// column.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -18,78 +21,45 @@
 #include "query/optimizer.h"
 #include "query/physical.h"
 #include "relation/modifications.h"
+#include "testing/plan_fuzz.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
 namespace {
 
-// Tuple multiset incl. RT (normalized interval sets render equal), so
-// parallel results compare order-insensitively.
-std::multiset<std::string> Fingerprint(const OngoingRelation& r) {
-  std::multiset<std::string> rows;
-  for (const Tuple& t : r.tuples()) rows.insert(t.ToString());
-  return rows;
-}
-
-OngoingInterval RandomOngoingInterval(Rng& rng) {
-  switch (rng.Uniform(0, 3)) {
-    case 0:
-      return OngoingInterval::SinceUntilNow(rng.Uniform(0, 100));
-    case 1:
-      return OngoingInterval::FromNowUntil(rng.Uniform(0, 100));
-    case 2: {
-      TimePoint a1 = rng.Uniform(0, 80);
-      TimePoint a2 = rng.Uniform(0, 80);
-      return OngoingInterval(OngoingTimePoint(a1, a1 + rng.Uniform(0, 40)),
-                             OngoingTimePoint(a2, a2 + rng.Uniform(0, 40)));
-    }
-    default: {
-      TimePoint s = rng.Uniform(0, 100);
-      return OngoingInterval::Fixed(s, s + rng.Uniform(1, 40));
-    }
-  }
-}
-
-// A relation with one ongoing and one fixed interval column, so probes
-// can target either representation (and the bitemporal-style mix keeps
-// the column-resolution regression covered end to end).
-OngoingRelation MakeMixedRelation(uint64_t seed, size_t n) {
-  Rng rng(seed);
-  OngoingRelation r(Schema({{"ID", ValueType::kInt64},
-                            {"VT", ValueType::kOngoingInterval},
-                            {"FT", ValueType::kFixedInterval}}));
-  for (size_t i = 0; i < n; ++i) {
-    TimePoint fs = rng.Uniform(0, 100);
-    EXPECT_TRUE(
-        r.Insert({Value::Int64(static_cast<int64_t>(i)),
-                  Value::Ongoing(RandomOngoingInterval(rng)),
-                  Value::Interval(FixedInterval{fs, fs + rng.Uniform(1, 40)})})
-            .ok());
-  }
-  return r;
-}
+using plan_fuzz::Fingerprint;
+using plan_fuzz::ForcedParallel;
+using plan_fuzz::FuzzSeeds;
+using plan_fuzz::MakeMixedRelation;
 
 PlanPtr ProbePlan(const OngoingRelation* r, AllenOp op,
                   const std::string& column, FixedInterval probe,
-                  AccessPath path, ExprPtr extra_conjunct = nullptr) {
-  ExprPtr pred = Allen(op, Col(column),
-                       Lit(OngoingInterval::Fixed(probe.start, probe.end)));
+                  AccessPath path, ExprPtr extra_conjunct = nullptr,
+                  bool literal_on_left = false) {
+  ExprPtr lit = Lit(OngoingInterval::Fixed(probe.start, probe.end));
+  ExprPtr pred = literal_on_left ? Allen(op, std::move(lit), Col(column))
+                                 : Allen(op, Col(column), std::move(lit));
   if (extra_conjunct != nullptr) pred = And(std::move(pred), extra_conjunct);
   return Filter(Scan(r, "R"), std::move(pred), path);
 }
 
 TEST(IndexScanLoweringTest, EligibleFilterScanLowersToIndexScan) {
-  OngoingRelation r = MakeMixedRelation(1, 16);
-  for (AllenOp op : {AllenOp::kOverlaps, AllenOp::kBefore}) {
+  OngoingRelation r = MakeMixedRelation(1, "", 16);
+  for (AllenOp op : {AllenOp::kOverlaps, AllenOp::kBefore, AllenOp::kMeets}) {
     for (const char* column : {"VT", "FT"}) {
-      PlanPtr plan =
-          ProbePlan(&r, op, column, FixedInterval{40, 60}, AccessPath::kAuto);
-      auto compiled = Compile(plan, ExecMode::kOngoing);
-      ASSERT_TRUE(compiled.ok());
-      EXPECT_STREQ((*compiled)->Name(), "IndexScan");
-      auto compiled_at = Compile(plan, ExecMode::kAtReferenceTime, 50);
-      ASSERT_TRUE(compiled_at.ok());
-      EXPECT_STREQ((*compiled_at)->Name(), "IndexScan");
+      for (bool literal_on_left : {false, true}) {
+        PlanPtr plan =
+            ProbePlan(&r, op, column, FixedInterval{40, 60}, AccessPath::kAuto,
+                      nullptr, literal_on_left);
+        auto compiled = Compile(plan, ExecMode::kOngoing);
+        ASSERT_TRUE(compiled.ok());
+        EXPECT_STREQ((*compiled)->Name(), "IndexScan")
+            << "op=" << static_cast<int>(op) << " column=" << column
+            << " literal_on_left=" << literal_on_left;
+        auto compiled_at = Compile(plan, ExecMode::kAtReferenceTime, 50);
+        ASSERT_TRUE(compiled_at.ok());
+        EXPECT_STREQ((*compiled_at)->Name(), "IndexScan");
+      }
     }
   }
   // A residual conjunct rides along: the filter is still index-backed.
@@ -99,17 +69,20 @@ TEST(IndexScanLoweringTest, EligibleFilterScanLowersToIndexScan) {
   auto compiled = Compile(with_residual, ExecMode::kOngoing);
   ASSERT_TRUE(compiled.ok());
   EXPECT_STREQ((*compiled)->Name(), "IndexScan");
-  // The symmetric overlaps with the literal on the left is eligible too.
-  PlanPtr swapped = Filter(
-      Scan(&r, "R"),
-      OverlapsExpr(Lit(OngoingInterval::Fixed(40, 60)), Col("VT")));
-  auto compiled_swapped = Compile(swapped, ExecMode::kOngoing);
-  ASSERT_TRUE(compiled_swapped.ok());
-  EXPECT_STREQ((*compiled_swapped)->Name(), "IndexScan");
+  // Timeslice probes: column CONTAINS a fixed time point is eligible in
+  // both point representations.
+  for (const Value& point :
+       {Value::Time(50), Value::Ongoing(OngoingTimePoint(50, 50))}) {
+    PlanPtr contains =
+        Filter(Scan(&r, "R"), ContainsExpr(Col("VT"), Lit(point)));
+    auto compiled_contains = Compile(contains, ExecMode::kOngoing);
+    ASSERT_TRUE(compiled_contains.ok());
+    EXPECT_STREQ((*compiled_contains)->Name(), "IndexScan");
+  }
 }
 
 TEST(IndexScanLoweringTest, IneligiblePredicatesKeepTheFilterLowering) {
-  OngoingRelation r = MakeMixedRelation(2, 16);
+  OngoingRelation r = MakeMixedRelation(2, "", 16);
   // Not an Allen probe at all.
   PlanPtr fixed_only = Filter(Scan(&r, "R"), Lt(Col("ID"), Lit(int64_t{8})));
   auto c1 = Compile(fixed_only, ExecMode::kOngoing);
@@ -134,10 +107,17 @@ TEST(IndexScanLoweringTest, IneligiblePredicatesKeepTheFilterLowering) {
   auto c4 = Compile(col_col, ExecMode::kOngoing);
   ASSERT_TRUE(c4.ok());
   EXPECT_STREQ((*c4)->Name(), "Filter");
+  // A CONTAINS against an ongoing point with spread bounds (depends on
+  // the reference time) is no timeslice probe.
+  PlanPtr spread_point = Filter(
+      Scan(&r, "R"), ContainsExpr(Col("VT"), Lit(OngoingTimePoint(40, 60))));
+  auto c5 = Compile(spread_point, ExecMode::kOngoing);
+  ASSERT_TRUE(c5.ok());
+  EXPECT_STREQ((*c5)->Name(), "Filter");
 }
 
 TEST(IndexScanLoweringTest, ForcedAccessPathsAreRespected) {
-  OngoingRelation r = MakeMixedRelation(3, 16);
+  OngoingRelation r = MakeMixedRelation(3, "", 16);
   PlanPtr forced_scan = ProbePlan(&r, AllenOp::kOverlaps, "VT",
                                   FixedInterval{40, 60}, AccessPath::kFullScan);
   auto c1 = Compile(forced_scan, ExecMode::kOngoing);
@@ -159,7 +139,7 @@ TEST(IndexScanLoweringTest, ForcedAccessPathsAreRespected) {
 
 // The optimizer's rewrites preserve the access-path annotation.
 TEST(IndexScanLoweringTest, OptimizePreservesAccessPath) {
-  OngoingRelation r = MakeMixedRelation(4, 16);
+  OngoingRelation r = MakeMixedRelation(4, "", 16);
   PlanPtr plan = ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{40, 60},
                            AccessPath::kFullScan);
   auto optimized = Optimize(plan);
@@ -173,8 +153,8 @@ TEST(IndexScanLoweringTest, OptimizePreservesAccessPath) {
 // the annotation on the pushed filter — otherwise the ablation baseline
 // silently reverts to kAuto (and thus the index) after pushdown.
 TEST(IndexScanLoweringTest, PushDownPreservesAccessPathOnPushedFilters) {
-  OngoingRelation r = MakeMixedRelation(5, 16);
-  OngoingRelation s = MakeMixedRelation(6, 16);
+  OngoingRelation r = MakeMixedRelation(5, "", 16);
+  OngoingRelation s = MakeMixedRelation(6, "", 16);
   PlanPtr plan = Filter(
       Join(Scan(&r, "A"), Scan(&s, "B"), Eq(Col("L.ID"), Col("R.ID")), "L",
            "R"),
@@ -196,25 +176,41 @@ TEST(IndexScanLoweringTest, PushDownPreservesAccessPathOnPushedFilters) {
 class IndexScanEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
 
 // Index-backed selection == full-scan selection: randomized probes over
-// both predicates and both interval columns, with and without a fixed
-// residual conjunct, in both execution modes, serial and parallel.
+// all eligible predicates (overlaps/before/meets, both orientations,
+// plus CONTAINS timeslice points) and both interval columns, with and
+// without a fixed residual conjunct, in both execution modes, serial
+// and parallel.
 TEST_P(IndexScanEquivalenceTest, IndexPathMatchesFullScan) {
   const uint64_t seed = GetParam();
-  OngoingRelation r = MakeMixedRelation(seed, 300);
+  ONGOINGDB_FUZZ_SEED_TRACE(seed);
+  OngoingRelation r = MakeMixedRelation(seed, "", 300);
   Rng rng(seed + 100);
-  for (int probe_i = 0; probe_i < 4; ++probe_i) {
-    const AllenOp op =
-        rng.Bernoulli(0.5) ? AllenOp::kOverlaps : AllenOp::kBefore;
+  for (int probe_i = 0; probe_i < 6; ++probe_i) {
     const std::string column = rng.Bernoulli(0.5) ? "VT" : "FT";
     TimePoint s = rng.Uniform(0, 120);
     const FixedInterval probe{s, s + rng.Uniform(1, 50)};
     ExprPtr residual = rng.Bernoulli(0.5)
                            ? Lt(Col("ID"), Lit(rng.Uniform(0, 300)))
                            : nullptr;
-    PlanPtr indexed =
-        ProbePlan(&r, op, column, probe, AccessPath::kIndex, residual);
-    PlanPtr scanned =
-        ProbePlan(&r, op, column, probe, AccessPath::kFullScan, residual);
+    PlanPtr indexed, scanned;
+    if (rng.Bernoulli(0.2)) {
+      // Timeslice probe: VT CONTAINS s.
+      ExprPtr make_contains = ContainsExpr(Col(column), Lit(Value::Time(s)));
+      ExprPtr pred = residual != nullptr
+                         ? And(make_contains, residual)
+                         : make_contains;
+      indexed = Filter(Scan(&r, "R"), pred, AccessPath::kIndex);
+      scanned = Filter(Scan(&r, "R"), pred, AccessPath::kFullScan);
+    } else {
+      const AllenOp ops[] = {AllenOp::kOverlaps, AllenOp::kBefore,
+                             AllenOp::kMeets};
+      const AllenOp op = ops[rng.Uniform(0, 2)];
+      const bool literal_on_left = rng.Bernoulli(0.5);
+      indexed = ProbePlan(&r, op, column, probe, AccessPath::kIndex, residual,
+                          literal_on_left);
+      scanned = ProbePlan(&r, op, column, probe, AccessPath::kFullScan,
+                          residual, literal_on_left);
+    }
 
     auto scan_result = Execute(scanned);
     ASSERT_TRUE(scan_result.ok());
@@ -223,14 +219,10 @@ TEST_P(IndexScanEquivalenceTest, IndexPathMatchesFullScan) {
     auto index_result = Execute(indexed);
     ASSERT_TRUE(index_result.ok());
     EXPECT_EQ(Fingerprint(*index_result), expected)
-        << "serial, op=" << static_cast<int>(op) << " column=" << column;
+        << "serial, probe " << probe_i << " column=" << column;
 
     for (size_t workers : {2u, 4u}) {
-      ParallelOptions options;
-      options.workers = workers;
-      options.morsel_size = 64;
-      options.min_parallel_tuples = 0;  // force the parallel lowering
-      auto parallel_result = Execute(indexed, options);
+      auto parallel_result = Execute(indexed, ForcedParallel(workers, 64));
       ASSERT_TRUE(parallel_result.ok());
       EXPECT_EQ(Fingerprint(*parallel_result), expected)
           << "workers=" << workers;
@@ -244,11 +236,8 @@ TEST_P(IndexScanEquivalenceTest, IndexPathMatchesFullScan) {
       auto index_at = ExecuteAtReferenceTime(indexed, rt);
       ASSERT_TRUE(index_at.ok());
       EXPECT_EQ(Fingerprint(*index_at), Fingerprint(*scan_at)) << "rt=" << rt;
-      ParallelOptions options;
-      options.workers = 4;
-      options.morsel_size = 64;
-      options.min_parallel_tuples = 0;
-      auto parallel_at = ExecuteAtReferenceTime(indexed, rt, options);
+      auto parallel_at =
+          ExecuteAtReferenceTime(indexed, rt, ForcedParallel(4, 64));
       ASSERT_TRUE(parallel_at.ok());
       EXPECT_EQ(Fingerprint(*parallel_at), Fingerprint(*scan_at))
           << "parallel rt=" << rt;
@@ -257,7 +246,7 @@ TEST_P(IndexScanEquivalenceTest, IndexPathMatchesFullScan) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, IndexScanEquivalenceTest,
-                         ::testing::Range<uint64_t>(0, 12));
+                         ::testing::ValuesIn(FuzzSeeds(12)));
 
 // Batch-boundary sizes through the index path: results of exactly
 // 0, 1, capacity and capacity + 1 tuples.
@@ -283,7 +272,7 @@ TEST(IndexScanBatchBoundaryTest, ExactResultSizes) {
 
 // Re-opening the same compiled tree must reset the candidate cursor.
 TEST(IndexScanBatchBoundaryTest, ReopenProducesTheSameResult) {
-  OngoingRelation r = MakeMixedRelation(7, 200);
+  OngoingRelation r = MakeMixedRelation(7, "", 200);
   PlanPtr plan = ProbePlan(&r, AllenOp::kOverlaps, "VT", FixedInterval{30, 70},
                            AccessPath::kIndex);
   auto compiled = Compile(plan, ExecMode::kOngoing);

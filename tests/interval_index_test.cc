@@ -1,5 +1,7 @@
 // Tests of the interval index (future-work extension): candidate sets
-// must be supersets of the exact predicate answers.
+// must be supersets of the exact predicate answers. The randomized
+// property suites honor ONGOINGDB_TEST_SEED and print their seed on
+// failure (tests/testing/plan_fuzz.h).
 #include "query/interval_index.h"
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 
 #include "core/operations.h"
 #include "relation/algebra.h"
+#include "testing/plan_fuzz.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
@@ -128,6 +131,7 @@ TEST(IntervalIndexTest, BeforeCandidatesKeepDegenerateStopBoundEntries) {
 class IntervalIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(IntervalIndexPropertyTest, OverlapCandidatesAreSupersetOfExact) {
+  ONGOINGDB_FUZZ_SEED_TRACE(GetParam());
   OngoingRelation r = MakeRelation(GetParam(), 120);
   auto index = IntervalIndex::Build(r, "VT");
   ASSERT_TRUE(index.ok());
@@ -151,6 +155,7 @@ TEST_P(IntervalIndexPropertyTest, OverlapCandidatesAreSupersetOfExact) {
 }
 
 TEST_P(IntervalIndexPropertyTest, BeforeCandidatesAreSupersetOfExact) {
+  ONGOINGDB_FUZZ_SEED_TRACE(GetParam());
   OngoingRelation r = MakeRelation(GetParam() + 7, 120);
   auto index = IntervalIndex::Build(r, "VT");
   ASSERT_TRUE(index.ok());
@@ -182,6 +187,7 @@ TEST_P(IntervalIndexPropertyTest, CandidatesPruneSomething) {
 }
 
 TEST_P(IntervalIndexPropertyTest, SelectOverlapsMatchesFullScan) {
+  ONGOINGDB_FUZZ_SEED_TRACE(GetParam());
   OngoingRelation r = MakeRelation(GetParam() + 31, 150);
   auto index = IntervalIndex::Build(r, "VT");
   ASSERT_TRUE(index.ok());
@@ -207,6 +213,7 @@ TEST_P(IntervalIndexPropertyTest, SelectOverlapsMatchesFullScan) {
 }
 
 TEST_P(IntervalIndexPropertyTest, SelectBeforeMatchesFullScan) {
+  ONGOINGDB_FUZZ_SEED_TRACE(GetParam());
   OngoingRelation r = MakeRelation(GetParam() + 37, 150);
   auto index = IntervalIndex::Build(r, "VT");
   ASSERT_TRUE(index.ok());
@@ -230,8 +237,92 @@ TEST_P(IntervalIndexPropertyTest, SelectBeforeMatchesFullScan) {
   }
 }
 
+TEST_P(IntervalIndexPropertyTest,
+       AllProbeOpsReturnSupersetsForOngoingProbes) {
+  ONGOINGDB_FUZZ_SEED_TRACE(GetParam());
+  // The CandidatesInto dispatch with *ongoing* probe bounds — the form
+  // the index-nested-loop join probes with (one probe per outer tuple).
+  // For every op, every tuple satisfying the exact predicate at some
+  // reference time must be a candidate.
+  OngoingRelation r = MakeRelation(GetParam() + 41, 120);
+  auto index = IntervalIndex::Build(r, "VT");
+  ASSERT_TRUE(index.ok());
+  Rng rng(GetParam() + 5000);
+  std::vector<size_t> candidates_buf;
+  for (int probe_i = 0; probe_i < 8; ++probe_i) {
+    OngoingInterval probe_iv;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        probe_iv = OngoingInterval::SinceUntilNow(rng.Uniform(0, 200));
+        break;
+      case 1:
+        probe_iv = OngoingInterval::FromNowUntil(rng.Uniform(0, 200));
+        break;
+      default: {
+        TimePoint s = rng.Uniform(0, 200);
+        probe_iv = OngoingInterval::Fixed(s, s + rng.Uniform(1, 50));
+      }
+    }
+    const IntervalBounds probe = IntervalBounds::Of(probe_iv);
+    struct Case {
+      IntervalProbeOp op;
+      OngoingBoolean (*exact)(const OngoingInterval&, const OngoingInterval&);
+    };
+    const Case cases[] = {
+        {IntervalProbeOp::kOverlaps,
+         [](const OngoingInterval& e, const OngoingInterval& p) {
+           return Overlaps(e, p);
+         }},
+        {IntervalProbeOp::kBefore,
+         [](const OngoingInterval& e, const OngoingInterval& p) {
+           return Before(e, p);
+         }},
+        {IntervalProbeOp::kAfter,
+         [](const OngoingInterval& e, const OngoingInterval& p) {
+           return Before(p, e);
+         }},
+        {IntervalProbeOp::kMeets,
+         [](const OngoingInterval& e, const OngoingInterval& p) {
+           return Meets(e, p);
+         }},
+        {IntervalProbeOp::kMetBy,
+         [](const OngoingInterval& e, const OngoingInterval& p) {
+           return Meets(p, e);
+         }},
+    };
+    for (const Case& c : cases) {
+      index->CandidatesInto(c.op, probe, &candidates_buf);
+      std::set<size_t> candidates(candidates_buf.begin(),
+                                  candidates_buf.end());
+      for (size_t i = 0; i < r.size(); ++i) {
+        OngoingBoolean exact =
+            c.exact(r.tuple(i).value(1).AsOngoingInterval(), probe_iv);
+        if (!exact.IsAlwaysFalse()) {
+          EXPECT_TRUE(candidates.count(i) > 0)
+              << "op=" << IntervalProbeOpName(c.op) << " tuple " << i
+              << " vt=" << r.tuple(i).value(1).ToString()
+              << " probe=" << probe_iv.ToString();
+        }
+      }
+    }
+    // Contains: a point probe.
+    const TimePoint t = rng.Uniform(-10, 220);
+    index->CandidatesInto(IntervalProbeOp::kContains,
+                          IntervalBounds::Point(t), &candidates_buf);
+    std::set<size_t> candidates(candidates_buf.begin(), candidates_buf.end());
+    for (size_t i = 0; i < r.size(); ++i) {
+      OngoingBoolean exact = Contains(r.tuple(i).value(1).AsOngoingInterval(),
+                                      OngoingTimePoint::Fixed(t));
+      if (!exact.IsAlwaysFalse()) {
+        EXPECT_TRUE(candidates.count(i) > 0)
+            << "contains tuple " << i << " t=" << t;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalIndexPropertyTest,
-                         ::testing::Range<uint64_t>(0, 20));
+                         ::testing::ValuesIn(plan_fuzz::FuzzSeeds(20)));
 
 }  // namespace
 }  // namespace ongoingdb
