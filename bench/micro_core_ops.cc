@@ -16,7 +16,9 @@
 #include "bench_common.h"
 #include "core/bind.h"
 #include "core/operations.h"
+#include "query/physical.h"
 #include "util/alloc_counter.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace ongoingdb {
@@ -366,6 +368,99 @@ void BM_Instantiate(benchmark::State& state) {
   ReportAllocs(state, alloc_scope);
 }
 BENCHMARK(BM_Instantiate);
+
+// --- query-lifecycle check overhead -----------------------------------------
+// The cooperative batch-boundary check (query/exec_context.h) and the
+// disarmed failpoint fast path (util/failpoint.h) sit in every
+// PhysicalOperator::Next; these pin down what one check costs and what
+// the end-to-end drain pays for carrying a context at all.
+
+void BM_LifecycleContextCheck(benchmark::State& state) {
+  QueryContext ctx;
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Check());
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_LifecycleContextCheck);
+
+void BM_LifecycleContextCheckWithDeadline(benchmark::State& state) {
+  QueryContext ctx;
+  ctx.SetTimeout(std::chrono::hours(24));  // armed but never expiring
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Check());
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_LifecycleContextCheckWithDeadline);
+
+void BM_FailpointDisarmed(benchmark::State& state) {
+  Failpoint& fp = Failpoint::GetOrCreate("bench.disarmed");
+  fp.Disarm();
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.ShouldFail());
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+// End-to-end: draining a filter-over-scan plan with and without a
+// context — the full per-batch overhead of the lifecycle contract as
+// seen by a query, not just the check in isolation.
+OngoingRelation MakeDrainRelation(size_t n) {
+  Rng rng(43);
+  OngoingRelation r(Schema({{"K", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint s = rng.Uniform(0, 500);
+    (void)r.Insert({Value::Int64(rng.Uniform(0, 1000)),
+                    Value::Ongoing(OngoingInterval::Fixed(
+                        s, s + rng.Uniform(1, 90)))});
+  }
+  return r;
+}
+
+void BM_DrainNoContext(benchmark::State& state) {
+  OngoingRelation r = MakeDrainRelation(static_cast<size_t>(state.range(0)));
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("K"), Lit(int64_t{900})));
+  auto compiled = Compile(plan, ExecMode::kOngoing, 0, nullptr);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    auto result = DrainToRelation(**compiled);
+    if (!result.ok()) state.SkipWithError("drain failed");
+    benchmark::DoNotOptimize(result);
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DrainNoContext)->Arg(1024)->Arg(8192);
+
+void BM_DrainWithContext(benchmark::State& state) {
+  OngoingRelation r = MakeDrainRelation(static_cast<size_t>(state.range(0)));
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("K"), Lit(int64_t{900})));
+  QueryContext ctx;
+  ctx.SetTimeout(std::chrono::hours(24));
+  ctx.SetMemoryBudget(1ull << 30);
+  auto compiled = Compile(plan, ExecMode::kOngoing, 0, &ctx);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  AllocScope alloc_scope;
+  for (auto _ : state) {
+    auto result = DrainToRelation(**compiled, &ctx);
+    if (!result.ok()) state.SkipWithError("drain failed");
+    benchmark::DoNotOptimize(result);
+  }
+  ReportAllocs(state, alloc_scope);
+}
+BENCHMARK(BM_DrainWithContext)->Arg(1024)->Arg(8192);
 
 // Console output as usual, plus capture of every run into the shared
 // BenchJsonWriter so ONGOINGDB_BENCH_JSON emits the same schema as the

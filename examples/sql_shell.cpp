@@ -7,12 +7,20 @@
 // parsed, optimized, executed with ongoing semantics, and printed with
 // its reference times.
 //
+// Session knobs (interactive + demo):
+//   SET timeout_ms = N;   -- per-statement deadline (0 disables); on
+//                            expiry the shell prints a one-line friendly
+//                            error instead of a raw Status dump.
+//
 // Build & run:  ./build/examples/sql_shell
 //               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/examples/sql_shell
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "query/exec_context.h"
 #include "sql/statement.h"
 #include "unistd.h"
 
@@ -55,11 +63,54 @@ sql::Catalog MakeCatalog() {
   return catalog;
 }
 
-void RunAndPrint(const std::string& statement, sql::Catalog* catalog) {
+// Shell-level session state: a timeout applied to each statement.
+struct ShellSession {
+  QueryContext ctx;
+  int64_t timeout_ms = 0;  // 0 = no deadline
+};
+
+// Handles the shell's own `SET knob = value;` statements. Returns true
+// when `statement` was a SET command (handled here, not sent to SQL).
+bool HandleSet(const std::string& statement, ShellSession* session) {
+  int64_t value = 0;
+  int consumed = 0;
+  if (std::sscanf(statement.c_str(), " SET timeout_ms = %" SCNd64 " %n",
+                  &value, &consumed) == 1 ||
+      std::sscanf(statement.c_str(), " set timeout_ms = %" SCNd64 " %n",
+                  &value, &consumed) == 1) {
+    std::string rest = statement.substr(consumed);
+    if (rest.empty() || rest == ";") {
+      session->timeout_ms = value < 0 ? 0 : value;
+      if (session->timeout_ms == 0) {
+        std::printf("timeout disabled\n\n");
+      } else {
+        std::printf("timeout_ms = %lld\n\n",
+                    static_cast<long long>(session->timeout_ms));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunAndPrint(const std::string& statement, sql::Catalog* catalog,
+                 ShellSession* session) {
   std::printf("ongoingdb> %s\n", statement.c_str());
-  auto result = sql::RunStatement(statement, catalog);
+  if (HandleSet(statement, session)) return;
+  session->ctx.Reset();
+  if (session->timeout_ms > 0) {
+    session->ctx.SetTimeout(std::chrono::milliseconds(session->timeout_ms));
+  } else {
+    session->ctx.ClearDeadline();
+  }
+  auto result = sql::RunStatement(statement, catalog, &session->ctx);
   if (!result.ok()) {
-    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    if (IsLifecycleStatus(result.status())) {
+      std::printf("error: %s\n\n",
+                  FriendlyLifecycleMessage(result.status()).c_str());
+    } else {
+      std::printf("error: %s\n\n", result.status().ToString().c_str());
+    }
     return;
   }
   if (result->relation.has_value()) {
@@ -77,7 +128,9 @@ int main() {
   std::printf("ongoingdb SQL shell — relations: B(BID, C, VT), "
               "P(PID, C, VT), L(Name, C, VT)\n"
               "Ongoing literals: NOW, DATE '08/15', "
-              "PERIOD ['01/25', NOW)\n\n");
+              "PERIOD ['01/25', NOW)\n"
+              "Session knobs: SET timeout_ms = N;  (0 disables)\n\n");
+  ShellSession session;
 
   const char* demo[] = {
       "SELECT * FROM B",
@@ -93,7 +146,9 @@ int main() {
       "SELECT * FROM Notes",
   };
   std::printf("--- demo script ---\n");
-  for (const char* statement : demo) RunAndPrint(statement, &catalog);
+  for (const char* statement : demo) {
+    RunAndPrint(statement, &catalog, &session);
+  }
 
   if (isatty(fileno(stdin))) {
     std::printf("--- interactive (empty line to quit) ---\n");
@@ -101,7 +156,7 @@ int main() {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) break;
-    RunAndPrint(line, &catalog);
+    RunAndPrint(line, &catalog, &session);
   }
   return 0;
 }

@@ -150,19 +150,24 @@ Result<size_t> CheckInt64Column(const Schema& schema,
 class AggregationDrain {
  public:
   static Result<AggregationDrain> Prepare(const PlanPtr& plan,
-                                          const ParallelOptions& options) {
+                                          const ParallelOptions& options,
+                                          QueryContext* ctx) {
+    // Check up front so the relation-borrowing shortcuts (which never
+    // call Open/Next) still observe a pre-cancelled context.
+    if (ctx != nullptr) ONGOINGDB_RETURN_NOT_OK(ctx->Check());
     AggregationDrain drain;
+    drain.ctx_ = ctx;
     drain.workers_ = EffectiveWorkers(plan, options);
     if (drain.workers_ > 1) {
       ONGOINGDB_ASSIGN_OR_RETURN(
           drain.partitioned_,
           CompilePartitions(plan, ExecMode::kOngoing, 0, drain.workers_,
-                            options.morsel_size));
+                            options.morsel_size, ctx));
       drain.schema_ = drain.partitioned_.pipelines.front()->schema();
       return drain;
     }
     ONGOINGDB_ASSIGN_OR_RETURN(drain.serial_root_,
-                               Compile(plan, ExecMode::kOngoing));
+                               Compile(plan, ExecMode::kOngoing, 0, ctx));
     drain.borrowed_ = drain.serial_root_->BorrowedRelation();
     drain.schema_ = drain.serial_root_->schema();
     return drain;
@@ -183,6 +188,7 @@ class AggregationDrain {
   Status Run(const Consume& consume) {
     if (workers_ <= 1) {
       if (borrowed_ != nullptr) {
+        if (ctx_ != nullptr) ONGOINGDB_RETURN_NOT_OK(ctx_->Check());
         for (const Tuple& t : borrowed_->tuples()) consume(0, t);
         return Status::OK();
       }
@@ -207,18 +213,26 @@ class AggregationDrain {
   template <typename Consume>
   static Status DrainPipeline(PhysicalOperator& op, size_t worker,
                               const Consume& consume) {
-    ONGOINGDB_RETURN_NOT_OK(op.Open());
+    // Close on every exit path — a lifecycle error (cancellation,
+    // deadline, budget, an injected fault) mid-drain must still release
+    // the pipeline's bulk state and leave it reopenable.
+    if (Status st = op.Open(); !st.ok()) {
+      op.Close();
+      return st;
+    }
     TupleBatch batch;
+    Status st;
     while (true) {
-      ONGOINGDB_RETURN_NOT_OK(op.Next(&batch));
-      if (batch.empty()) break;
+      st = op.Next(&batch);
+      if (!st.ok() || batch.empty()) break;
       for (size_t i = 0; i < batch.size(); ++i) consume(worker, batch.tuple(i));
     }
     op.Close();
-    return Status::OK();
+    return st;
   }
 
   size_t workers_ = 1;
+  QueryContext* ctx_ = nullptr;
   Schema schema_;
   PhysicalOpPtr serial_root_;
   PartitionedPlan partitioned_;
@@ -278,11 +292,12 @@ StepFunction CountAtEachReferenceTime(const OngoingRelation& r) {
 }
 
 Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan,
-                                              const ParallelOptions& options) {
+                                              const ParallelOptions& options,
+                                              QueryContext* ctx) {
   // Batch-at-a-time ingestion: only the boundary deltas are kept, the
   // query result itself is never materialized.
   ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
-                             AggregationDrain::Prepare(plan, options));
+                             AggregationDrain::Prepare(plan, options, ctx));
   // A bare serial scan needs no batch copies: count over the relation.
   if (drain.borrowed() != nullptr) {
     return CountAtEachReferenceTime(*drain.borrowed());
@@ -338,9 +353,9 @@ Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,
 
 Result<std::vector<GroupedCount>> CountGroupedBy(
     const PlanPtr& plan, const std::string& column,
-    const ParallelOptions& options) {
+    const ParallelOptions& options, QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
-                             AggregationDrain::Prepare(plan, options));
+                             AggregationDrain::Prepare(plan, options, ctx));
   ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, drain.schema().IndexOf(column));
   ONGOINGDB_RETURN_NOT_OK(CheckGroupable(drain.schema(), idx));
   std::vector<GroupDeltas> partials(drain.workers());
@@ -371,9 +386,10 @@ Result<StepFunction> SumAtEachReferenceTime(const OngoingRelation& r,
 
 Result<StepFunction> SumAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
-                                            const ParallelOptions& options) {
+                                            const ParallelOptions& options,
+                                            QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
-                             AggregationDrain::Prepare(plan, options));
+                             AggregationDrain::Prepare(plan, options, ctx));
   ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
                              CheckInt64Column(drain.schema(), column));
   if (drain.borrowed() != nullptr) {
@@ -393,9 +409,10 @@ namespace {
 Result<StepFunction> MinMaxOverPlan(const PlanPtr& plan,
                                     const std::string& column, bool take_min,
                                     int64_t empty_value,
-                                    const ParallelOptions& options) {
+                                    const ParallelOptions& options,
+                                    QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(AggregationDrain drain,
-                             AggregationDrain::Prepare(plan, options));
+                             AggregationDrain::Prepare(plan, options, ctx));
   ONGOINGDB_ASSIGN_OR_RETURN(size_t idx,
                              CheckInt64Column(drain.schema(), column));
   std::vector<std::vector<ValuedInterval>> partials(drain.workers());
@@ -443,16 +460,19 @@ Result<StepFunction> MaxAtEachReferenceTime(const OngoingRelation& r,
 Result<StepFunction> MinAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
                                             int64_t empty_value,
-                                            const ParallelOptions& options) {
-  return MinMaxOverPlan(plan, column, /*take_min=*/true, empty_value, options);
+                                            const ParallelOptions& options,
+                                            QueryContext* ctx) {
+  return MinMaxOverPlan(plan, column, /*take_min=*/true, empty_value, options,
+                        ctx);
 }
 
 Result<StepFunction> MaxAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
                                             int64_t empty_value,
-                                            const ParallelOptions& options) {
+                                            const ParallelOptions& options,
+                                            QueryContext* ctx) {
   return MinMaxOverPlan(plan, column, /*take_min=*/false, empty_value,
-                        options);
+                        options, ctx);
 }
 
 }  // namespace ongoingdb

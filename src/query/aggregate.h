@@ -62,8 +62,12 @@ StepFunction AddStepFunctions(const StepFunction& a, const StepFunction& b);
 /// options.workers > 1 the plan drains as partition pipelines, each
 /// worker accumulating a StepFunction partial that is merged with
 /// AddStepFunctions (serial fallback on small inputs, EffectiveWorkers).
+/// All streaming overloads below accept an optional QueryContext
+/// (query/exec_context.h): cancellation/deadline/budget surface as the
+/// typed lifecycle Status, with every worker task joined first.
 Result<StepFunction> CountAtEachReferenceTime(const PlanPtr& plan,
-                                              const ParallelOptions& options = {});
+                                              const ParallelOptions& options = {},
+                                              QueryContext* ctx = nullptr);
 
 /// Grouped COUNT: one step function per distinct value of the (fixed)
 /// group-by attribute.
@@ -80,7 +84,7 @@ Result<std::vector<GroupedCount>> CountGroupedBy(const OngoingRelation& r,
 /// order of the group value.
 Result<std::vector<GroupedCount>> CountGroupedBy(
     const PlanPtr& plan, const std::string& column,
-    const ParallelOptions& options = {});
+    const ParallelOptions& options = {}, QueryContext* ctx = nullptr);
 
 /// SUM(column)(rt) over the tuples whose RT contains rt. The column must
 /// be a fixed int64 attribute.
@@ -92,7 +96,8 @@ Result<StepFunction> SumAtEachReferenceTime(const OngoingRelation& r,
 /// CountAtEachReferenceTime(PlanPtr).
 Result<StepFunction> SumAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
-                                            const ParallelOptions& options = {});
+                                            const ParallelOptions& options = {},
+                                            QueryContext* ctx = nullptr);
 
 /// MIN/MAX(column)(rt) over the tuples whose RT contains rt; reference
 /// times with no tuples take `empty_value` (default 0).
@@ -111,10 +116,12 @@ Result<StepFunction> MaxAtEachReferenceTime(const OngoingRelation& r,
 Result<StepFunction> MinAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
                                             int64_t empty_value = 0,
-                                            const ParallelOptions& options = {});
+                                            const ParallelOptions& options = {},
+                                            QueryContext* ctx = nullptr);
 Result<StepFunction> MaxAtEachReferenceTime(const PlanPtr& plan,
                                             const std::string& column,
                                             int64_t empty_value = 0,
-                                            const ParallelOptions& options = {});
+                                            const ParallelOptions& options = {},
+                                            QueryContext* ctx = nullptr);
 
 }  // namespace ongoingdb

@@ -1,0 +1,29 @@
+#include "query/exec_context.h"
+
+namespace ongoingdb {
+
+bool IsLifecycleStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FriendlyLifecycleMessage(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kCancelled:
+      return "query cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "query timed out";
+    case StatusCode::kResourceExhausted:
+      return "query exceeded its memory budget";
+    default:
+      return st.ToString();
+  }
+}
+
+}  // namespace ongoingdb

@@ -4,33 +4,36 @@
 
 namespace ongoingdb {
 
-Result<OngoingRelation> Execute(const PlanPtr& plan) {
+Result<OngoingRelation> Execute(const PlanPtr& plan, QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
-                             Compile(plan, ExecMode::kOngoing));
-  return DrainToRelation(*root);
-}
-
-Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
-                                               TimePoint rt) {
-  ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr root,
-                             Compile(plan, ExecMode::kAtReferenceTime, rt));
-  return DrainToRelation(*root);
-}
-
-Result<OngoingRelation> Execute(const PlanPtr& plan,
-                                const ParallelOptions& options) {
-  ONGOINGDB_ASSIGN_OR_RETURN(
-      PhysicalOpPtr root, Compile(plan, ExecMode::kOngoing, 0, options));
-  return DrainToRelation(*root);
+                             Compile(plan, ExecMode::kOngoing, 0, ctx));
+  return DrainToRelation(*root, ctx);
 }
 
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
                                                TimePoint rt,
-                                               const ParallelOptions& options) {
+                                               QueryContext* ctx) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PhysicalOpPtr root, Compile(plan, ExecMode::kAtReferenceTime, rt, ctx));
+  return DrainToRelation(*root, ctx);
+}
+
+Result<OngoingRelation> Execute(const PlanPtr& plan,
+                                const ParallelOptions& options,
+                                QueryContext* ctx) {
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      PhysicalOpPtr root, Compile(plan, ExecMode::kOngoing, 0, options, ctx));
+  return DrainToRelation(*root, ctx);
+}
+
+Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
+                                               TimePoint rt,
+                                               const ParallelOptions& options,
+                                               QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
-      Compile(plan, ExecMode::kAtReferenceTime, rt, options));
-  return DrainToRelation(*root);
+      Compile(plan, ExecMode::kAtReferenceTime, rt, options, ctx));
+  return DrainToRelation(*root, ctx);
 }
 
 }  // namespace ongoingdb

@@ -24,22 +24,31 @@
 
 namespace ongoingdb {
 
-/// Evaluates a plan with ongoing semantics.
-Result<OngoingRelation> Execute(const PlanPtr& plan);
+/// Evaluates a plan with ongoing semantics. A non-null `ctx`
+/// (query/exec_context.h) is checked cooperatively while the plan
+/// drains: cancellation, an expired deadline, or an exceeded memory
+/// budget surface as kCancelled / kDeadlineExceeded / kResourceExhausted.
+Result<OngoingRelation> Execute(const PlanPtr& plan,
+                                QueryContext* ctx = nullptr);
 
 /// Evaluates a plan with Clifford semantics at reference time rt.
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
-                                               TimePoint rt);
+                                               TimePoint rt,
+                                               QueryContext* ctx = nullptr);
 
 /// Parallel variants: drain the plan with options.workers concurrent
 /// partition pipelines (query/physical.h, "Parallel execution"). The
 /// result is the same multiset of tuples as the serial overloads; tuple
 /// ORDER within the result relation is unspecified once workers > 1.
-/// Small inputs fall back to the serial tree (EffectiveWorkers).
+/// Small inputs fall back to the serial tree (EffectiveWorkers). On a
+/// lifecycle error every producer task has finished before the Status
+/// returns.
 Result<OngoingRelation> Execute(const PlanPtr& plan,
-                                const ParallelOptions& options);
+                                const ParallelOptions& options,
+                                QueryContext* ctx = nullptr);
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
                                                TimePoint rt,
-                                               const ParallelOptions& options);
+                                               const ParallelOptions& options,
+                                               QueryContext* ctx = nullptr);
 
 }  // namespace ongoingdb

@@ -8,13 +8,19 @@ Result<MaterializedView> MaterializedView::Create(PlanPtr plan) {
   return view;
 }
 
-Status MaterializedView::Refresh() {
-  if (compiled_ == nullptr) {
-    ONGOINGDB_ASSIGN_OR_RETURN(compiled_, Compile(plan_, ExecMode::kOngoing));
+Status MaterializedView::Refresh(QueryContext* ctx) {
+  if (compiled_ == nullptr || ctx != compiled_ctx_) {
+    ONGOINGDB_ASSIGN_OR_RETURN(compiled_,
+                               Compile(plan_, ExecMode::kOngoing, 0, ctx));
+    compiled_ctx_ = ctx;
   }
   // DrainToRelation re-opens the tree, which fully resets operator state
-  // (the Open() contract) and re-reads the borrowed base relations.
-  ONGOINGDB_ASSIGN_OR_RETURN(result_, DrainToRelation(*compiled_));
+  // (the Open() contract) and re-reads the borrowed base relations. On a
+  // lifecycle error the drained partial result is discarded here and the
+  // view keeps serving its previous materialization.
+  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation refreshed,
+                             DrainToRelation(*compiled_, ctx));
+  result_ = std::move(refreshed);
   return Status::OK();
 }
 

@@ -38,13 +38,21 @@ class MaterializedView {
   /// (IndexScanOp, query/physical.h) keep their IntervalIndex inside
   /// that cached tree, so refreshes reuse the index and only rebuild it
   /// when the indexed column's fingerprint shows the base data changed.
-  Status Refresh();
+  ///
+  /// A non-null `ctx` makes the refresh observe the query-lifecycle
+  /// contract (query/exec_context.h): cancellation, deadline, and budget
+  /// surface as their typed Status, the cached result keeps its previous
+  /// value, and a later Refresh (after ctx->Reset()) succeeds. The tree
+  /// is recompiled when `ctx` differs from the one the cached tree was
+  /// compiled against.
+  Status Refresh(QueryContext* ctx = nullptr);
 
  private:
   explicit MaterializedView(PlanPtr plan) : plan_(std::move(plan)) {}
 
   PlanPtr plan_;
   PhysicalOpPtr compiled_;
+  QueryContext* compiled_ctx_ = nullptr;
   OngoingRelation result_;
 };
 

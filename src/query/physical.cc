@@ -14,6 +14,7 @@
 #include "query/join.h"
 #include "query/optimizer.h"
 #include "storage/stats.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace ongoingdb {
@@ -23,6 +24,25 @@ namespace {
 // ---------------------------------------------------------------------------
 // Shared pieces
 // ---------------------------------------------------------------------------
+
+// The failpoint sites of the execution pipeline (util/failpoint.h; the
+// site registry is documented in docs/DESIGN.md, "Query lifecycle").
+// Disarmed sites cost one relaxed atomic load at the seam.
+Failpoint& fp_exec_open = Failpoint::GetOrCreate("exec.open");
+Failpoint& fp_exec_next = Failpoint::GetOrCreate("exec.next");
+Failpoint& fp_exec_materialize = Failpoint::GetOrCreate("exec.materialize");
+Failpoint& fp_gather_handoff = Failpoint::GetOrCreate("gather.handoff");
+Failpoint& fp_index_build = Failpoint::GetOrCreate("index.build");
+Failpoint& fp_repartition_route = Failpoint::GetOrCreate("repartition.route");
+
+// The cooperative batch-boundary check every operator performs on
+// Open() and at the top of each Next() call: the seam's failpoint,
+// then the query's cancellation/deadline/budget state. Near-free when
+// inactive — one relaxed load, and a null context skips entirely.
+inline Status CheckLifecycle(QueryContext* ctx, Failpoint& fp) {
+  ONGOINGDB_FAILPOINT(fp);
+  return ctx != nullptr ? ctx->Check() : Status::OK();
+}
 
 // Emits one base-relation tuple into `out` under `mode` — the shared
 // per-tuple body of the serial and morsel scans. In kAtReferenceTime
@@ -51,24 +71,45 @@ inline bool EmitBaseTuple(const Tuple& t, ExecMode mode, TimePoint rt,
 // Materializes a physical input for a blocking consumer (join build
 // side). Ongoing-mode scans are borrowed — no copy, exactly like the
 // pre-batched joins keyed directly on the input relations; anything else
-// is drained batch by batch into `owned`, moving each slot's storage out.
+// is drained batch by batch into `owned`, moving each slot's storage
+// out. The blocking loop is a lifecycle seam of its own: it checks the
+// context per batch (a build over a large input must cancel without
+// waiting for the first output batch) and charges the materialized
+// tuples against the query's memory budget. On error the child is
+// Close()d before the Status propagates, so a failed build never leaks
+// an open subtree.
 Status MaterializeInput(PhysicalOperator& child, std::vector<Tuple>* owned,
-                        const std::vector<Tuple>** out) {
+                        const std::vector<Tuple>** out, QueryContext* ctx,
+                        MemoryCharge* charge) {
   if (const OngoingRelation* rel = child.BorrowedRelation()) {
     *out = &rel->tuples();
     return Status::OK();
   }
   owned->clear();
-  ONGOINGDB_RETURN_NOT_OK(child.Open());
+  if (Status st = child.Open(); !st.ok()) {
+    // The join's Close() does not revisit a materialized input (this
+    // function owns its teardown), so close the partially opened
+    // subtree here — it may hold memory charges of its own.
+    child.Close();
+    return st;
+  }
+  Status st;
   TupleBatch batch;
   while (true) {
-    ONGOINGDB_RETURN_NOT_OK(child.Next(&batch));
-    if (batch.empty()) break;
+    st = CheckLifecycle(ctx, fp_exec_materialize);
+    if (!st.ok()) break;
+    st = child.Next(&batch);
+    if (!st.ok() || batch.empty()) break;
+    uint64_t bytes = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
+      bytes += ApproxTupleBytes(batch.tuple(i));
       owned->push_back(std::move(batch.tuple(i)));
     }
+    st = charge->Add(bytes);
+    if (!st.ok()) break;
   }
   child.Close();
+  ONGOINGDB_RETURN_NOT_OK(st);
   *out = owned;
   return Status::OK();
 }
@@ -256,20 +297,24 @@ class JoinHashTable {
 
 class ScanOp final : public PhysicalOperator {
  public:
-  ScanOp(const OngoingRelation* relation, ExecMode mode, TimePoint rt)
+  ScanOp(const OngoingRelation* relation, ExecMode mode, TimePoint rt,
+         QueryContext* ctx)
       : PhysicalOperator(mode == ExecMode::kOngoing
                              ? relation->schema()
                              : relation->schema().Instantiated()),
         relation_(relation),
         mode_(mode),
-        rt_(rt) {}
+        rt_(rt),
+        ctx_(ctx) {}
 
   Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     pos_ = 0;
     return Status::OK();
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     const std::vector<Tuple>& tuples = relation_->tuples();
     while (pos_ < tuples.size() && !out->full()) {
@@ -286,6 +331,7 @@ class ScanOp final : public PhysicalOperator {
   const OngoingRelation* relation_;
   ExecMode mode_;
   TimePoint rt_;
+  QueryContext* ctx_;
   const IntervalSet all_ = IntervalSet::All();
   size_t pos_ = 0;
 };
@@ -338,19 +384,28 @@ class PredicateEvaluator {
 
 class FilterOp final : public PhysicalOperator {
  public:
-  FilterOp(PhysicalOpPtr child, ExprPtr predicate, ExecMode mode, TimePoint rt)
+  FilterOp(PhysicalOpPtr child, ExprPtr predicate, ExecMode mode, TimePoint rt,
+           QueryContext* ctx)
       : PhysicalOperator(child->schema()),
         child_(std::move(child)),
-        evaluator_(std::move(predicate), schema(), mode, rt) {}
+        evaluator_(std::move(predicate), schema(), mode, rt),
+        ctx_(ctx) {}
 
   const char* Name() const override { return "Filter"; }
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
+    return child_->Open();
+  }
 
   Status Next(TupleBatch* out) override {
     // Filters compact the child's batch in place; they loop until at
-    // least one tuple survives (never an empty batch mid-stream).
+    // least one tuple survives (never an empty batch mid-stream) — so
+    // the lifecycle check sits inside the loop: a selective filter over
+    // a large input must cancel between child batches, not only once an
+    // output batch finally fills.
     while (true) {
+      ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
       ONGOINGDB_RETURN_NOT_OK(child_->Next(out));
       if (out->empty()) return Status::OK();
       size_t kept = 0;
@@ -371,6 +426,7 @@ class FilterOp final : public PhysicalOperator {
  private:
   PhysicalOpPtr child_;
   PredicateEvaluator evaluator_;
+  QueryContext* ctx_;
 };
 
 // ---------------------------------------------------------------------------
@@ -407,6 +463,7 @@ struct IndexScanState {
     if (generation != 0 && generation == validated_generation) {
       return Status::OK();
     }
+    ONGOINGDB_FAILPOINT(fp_index_build);
     ONGOINGDB_ASSIGN_OR_RETURN(
         uint64_t fp,
         IntervalIndex::ColumnFingerprint(*info.relation, info.column_index));
@@ -436,7 +493,8 @@ class IndexScanOp final : public PhysicalOperator {
   IndexScanOp(std::shared_ptr<IndexScanState> state, ExprPtr predicate,
               ExecMode mode, TimePoint rt,
               std::shared_ptr<ExchangeState> exchange,
-              ExchangeState::MorselCursor* cursor, size_t morsel_size)
+              ExchangeState::MorselCursor* cursor, size_t morsel_size,
+              QueryContext* ctx)
       : PhysicalOperator(mode == ExecMode::kOngoing
                              ? state->info.relation->schema()
                              : state->info.relation->schema().Instantiated()),
@@ -446,11 +504,13 @@ class IndexScanOp final : public PhysicalOperator {
         exchange_(std::move(exchange)),
         cursor_(cursor),
         morsel_size_(morsel_size),
-        evaluator_(std::move(predicate), schema(), mode, rt) {}
+        evaluator_(std::move(predicate), schema(), mode, rt),
+        ctx_(ctx) {}
 
   const char* Name() const override { return "IndexScan"; }
 
   Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     ONGOINGDB_RETURN_NOT_OK(
         state_->Ensure(exchange_ != nullptr ? exchange_->generation() : 0));
     // The shared cursor (if any) is repositioned by
@@ -461,6 +521,7 @@ class IndexScanOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     const std::vector<size_t>& candidates = state_->candidates;
     const std::vector<Tuple>& tuples = state_->info.relation->tuples();
@@ -499,6 +560,7 @@ class IndexScanOp final : public PhysicalOperator {
   ExchangeState::MorselCursor* cursor_;
   size_t morsel_size_;
   PredicateEvaluator evaluator_;
+  QueryContext* ctx_;
   const IntervalSet all_ = IntervalSet::All();
   size_t pos_ = 0, end_ = 0;
   bool serial_done_ = false;
@@ -527,14 +589,20 @@ Result<std::optional<IndexScanInfo>> ResolveFilterAccessPath(
 
 class ProjectOp final : public PhysicalOperator {
  public:
-  ProjectOp(PhysicalOpPtr child, std::vector<size_t> indices)
+  ProjectOp(PhysicalOpPtr child, std::vector<size_t> indices,
+            QueryContext* ctx)
       : PhysicalOperator(child->schema().Project(indices)),
         child_(std::move(child)),
-        indices_(std::move(indices)) {}
+        indices_(std::move(indices)),
+        ctx_(ctx) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
+    return child_->Open();
+  }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     ONGOINGDB_RETURN_NOT_OK(child_->Next(out));
     for (size_t i = 0; i < out->size(); ++i) {
       Tuple& t = out->tuple(i);
@@ -553,6 +621,7 @@ class ProjectOp final : public PhysicalOperator {
  private:
   PhysicalOpPtr child_;
   std::vector<size_t> indices_;
+  QueryContext* ctx_;
   std::vector<Value> scratch_;
 };
 
@@ -566,16 +635,20 @@ class ProjectOp final : public PhysicalOperator {
 class HashJoinOp final : public PhysicalOperator {
  public:
   HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, EquiJoinPlan plan,
-             ExecMode mode, TimePoint rt)
+             ExecMode mode, TimePoint rt, QueryContext* ctx)
       : PhysicalOperator(plan.joined),
         left_(std::move(left)),
         right_(std::move(right)),
         left_indices_(std::move(plan.left_indices)),
         right_indices_(std::move(plan.right_indices)),
-        emitter_(schema(), std::move(plan.residual), mode, rt) {}
+        emitter_(schema(), std::move(plan.residual), mode, rt),
+        ctx_(ctx) {}
 
   Status Open() override {
-    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*left_, &owned_build_, &build_));
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
+    charge_.Init(ctx_);
+    ONGOINGDB_RETURN_NOT_OK(
+        MaterializeInput(*left_, &owned_build_, &build_, ctx_, &charge_));
     table_.Build(*build_, left_indices_);
     ONGOINGDB_RETURN_NOT_OK(probe_.Open(right_.get()));
     chain_valid_ = false;
@@ -583,6 +656,7 @@ class HashJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
       ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* pt, probe_.Current());
@@ -610,12 +684,15 @@ class HashJoinOp final : public PhysicalOperator {
     owned_build_.clear();
     table_.Reset();
     probe_.Close();
+    charge_.Release();
   }
 
  private:
   PhysicalOpPtr left_, right_;
   std::vector<size_t> left_indices_, right_indices_;
   BatchJoinEmitter emitter_;
+  QueryContext* ctx_;
+  MemoryCharge charge_;
   // Build state.
   std::vector<Tuple> owned_build_;
   const std::vector<Tuple>* build_ = nullptr;
@@ -633,20 +710,26 @@ class HashJoinOp final : public PhysicalOperator {
 class NestedLoopJoinOp final : public PhysicalOperator {
  public:
   NestedLoopJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, Schema joined,
-                   ExprPtr predicate, ExecMode mode, TimePoint rt)
+                   ExprPtr predicate, ExecMode mode, TimePoint rt,
+                   QueryContext* ctx)
       : PhysicalOperator(std::move(joined)),
         left_(std::move(left)),
         right_(std::move(right)),
-        emitter_(schema(), std::move(predicate), mode, rt) {}
+        emitter_(schema(), std::move(predicate), mode, rt),
+        ctx_(ctx) {}
 
   Status Open() override {
-    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*right_, &owned_inner_, &inner_));
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
+    charge_.Init(ctx_);
+    ONGOINGDB_RETURN_NOT_OK(
+        MaterializeInput(*right_, &owned_inner_, &inner_, ctx_, &charge_));
     ONGOINGDB_RETURN_NOT_OK(outer_.Open(left_.get()));
     inner_pos_ = 0;
     return Status::OK();
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
       ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* lt, outer_.Current());
@@ -664,11 +747,14 @@ class NestedLoopJoinOp final : public PhysicalOperator {
   void Close() override {
     owned_inner_.clear();
     outer_.Close();
+    charge_.Release();
   }
 
  private:
   PhysicalOpPtr left_, right_;
   BatchJoinEmitter emitter_;
+  QueryContext* ctx_;
+  MemoryCharge charge_;
   std::vector<Tuple> owned_inner_;
   const std::vector<Tuple>* inner_ = nullptr;
   TupleStream outer_;
@@ -694,6 +780,7 @@ struct IndexJoinState {
     if (generation != 0 && generation == validated_generation) {
       return Status::OK();
     }
+    ONGOINGDB_FAILPOINT(fp_index_build);
     ONGOINGDB_ASSIGN_OR_RETURN(
         uint64_t fp, IntervalIndex::ColumnFingerprint(
                          *info.inner, info.inner_column_index));
@@ -724,18 +811,20 @@ class IndexJoinOp final : public PhysicalOperator {
  public:
   IndexJoinOp(PhysicalOpPtr outer, std::shared_ptr<IndexJoinState> state,
               Schema joined, ExprPtr predicate, ExecMode mode, TimePoint rt,
-              std::shared_ptr<ExchangeState> exchange)
+              std::shared_ptr<ExchangeState> exchange, QueryContext* ctx)
       : PhysicalOperator(std::move(joined)),
         outer_(std::move(outer)),
         state_(std::move(state)),
         mode_(mode),
         rt_(rt),
         exchange_(std::move(exchange)),
-        emitter_(schema(), std::move(predicate), mode, rt) {}
+        emitter_(schema(), std::move(predicate), mode, rt),
+        ctx_(ctx) {}
 
   const char* Name() const override { return "IndexJoin"; }
 
   Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     ONGOINGDB_RETURN_NOT_OK(
         state_->Ensure(exchange_ != nullptr ? exchange_->generation() : 0));
     ONGOINGDB_RETURN_NOT_OK(outer_stream_.Open(outer_.get()));
@@ -745,6 +834,7 @@ class IndexJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     const std::vector<Tuple>& inner = state_->info.inner->tuples();
     while (true) {
@@ -792,6 +882,7 @@ class IndexJoinOp final : public PhysicalOperator {
   TimePoint rt_;
   std::shared_ptr<ExchangeState> exchange_;
   BatchJoinEmitter emitter_;
+  QueryContext* ctx_;
   const IntervalSet all_ = IntervalSet::All();
   // Probe state: the outer stream position plus the suspended candidate
   // cursor; cands_ is reused across probes (CandidatesInto contract).
@@ -845,18 +936,22 @@ Result<IndexJoinInfo> ResolveIndexJoin(const JoinNode& node, ExecMode mode) {
 class SortMergeJoinOp final : public PhysicalOperator {
  public:
   SortMergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, EquiJoinPlan plan,
-                  ExecMode mode, TimePoint rt)
+                  ExecMode mode, TimePoint rt, QueryContext* ctx)
       : PhysicalOperator(plan.joined),
         left_(std::move(left)),
         right_(std::move(right)),
         left_indices_(std::move(plan.left_indices)),
         right_indices_(std::move(plan.right_indices)),
-        emitter_(schema(), std::move(plan.residual), mode, rt) {}
+        emitter_(schema(), std::move(plan.residual), mode, rt),
+        ctx_(ctx) {}
 
   Status Open() override {
-    ONGOINGDB_RETURN_NOT_OK(MaterializeInput(*left_, &owned_left_, &lbuild_));
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
+    charge_.Init(ctx_);
     ONGOINGDB_RETURN_NOT_OK(
-        MaterializeInput(*right_, &owned_right_, &rbuild_));
+        MaterializeInput(*left_, &owned_left_, &lbuild_, ctx_, &charge_));
+    ONGOINGDB_RETURN_NOT_OK(
+        MaterializeInput(*right_, &owned_right_, &rbuild_, ctx_, &charge_));
     ls_.resize(lbuild_->size());
     rs_.resize(rbuild_->size());
     std::iota(ls_.begin(), ls_.end(), size_t{0});
@@ -875,6 +970,7 @@ class SortMergeJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
       // Emit the cross product of the current equal-key groups.
@@ -928,12 +1024,15 @@ class SortMergeJoinOp final : public PhysicalOperator {
     owned_right_.clear();
     ls_.clear();
     rs_.clear();
+    charge_.Release();
   }
 
  private:
   PhysicalOpPtr left_, right_;
   std::vector<size_t> left_indices_, right_indices_;
   BatchJoinEmitter emitter_;
+  QueryContext* ctx_;
+  MemoryCharge charge_;
   std::vector<Tuple> owned_left_, owned_right_;
   const std::vector<Tuple>* lbuild_ = nullptr;
   const std::vector<Tuple>* rbuild_ = nullptr;
@@ -972,7 +1071,8 @@ class SortMergeJoinOp final : public PhysicalOperator {
 class MorselScanOp final : public PhysicalOperator {
  public:
   MorselScanOp(const OngoingRelation* relation, ExecMode mode, TimePoint rt,
-               ExchangeState::MorselCursor* cursor, size_t morsel_size)
+               ExchangeState::MorselCursor* cursor, size_t morsel_size,
+               QueryContext* ctx)
       : PhysicalOperator(mode == ExecMode::kOngoing
                              ? relation->schema()
                              : relation->schema().Instantiated()),
@@ -980,9 +1080,11 @@ class MorselScanOp final : public PhysicalOperator {
         mode_(mode),
         rt_(rt),
         cursor_(cursor),
-        morsel_size_(morsel_size) {}
+        morsel_size_(morsel_size),
+        ctx_(ctx) {}
 
   Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     // The shared cursor is repositioned by ExchangeState::Reset() (one
     // reset per drain round, not one per pipeline); only the local
     // morsel window resets here.
@@ -991,6 +1093,7 @@ class MorselScanOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     const std::vector<Tuple>& tuples = relation_->tuples();
     while (!out->full()) {
@@ -1012,6 +1115,7 @@ class MorselScanOp final : public PhysicalOperator {
   TimePoint rt_;
   ExchangeState::MorselCursor* cursor_;
   size_t morsel_size_;
+  QueryContext* ctx_;
   const IntervalSet all_ = IntervalSet::All();
   size_t pos_ = 0, end_ = 0;
 };
@@ -1028,14 +1132,16 @@ class MorselScanOp final : public PhysicalOperator {
 class RepartitionOp final : public PhysicalOperator {
  public:
   RepartitionOp(PhysicalOpPtr child, std::vector<size_t> key_indices,
-                size_t partition, size_t num_partitions)
+                size_t partition, size_t num_partitions, QueryContext* ctx)
       : PhysicalOperator(child->schema()),
         child_(std::move(child)),
         key_indices_(std::move(key_indices)),
         partition_(partition),
-        num_partitions_(num_partitions) {}
+        num_partitions_(num_partitions),
+        ctx_(ctx) {}
 
   Status Open() override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     const OngoingRelation* rel = child_->BorrowedRelation();
     borrowed_ = rel != nullptr ? &rel->tuples() : nullptr;
     pos_ = 0;
@@ -1048,6 +1154,8 @@ class RepartitionOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
+    ONGOINGDB_FAILPOINT(fp_repartition_route);
     out->Clear();
     if (borrowed_ != nullptr) {
       // Borrowing implies an ongoing-mode scan, so the copy is the
@@ -1093,6 +1201,7 @@ class RepartitionOp final : public PhysicalOperator {
   std::vector<size_t> key_indices_;
   size_t partition_;
   size_t num_partitions_;
+  QueryContext* ctx_;
   const std::vector<Tuple>* borrowed_ = nullptr;
   const IntervalSet all_ = IntervalSet::All();
   TupleBatch in_;
@@ -1112,15 +1221,21 @@ class RepartitionOp final : public PhysicalOperator {
 class GatherOp final : public PhysicalOperator {
  public:
   GatherOp(std::vector<PhysicalOpPtr> pipelines,
-           std::shared_ptr<ExchangeState> exchange)
-      : PhysicalOperator(pipelines.front()->schema()),
+           std::shared_ptr<ExchangeState> exchange, QueryContext* ctx)
+      // Guard the schema deref: an (ill-formed) empty pipeline vector
+      // must not crash the constructor — the operator then streams an
+      // empty result over an empty schema.
+      : PhysicalOperator(pipelines.empty() ? Schema()
+                                           : pipelines.front()->schema()),
         pipelines_(std::move(pipelines)),
-        exchange_(std::move(exchange)) {}
+        exchange_(std::move(exchange)),
+        ctx_(ctx) {}
 
   ~GatherOp() override { CancelAndJoin(); }
 
   Status Open() override {
     CancelAndJoin();  // tolerate reopen without an intervening Close
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     exchange_->Reset();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -1143,6 +1258,15 @@ class GatherOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    // The consumer-side lifecycle check. On a lifecycle error the
+    // producers are stopped and joined *before* the Status surfaces —
+    // the root-level guarantee that no task outlives the query. The
+    // producers also observe the context inside their own pipelines, so
+    // whichever side notices first, the error path converges here.
+    if (Status st = CheckLifecycle(ctx_, fp_exec_next); !st.ok()) {
+      CancelAndJoin();
+      return st;
+    }
     out->Clear();
     while (true) {
       if (current_.has_value()) {
@@ -1186,6 +1310,9 @@ class GatherOp final : public PhysicalOperator {
         std::optional<TupleBatch> batch = AcquireFree();
         if (!batch.has_value()) break;  // cancelled
         st = pipeline->Next(&*batch);
+        if (st.ok() && !batch->empty() && fp_gather_handoff.ShouldFail()) {
+          st = fp_gather_handoff.Fail();
+        }
         if (!st.ok() || batch->empty()) {
           Recycle(std::move(*batch));
           break;
@@ -1196,8 +1323,11 @@ class GatherOp final : public PhysicalOperator {
         }
         consumer_cv_.notify_one();
       }
-      pipeline->Close();
     }
+    // Close unconditionally — also after a failed Open(): a partially
+    // opened pipeline (say, a join whose build side materialized before
+    // the probe side failed) holds bulk state that must be released.
+    pipeline->Close();
     std::lock_guard<std::mutex> lock(mu_);
     if (!st.ok() && error_.ok()) error_ = st;
     --producing_;
@@ -1239,6 +1369,7 @@ class GatherOp final : public PhysicalOperator {
 
   std::vector<PhysicalOpPtr> pipelines_;
   std::shared_ptr<ExchangeState> exchange_;
+  QueryContext* ctx_;
   TaskGroup group_;
   std::mutex mu_;
   std::condition_variable producer_cv_, consumer_cv_;
@@ -1257,6 +1388,7 @@ class GatherOp final : public PhysicalOperator {
 // that scan's instances across all partition pipelines).
 struct PartitionCompileState {
   std::shared_ptr<ExchangeState> exchange;
+  QueryContext* ctx = nullptr;
   std::unordered_map<const PlanNode*, ExchangeState::MorselCursor*> cursors;
   std::unordered_map<const PlanNode*, std::shared_ptr<IndexScanState>>
       index_states;
@@ -1317,7 +1449,7 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
       const auto* node = static_cast<const ScanNode*>(plan.get());
       return PhysicalOpPtr(std::make_unique<MorselScanOp>(
           &node->relation(), mode, rt, state->CursorFor(plan.get()),
-          state->morsel_size));
+          state->morsel_size, state->ctx));
     }
     case PlanKind::kFilter: {
       const auto* node = static_cast<const FilterNode*>(plan.get());
@@ -1330,13 +1462,13 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
         return PhysicalOpPtr(std::make_unique<IndexScanOp>(
             state->IndexStateFor(plan.get(), *index_info), node->predicate(),
             mode, rt, state->exchange, state->CursorFor(plan.get()),
-            state->morsel_size));
+            state->morsel_size, state->ctx));
       }
       ONGOINGDB_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
           CompileForPartition(node->child(), mode, rt, partition, state));
       return PhysicalOpPtr(std::make_unique<FilterOp>(
-          std::move(child), node->predicate(), mode, rt));
+          std::move(child), node->predicate(), mode, rt, state->ctx));
     }
     case PlanKind::kProject: {
       const auto* node = static_cast<const ProjectNode*>(plan.get());
@@ -1349,8 +1481,8 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
         ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(name));
         indices.push_back(idx);
       }
-      return PhysicalOpPtr(
-          std::make_unique<ProjectOp>(std::move(child), std::move(indices)));
+      return PhysicalOpPtr(std::make_unique<ProjectOp>(
+          std::move(child), std::move(indices), state->ctx));
     }
     case PlanKind::kJoin: {
       const auto* node = static_cast<const JoinNode*>(plan.get());
@@ -1401,14 +1533,14 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
             inner_schema, node->left_prefix(), node->right_prefix());
         return PhysicalOpPtr(std::make_unique<IndexJoinOp>(
             std::move(outer), std::move(join_state), std::move(joined),
-            node->predicate(), mode, rt, state->exchange));
+            node->predicate(), mode, rt, state->exchange, state->ctx));
       }
       ONGOINGDB_ASSIGN_OR_RETURN(
           EquiJoinPlan join_plan,
           PrepareEquiJoin(left_schema, right_schema, node->predicate(),
                           node->left_prefix(), node->right_prefix()));
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
-                                 Compile(node->right(), mode, rt));
+                                 Compile(node->right(), mode, rt, state->ctx));
       if (!join_plan.has_keys || algorithm == JoinAlgorithm::kNestedLoop) {
         // Nested-loop: morsel-partition the streaming outer side and
         // replicate the materialized inner side (borrowed outright when
@@ -1420,28 +1552,28 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
             CompileForPartition(node->left(), mode, rt, partition, state));
         return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
             std::move(outer), std::move(right), std::move(join_plan.joined),
-            node->predicate(), mode, rt));
+            node->predicate(), mode, rt, state->ctx));
       }
       // Key-driven joins: hash-partition both inputs, build and probe
       // per-partition tables.
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr left,
-                                 Compile(node->left(), mode, rt));
+                                 Compile(node->left(), mode, rt, state->ctx));
       std::vector<size_t> left_indices = join_plan.left_indices;
       std::vector<size_t> right_indices = join_plan.right_indices;
       PhysicalOpPtr part_left = std::make_unique<RepartitionOp>(
           std::move(left), std::move(left_indices), partition,
-          state->num_partitions);
+          state->num_partitions, state->ctx);
       PhysicalOpPtr part_right = std::make_unique<RepartitionOp>(
           std::move(right), std::move(right_indices), partition,
-          state->num_partitions);
+          state->num_partitions, state->ctx);
       if (algorithm == JoinAlgorithm::kSortMerge) {
         return PhysicalOpPtr(std::make_unique<SortMergeJoinOp>(
             std::move(part_left), std::move(part_right), std::move(join_plan),
-            mode, rt));
+            mode, rt, state->ctx));
       }
       return PhysicalOpPtr(std::make_unique<HashJoinOp>(
           std::move(part_left), std::move(part_right), std::move(join_plan),
-          mode, rt));
+          mode, rt, state->ctx));
     }
   }
   return Status::Internal("unknown plan kind");
@@ -1454,15 +1586,16 @@ Result<PhysicalOpPtr> CompileForPartition(const PlanPtr& plan, ExecMode mode,
 // ---------------------------------------------------------------------------
 
 PhysicalOpPtr MakeScanOp(const OngoingRelation* relation, ExecMode mode,
-                         TimePoint rt) {
-  return std::make_unique<ScanOp>(relation, mode, rt);
+                         TimePoint rt, QueryContext* ctx) {
+  return std::make_unique<ScanOp>(relation, mode, rt, ctx);
 }
 
 Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
                                  PhysicalOpPtr right, ExprPtr predicate,
                                  const std::string& left_prefix,
                                  const std::string& right_prefix,
-                                 ExecMode mode, TimePoint rt) {
+                                 ExecMode mode, TimePoint rt,
+                                 QueryContext* ctx) {
   // Key extraction runs on the operators' output schemas. In Clifford
   // mode these are instantiated, so equality conjuncts on formerly
   // ongoing attributes become usable keys there — matching the paper's
@@ -1484,23 +1617,23 @@ Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
   if (!plan.has_keys || algorithm == JoinAlgorithm::kNestedLoop) {
     return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
         std::move(left), std::move(right), std::move(plan.joined),
-        std::move(predicate), mode, rt));
+        std::move(predicate), mode, rt, ctx));
   }
   if (algorithm == JoinAlgorithm::kSortMerge) {
     return PhysicalOpPtr(std::make_unique<SortMergeJoinOp>(
-        std::move(left), std::move(right), std::move(plan), mode, rt));
+        std::move(left), std::move(right), std::move(plan), mode, rt, ctx));
   }
   // kHash, and the kAuto resolution when keys exist.
   return PhysicalOpPtr(std::make_unique<HashJoinOp>(
-      std::move(left), std::move(right), std::move(plan), mode, rt));
+      std::move(left), std::move(right), std::move(plan), mode, rt, ctx));
 }
 
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
-                              TimePoint rt) {
+                              TimePoint rt, QueryContext* ctx) {
   switch (plan->kind()) {
     case PlanKind::kScan:
       return MakeScanOp(&static_cast<const ScanNode*>(plan.get())->relation(),
-                        mode, rt);
+                        mode, rt, ctx);
     case PlanKind::kFilter: {
       const auto* node = static_cast<const FilterNode*>(plan.get());
       ONGOINGDB_ASSIGN_OR_RETURN(std::optional<IndexScanInfo> index_info,
@@ -1510,25 +1643,26 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
         state->info = *index_info;
         return PhysicalOpPtr(std::make_unique<IndexScanOp>(
             std::move(state), node->predicate(), mode, rt,
-            /*exchange=*/nullptr, /*cursor=*/nullptr, /*morsel_size=*/0));
+            /*exchange=*/nullptr, /*cursor=*/nullptr, /*morsel_size=*/0,
+            ctx));
       }
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                                 Compile(node->child(), mode, rt));
+                                 Compile(node->child(), mode, rt, ctx));
       return PhysicalOpPtr(std::make_unique<FilterOp>(
-          std::move(child), node->predicate(), mode, rt));
+          std::move(child), node->predicate(), mode, rt, ctx));
     }
     case PlanKind::kProject: {
       const auto* node = static_cast<const ProjectNode*>(plan.get());
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                                 Compile(node->child(), mode, rt));
+                                 Compile(node->child(), mode, rt, ctx));
       std::vector<size_t> indices;
       indices.reserve(node->names().size());
       for (const std::string& name : node->names()) {
         ONGOINGDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(name));
         indices.push_back(idx);
       }
-      return PhysicalOpPtr(
-          std::make_unique<ProjectOp>(std::move(child), std::move(indices)));
+      return PhysicalOpPtr(std::make_unique<ProjectOp>(
+          std::move(child), std::move(indices), ctx));
     }
     case PlanKind::kJoin: {
       const auto* node = static_cast<const JoinNode*>(plan.get());
@@ -1540,7 +1674,7 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
         auto state = std::make_shared<IndexJoinState>();
         state->info = info;
         ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr outer,
-                                   Compile(node->left(), mode, rt));
+                                   Compile(node->left(), mode, rt, ctx));
         Schema inner_schema = mode == ExecMode::kOngoing
                                   ? info.inner->schema()
                                   : info.inner->schema().Instantiated();
@@ -1548,15 +1682,15 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
             inner_schema, node->left_prefix(), node->right_prefix());
         return PhysicalOpPtr(std::make_unique<IndexJoinOp>(
             std::move(outer), std::move(state), std::move(joined),
-            node->predicate(), mode, rt, /*exchange=*/nullptr));
+            node->predicate(), mode, rt, /*exchange=*/nullptr, ctx));
       }
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr left,
-                                 Compile(node->left(), mode, rt));
+                                 Compile(node->left(), mode, rt, ctx));
       ONGOINGDB_ASSIGN_OR_RETURN(PhysicalOpPtr right,
-                                 Compile(node->right(), mode, rt));
+                                 Compile(node->right(), mode, rt, ctx));
       return MakeJoinOp(algorithm, std::move(left), std::move(right),
                         node->predicate(), node->left_prefix(),
-                        node->right_prefix(), mode, rt);
+                        node->right_prefix(), mode, rt, ctx);
     }
   }
   return Status::Internal("unknown plan kind");
@@ -1564,11 +1698,13 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
 
 Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
                                           TimePoint rt, size_t workers,
-                                          size_t morsel_size) {
+                                          size_t morsel_size,
+                                          QueryContext* ctx) {
   PartitionedPlan result;
   result.exchange = std::make_shared<ExchangeState>();
   PartitionCompileState state;
   state.exchange = result.exchange;
+  state.ctx = ctx;
   state.morsel_size = std::max<size_t>(morsel_size, 1);
   state.num_partitions = std::max<size_t>(workers, 1);
   result.pipelines.reserve(state.num_partitions);
@@ -1581,30 +1717,48 @@ Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
 }
 
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode, TimePoint rt,
-                              const ParallelOptions& options) {
+                              const ParallelOptions& options,
+                              QueryContext* ctx) {
   const size_t workers = EffectiveWorkers(plan, options);
-  if (workers <= 1) return Compile(plan, mode, rt);
+  if (workers <= 1) return Compile(plan, mode, rt, ctx);
   ONGOINGDB_ASSIGN_OR_RETURN(
       PartitionedPlan partitioned,
-      CompilePartitions(plan, mode, rt, workers, options.morsel_size));
+      CompilePartitions(plan, mode, rt, workers, options.morsel_size, ctx));
   return PhysicalOpPtr(std::make_unique<GatherOp>(
-      std::move(partitioned.pipelines), std::move(partitioned.exchange)));
+      std::move(partitioned.pipelines), std::move(partitioned.exchange),
+      ctx));
 }
 
-Result<OngoingRelation> DrainToRelation(PhysicalOperator& op) {
+Result<OngoingRelation> DrainToRelation(PhysicalOperator& op,
+                                        QueryContext* ctx) {
+  if (ctx != nullptr) ONGOINGDB_RETURN_NOT_OK(ctx->Check());
   // A bare ongoing scan materializes to a copy of the relation itself.
   if (const OngoingRelation* rel = op.BorrowedRelation()) return *rel;
-  ONGOINGDB_RETURN_NOT_OK(op.Open());
+  if (Status st = op.Open(); !st.ok()) {
+    // A partially opened tree (a join whose build side materialized
+    // before a later Open step failed) holds bulk state; Close() is
+    // safe after a failed Open and releases it.
+    op.Close();
+    return st;
+  }
   OngoingRelation result(op.schema());
+  MemoryCharge charge;
+  charge.Init(ctx);
   TupleBatch batch;
+  Status st;
   while (true) {
-    ONGOINGDB_RETURN_NOT_OK(op.Next(&batch));
-    if (batch.empty()) break;
+    st = op.Next(&batch);
+    if (!st.ok() || batch.empty()) break;
+    uint64_t bytes = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
+      bytes += ApproxTupleBytes(batch.tuple(i));
       result.AppendUnchecked(std::move(batch.tuple(i)));
     }
+    st = charge.Add(bytes);
+    if (!st.ok()) break;
   }
   op.Close();
+  ONGOINGDB_RETURN_NOT_OK(st);
   return result;
 }
 

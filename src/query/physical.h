@@ -20,7 +20,16 @@
 //    state emission performs no per-tuple heap allocation beyond what
 //    the tuple's own payload requires.
 //  * Open() fully resets the operator; Open/drain/Close cycles may be
-//    repeated on the same tree (materialized-view refresh does).
+//    repeated on the same tree (materialized-view refresh does) — also
+//    after a failed run: an error Status from Open() or Next() (a
+//    lifecycle event, an injected failpoint, a real fault) leaves the
+//    tree reopenable, and the next Open/drain produces the full result.
+//
+// Query lifecycle (docs/DESIGN.md, "Query lifecycle"): a tree compiled
+// against a QueryContext (query/exec_context.h) checks it cooperatively
+// at every batch boundary — cancellation, deadline, and memory budget
+// surface as kCancelled / kDeadlineExceeded / kResourceExhausted from
+// Next(), with all producer tasks joined before the error returns.
 //
 // Two execution modes share the operator set:
 //
@@ -36,6 +45,7 @@
 #include <memory>
 #include <vector>
 
+#include "query/exec_context.h"
 #include "query/plan.h"
 #include "relation/tuple_batch.h"
 #include "util/result.h"
@@ -98,9 +108,11 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
 /// IndexScanOp that streams an IntervalIndex's candidate list and
 /// evaluates the exact predicate as a residual. Forcing an ineligible
 /// path (AccessPath::kIndex, JoinAlgorithm::kIndexNL) is a compile
-/// error. `rt` is only meaningful for kAtReferenceTime.
+/// error. `rt` is only meaningful for kAtReferenceTime. A non-null `ctx`
+/// is checked cooperatively at every batch boundary of the compiled tree
+/// and must outlive it.
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode,
-                              TimePoint rt = 0);
+                              TimePoint rt = 0, QueryContext* ctx = nullptr);
 
 // ---------------------------------------------------------------------------
 // Parallel execution
@@ -180,7 +192,8 @@ struct PartitionedPlan {
 /// the pipelines behind a single pull-based root.
 Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
                                           TimePoint rt, size_t workers,
-                                          size_t morsel_size);
+                                          size_t morsel_size,
+                                          QueryContext* ctx = nullptr);
 
 /// Parallel-aware lowering: decides the effective worker count via
 /// EffectiveWorkers (query/optimizer.h) and either returns the serial
@@ -189,14 +202,15 @@ Result<PartitionedPlan> CompilePartitions(const PlanPtr& plan, ExecMode mode,
 /// TaskScheduler. The returned operator keeps the serial pull contract:
 /// Open/Next/Close from one consumer thread.
 Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode, TimePoint rt,
-                              const ParallelOptions& options);
+                              const ParallelOptions& options,
+                              QueryContext* ctx = nullptr);
 
 /// A scan over an existing relation (outside any plan). In kOngoing mode
 /// the scan borrows the relation; in kAtReferenceTime mode it streams
 /// the instantiated tuples ||r||rt. The relation must outlive the
 /// operator.
 PhysicalOpPtr MakeScanOp(const OngoingRelation* relation, ExecMode mode,
-                         TimePoint rt = 0);
+                         TimePoint rt = 0, QueryContext* ctx = nullptr);
 
 /// A join operator over two physical inputs. kAuto resolves as in
 /// Compile(); the key-driven algorithms fall back to nested-loop when
@@ -205,12 +219,17 @@ Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
                                  PhysicalOpPtr right, ExprPtr predicate,
                                  const std::string& left_prefix,
                                  const std::string& right_prefix,
-                                 ExecMode mode, TimePoint rt = 0);
+                                 ExecMode mode, TimePoint rt = 0,
+                                 QueryContext* ctx = nullptr);
 
 /// Open/drain/Close the operator tree into a materialized relation —
 /// the compatibility bridge for the relation-in/relation-out API
 /// (Execute, the relation-level joins). Scans short-circuit to a plain
-/// relation copy.
-Result<OngoingRelation> DrainToRelation(PhysicalOperator& op);
+/// relation copy. On error the tree is Close()d before the Status
+/// returns (producer tasks joined, bulk state released); a non-null
+/// `ctx` additionally charges the materialized result against the
+/// query's memory budget while the drain runs.
+Result<OngoingRelation> DrainToRelation(PhysicalOperator& op,
+                                        QueryContext* ctx = nullptr);
 
 }  // namespace ongoingdb

@@ -369,10 +369,10 @@ Result<PlanPtr> ParseQuery(const std::string& query, const Catalog& catalog) {
 }
 
 Result<OngoingRelation> RunQuery(const std::string& query,
-                                 const Catalog& catalog) {
+                                 const Catalog& catalog, QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr plan, ParseQuery(query, catalog));
   ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(plan));
-  return Execute(optimized);
+  return Execute(optimized, ctx);
 }
 
 Result<ExprPtr> ParseExpressionFragment(const std::vector<Token>& tokens,

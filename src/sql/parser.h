@@ -25,6 +25,7 @@
 // so columns are referenced as  alias.column  after a join (e.g. b.VT).
 #pragma once
 
+#include "query/exec_context.h"
 #include "query/plan.h"
 #include "sql/catalog.h"
 #include "sql/lexer.h"
@@ -38,9 +39,13 @@ namespace sql {
 /// outlive the plan.
 Result<PlanPtr> ParseQuery(const std::string& query, const Catalog& catalog);
 
-/// Parses, optimizes, and executes a query in one call.
+/// Parses, optimizes, and executes a query in one call. A non-null
+/// `ctx` (query/exec_context.h) makes execution observe the query
+/// lifecycle: cancellation, deadline, and memory budget surface as
+/// their typed Status.
 Result<OngoingRelation> RunQuery(const std::string& query,
-                                 const Catalog& catalog);
+                                 const Catalog& catalog,
+                                 QueryContext* ctx = nullptr);
 
 // --- Fragment entry points (used by the statement parser) ------------------
 

@@ -273,14 +273,14 @@ Result<StatementResult> RunUpdate(const std::vector<Token>& tokens,
 }  // namespace
 
 Result<StatementResult> RunStatement(const std::string& statement,
-                                     Catalog* catalog) {
+                                     Catalog* catalog, QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
   if (tokens.empty() || tokens[0].Is(TokenType::kEnd)) {
     return Status::InvalidArgument("empty statement");
   }
   if (tokens[0].IsKeyword("SELECT")) {
     ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation relation,
-                               RunQuery(statement, *catalog));
+                               RunQuery(statement, *catalog, ctx));
     StatementResult result;
     result.affected = relation.size();
     result.message = std::to_string(relation.size()) + " row(s)";

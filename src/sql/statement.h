@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "query/exec_context.h"
 #include "relation/relation.h"
 #include "sql/catalog.h"
 #include "util/result.h"
@@ -35,9 +36,12 @@ struct StatementResult {
 };
 
 /// Parses and executes one statement against (and possibly mutating)
-/// `catalog`.
+/// `catalog`. A non-null `ctx` (query/exec_context.h) applies the query
+/// lifecycle — cancellation, deadline, memory budget — to SELECT
+/// execution; DDL/DML run unconditionally.
 Result<StatementResult> RunStatement(const std::string& statement,
-                                     Catalog* catalog);
+                                     Catalog* catalog,
+                                     QueryContext* ctx = nullptr);
 
 }  // namespace sql
 }  // namespace ongoingdb

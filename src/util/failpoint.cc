@@ -1,0 +1,192 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ongoingdb {
+
+namespace {
+
+// SplitMix64 finalizer — the same mixing the Rng::Split streams use, so
+// probability-mode draws are well distributed even for consecutive hit
+// indices, with no shared RNG state between threads.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::atomic<bool> g_suspended{false};
+
+}  // namespace
+
+/// The process-global site registry. Owns every Failpoint forever
+/// (sites are planted as namespace-scope references into library code,
+/// so they must never be destroyed); applies the ONGOINGDB_FAILPOINTS
+/// spec once, on construction — i.e. on the first GetOrCreate, which
+/// static site registration performs during program start.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry registry;
+    return registry;
+  }
+
+  Failpoint& GetOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = sites_.try_emplace(name, nullptr);
+    if (inserted) {
+      it->second = std::unique_ptr<Failpoint>(new Failpoint(name));
+      auto env = env_specs_.find(name);
+      if (env != env_specs_.end()) {
+        (void)it->second->ArmFromSpec(env->second);
+      }
+    }
+    return *it->second;
+  }
+
+  Failpoint* Find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    return it == sites_.end() ? nullptr : it->second.get();
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [_, fp] : sites_) fp->Disarm();
+  }
+
+  std::vector<std::string> Names() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(sites_.size());
+    for (const auto& [name, _] : sites_) names.push_back(name);
+    return names;  // std::map iterates sorted
+  }
+
+ private:
+  FailpointRegistry() {
+    // "name=spec" entries separated by ',' or ';'. Unknown names are
+    // remembered: the site arms the moment the library registers it.
+    const char* env = std::getenv("ONGOINGDB_FAILPOINTS");
+    if (env == nullptr) return;
+    std::string all(env);
+    size_t begin = 0;
+    while (begin <= all.size()) {
+      size_t end = all.find_first_of(",;", begin);
+      if (end == std::string::npos) end = all.size();
+      std::string entry = all.substr(begin, end - begin);
+      begin = end + 1;
+      size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) continue;
+      env_specs_[entry.substr(0, eq)] = entry.substr(eq + 1);
+    }
+  }
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+  std::map<std::string, std::string> env_specs_;
+};
+
+Failpoint& Failpoint::GetOrCreate(const std::string& name) {
+  return FailpointRegistry::Instance().GetOrCreate(name);
+}
+
+Failpoint* Failpoint::Find(const std::string& name) {
+  return FailpointRegistry::Instance().Find(name);
+}
+
+void Failpoint::DisarmAll() { FailpointRegistry::Instance().DisarmAll(); }
+
+std::vector<std::string> Failpoint::RegisteredNames() {
+  return FailpointRegistry::Instance().Names();
+}
+
+void Failpoint::SuspendAll(bool suspended) {
+  g_suspended.store(suspended, std::memory_order_relaxed);
+}
+
+void Failpoint::Arm(Mode mode, uint64_t after, double p, uint64_t seed) {
+  // Disarm first so concurrent hits see kOff while the parameters
+  // change, then publish them with the mode store (release pairs with
+  // the acquire in ShouldFailSlow).
+  mode_.store(static_cast<uint32_t>(Mode::kOff), std::memory_order_release);
+  after_ = after;
+  seed_ = seed;
+  p = std::clamp(p, 0.0, 1.0);
+  prob_threshold_ =
+      p >= 1.0 ? UINT64_MAX
+               : static_cast<uint64_t>(
+                     p * 18446744073709551615.0);  // p * (2^64 - 1)
+  hits_.store(0, std::memory_order_relaxed);
+  mode_.store(static_cast<uint32_t>(mode), std::memory_order_release);
+}
+
+bool Failpoint::ShouldFailSlow() {
+  if (g_suspended.load(std::memory_order_relaxed)) return false;
+  const Mode mode =
+      static_cast<Mode>(mode_.load(std::memory_order_acquire));
+  switch (mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kAlways:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case Mode::kAfterN:
+      return hits_.fetch_add(1, std::memory_order_relaxed) >= after_;
+    case Mode::kProbability: {
+      const uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed);
+      return Mix(seed_ + 0x9E3779B97F4A7C15ULL * (hit + 1)) <
+             prob_threshold_;
+    }
+  }
+  return false;
+}
+
+Status Failpoint::ArmFromSpec(const std::string& spec) {
+  // A bad spec must leave the site disarmed (not keep a stale arming),
+  // so disarm first and re-arm only when the spec parses.
+  Disarm();
+  if (spec == "always") {
+    ArmAlways();
+    return Status::OK();
+  }
+  if (spec == "off") {
+    Disarm();
+    return Status::OK();
+  }
+  if (spec.rfind("after:", 0) == 0) {
+    char* end = nullptr;
+    const uint64_t n = std::strtoull(spec.c_str() + 6, &end, 10);
+    if (end == spec.c_str() + 6 || *end != '\0') {
+      return Status::InvalidArgument("bad failpoint spec '" + spec + "'");
+    }
+    ArmAfterHits(n);
+    return Status::OK();
+  }
+  if (spec.rfind("prob:", 0) == 0) {
+    char* end = nullptr;
+    const double p = std::strtod(spec.c_str() + 5, &end);
+    if (end == spec.c_str() + 5 || (p < 0.0 || p > 1.0)) {
+      return Status::InvalidArgument("bad failpoint spec '" + spec + "'");
+    }
+    uint64_t seed = 0;
+    if (*end == ':') {
+      char* seed_end = nullptr;
+      seed = std::strtoull(end + 1, &seed_end, 10);
+      if (seed_end == end + 1 || *seed_end != '\0') {
+        return Status::InvalidArgument("bad failpoint spec '" + spec + "'");
+      }
+    } else if (*end != '\0') {
+      return Status::InvalidArgument("bad failpoint spec '" + spec + "'");
+    }
+    ArmProbability(p, seed);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("bad failpoint spec '" + spec + "'");
+}
+
+}  // namespace ongoingdb

@@ -1,0 +1,166 @@
+// Failpoints: named fault-injection sites in the style of MongoDB's
+// server failpoints. Production code plants a site at a hazardous seam
+// (operator Open, producer batch handoff, index build, repartition
+// routing, blocking materialization) and the site stays a single relaxed
+// atomic load until a test — or the ONGOINGDB_FAILPOINTS environment
+// variable — arms it:
+//
+//   // at namespace scope in the .cc that owns the seam:
+//   Failpoint& fp_exec_open = Failpoint::GetOrCreate("exec.open");
+//
+//   // at the seam (inside a Status-returning function):
+//   ONGOINGDB_FAILPOINT(fp_exec_open);
+//
+//   // in a test:
+//   ScopedFailpoint guard("exec.open", "after:3");  // 4th hit onward fails
+//
+// Trigger modes (the spec grammar, also used by the env variable):
+//
+//   always            every hit fails
+//   after:N           the first N hits pass, every later hit fails
+//   prob:P[:SEED]     each hit fails independently with probability P,
+//                     deterministically derived from (SEED, hit index)
+//                     — replaying a run replays the same faults
+//
+// ONGOINGDB_FAILPOINTS activates sites at process start (parsed on first
+// registry access, which static site registration triggers):
+//
+//   ONGOINGDB_FAILPOINTS="exec.next=prob:0.01:42,gather.handoff=after:100"
+//
+// A triggered site returns Status::Internal("failpoint '<name>' ..."),
+// which exercises exactly the error paths a real fault at that seam
+// would: the fault-injection suite asserts the engine surfaces it as a
+// clean typed Status with all worker threads joined and the operator
+// tree reopenable. Sites are process-global and thread-safe; arming and
+// hit-counting use atomics, so concurrent producer pipelines hit one
+// shared site. DisarmAll() + Suspend() give tests a clean slate even
+// when the environment armed sites the test does not expect.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ongoingdb {
+
+/// One named fault-injection site. Create via GetOrCreate (never
+/// directly): instances live in the process-global registry forever, so
+/// planted references stay valid across test arm/disarm cycles.
+class Failpoint {
+ public:
+  enum class Mode : uint32_t { kOff = 0, kAlways, kAfterN, kProbability };
+
+  /// The registry: returns the site named `name`, creating it on first
+  /// use. The first call also applies the ONGOINGDB_FAILPOINTS
+  /// environment spec, so env-armed sites fire without any test setup.
+  static Failpoint& GetOrCreate(const std::string& name);
+
+  /// The already-registered site named `name`, or nullptr. Tests use it
+  /// to arm sites planted in the library.
+  static Failpoint* Find(const std::string& name);
+
+  /// Disarms every registered site (test teardown).
+  static void DisarmAll();
+
+  /// Names of all registered sites, sorted — the site registry the
+  /// design doc documents is generated from this.
+  static std::vector<std::string> RegisteredNames();
+
+  /// Globally suspends (true) or resumes (false) all sites: while
+  /// suspended, every ShouldFail() returns false without consuming hit
+  /// counts' semantics (hits are not counted). Lets a test compute a
+  /// fault-free reference result while ambient (env-armed) sites stay
+  /// configured.
+  static void SuspendAll(bool suspended);
+
+  const std::string& name() const { return name_; }
+
+  /// True when this hit of the site must fail. The disarmed fast path is
+  /// one relaxed atomic load.
+  bool ShouldFail() {
+    if (mode_.load(std::memory_order_relaxed) ==
+        static_cast<uint32_t>(Mode::kOff)) {
+      return false;
+    }
+    return ShouldFailSlow();
+  }
+
+  /// The Status a triggered site returns.
+  Status Fail() const {
+    return Status::Internal("failpoint '" + name_ + "' triggered");
+  }
+
+  void ArmAlways() { Arm(Mode::kAlways, 0, 0.0, 0); }
+
+  /// First `n` hits pass, every later hit fails.
+  void ArmAfterHits(uint64_t n) { Arm(Mode::kAfterN, n, 0.0, 0); }
+
+  /// Each hit fails with probability `p`, derived deterministically from
+  /// (seed, hit index) — no shared RNG state, no cross-thread ordering
+  /// sensitivity beyond the hit-counter interleaving itself.
+  void ArmProbability(double p, uint64_t seed) {
+    Arm(Mode::kProbability, 0, p, seed);
+  }
+
+  /// Arms from the spec grammar above ("always", "after:N",
+  /// "prob:P[:SEED]").
+  Status ArmFromSpec(const std::string& spec);
+
+  void Disarm() { Arm(Mode::kOff, 0, 0.0, 0); }
+
+  bool armed() const {
+    return mode_.load(std::memory_order_relaxed) !=
+           static_cast<uint32_t>(Mode::kOff);
+  }
+
+  /// Hits observed since the site was last armed.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  friend class FailpointRegistry;
+
+  void Arm(Mode mode, uint64_t after, double p, uint64_t seed);
+  bool ShouldFailSlow();
+
+  const std::string name_;
+  std::atomic<uint32_t> mode_{static_cast<uint32_t>(Mode::kOff)};
+  std::atomic<uint64_t> hits_{0};
+  // Written only while disarmed->armed transitions (Arm), read by
+  // concurrent hits afterwards; the mode_ store releases them.
+  uint64_t after_ = 0;
+  uint64_t prob_threshold_ = 0;  // fail when mix(seed, hit) < threshold
+  uint64_t seed_ = 0;
+};
+
+/// RAII arm/disarm for tests: arms `name` (creating the site if the
+/// library has not planted it yet — useful in unit tests of the
+/// facility itself) and disarms it on scope exit.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(const std::string& name, const std::string& spec)
+      : fp_(&Failpoint::GetOrCreate(name)) {
+    Status st = fp_->ArmFromSpec(spec);
+    (void)st;  // a bad spec leaves the site disarmed
+  }
+  ~ScopedFailpoint() { fp_->Disarm(); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  Failpoint& failpoint() { return *fp_; }
+
+ private:
+  Failpoint* fp_;
+};
+
+}  // namespace ongoingdb
+
+/// Plants a site in a Status-returning function: returns the failure
+/// Status when the (usually disarmed) site triggers.
+#define ONGOINGDB_FAILPOINT(fp)                    \
+  do {                                             \
+    if ((fp).ShouldFail()) return (fp).Fail();     \
+  } while (false)

@@ -1,0 +1,572 @@
+// Fault-injection suite for the query-lifecycle contract
+// (query/exec_context.h, util/failpoint.h, docs/DESIGN.md "Query
+// lifecycle"): randomized plans × exec modes × worker counts are run
+// with injected cancellations, expired deadlines, tiny memory budgets,
+// and armed failpoints at every hazardous seam, asserting that
+//
+//  * the error surfaces as a clean typed Status (no hang, no crash);
+//  * every producer task is joined before the error returns (TSan
+//    covers the proof);
+//  * memory accounting drains back to zero (no leaked charges);
+//  * after DisarmAll() + ctx.Reset(), reopening the SAME operator tree
+//    produces exactly the reference result.
+//
+// The suite runs under ASan+UBSan and TSan in CI (satellite of the
+// lifecycle PR); FailpointEnvSmoke additionally verifies the
+// ONGOINGDB_FAILPOINTS environment activation path when CI sets it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "query/executor.h"
+#include "query/materialized_view.h"
+#include "testing/plan_fuzz.h"
+#include "util/failpoint.h"
+
+namespace ongoingdb {
+namespace {
+
+using plan_fuzz::Fingerprint;
+using plan_fuzz::ForcedParallel;
+using plan_fuzz::FuzzSeeds;
+using plan_fuzz::MakeBase;
+using plan_fuzz::PlanFixture;
+using plan_fuzz::RandomPlan;
+using plan_fuzz::ReferenceExecute;
+using plan_fuzz::ReferenceExecuteAt;
+
+bool IsInjectedFault(const Status& st) {
+  return st.code() == StatusCode::kInternal &&
+         st.message().find("failpoint") != std::string::npos;
+}
+
+// Every test starts and ends with all sites disarmed, so ambient
+// ONGOINGDB_FAILPOINTS arming (the CI smoke job) cannot poison the
+// deterministic scenarios, and a failed scenario cannot poison the next.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoint::DisarmAll(); }
+  void TearDown() override {
+    Failpoint::DisarmAll();
+    Failpoint::SuspendAll(false);
+  }
+};
+
+// --- QueryContext unit tests ------------------------------------------------
+
+TEST_F(FaultInjectionTest, ContextCheckReportsTypedStatuses) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.IsCancelled());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  ctx.Reset();
+  EXPECT_TRUE(ctx.Check().ok());
+
+  ctx.SetDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  ctx.ClearDeadline();
+  EXPECT_TRUE(ctx.Check().ok());
+  ctx.SetTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(ctx.Check().ok());
+
+  ctx.Reset();
+  ctx.SetMemoryBudget(100);
+  EXPECT_TRUE(ctx.ChargeMemory(60).ok());
+  EXPECT_EQ(ctx.memory_used(), 60u);
+  // The failing charge is still recorded: the matching release keeps the
+  // accounting exact.
+  EXPECT_EQ(ctx.ChargeMemory(60).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.memory_used(), 120u);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+  ctx.ReleaseMemory(120);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+  EXPECT_TRUE(ctx.Check().ok());
+
+  // Reset clears the accounting but keeps the budget limit.
+  EXPECT_TRUE(ctx.ChargeMemory(90).ok());
+  ctx.Cancel();
+  ctx.Reset();
+  EXPECT_EQ(ctx.memory_used(), 0u);
+  EXPECT_FALSE(ctx.ChargeMemory(150).ok());
+  ctx.Reset();
+}
+
+TEST_F(FaultInjectionTest, MemoryChargeReleasesOnDestructionAndReinit) {
+  QueryContext ctx;
+  ctx.SetMemoryBudget(1000);
+  {
+    MemoryCharge charge;
+    charge.Init(&ctx);
+    EXPECT_TRUE(charge.Add(400).ok());
+    EXPECT_EQ(ctx.memory_used(), 400u);
+    // Re-Init (a reopen after a failed run) releases the stale charge.
+    charge.Init(&ctx);
+    EXPECT_EQ(ctx.memory_used(), 0u);
+    EXPECT_TRUE(charge.Add(250).ok());
+  }
+  EXPECT_EQ(ctx.memory_used(), 0u);  // destructor backstop
+  MemoryCharge null_charge;
+  null_charge.Init(nullptr);
+  EXPECT_TRUE(null_charge.Add(1 << 30).ok());  // no-op without a context
+}
+
+TEST_F(FaultInjectionTest, LifecycleStatusHelpers) {
+  EXPECT_TRUE(IsLifecycleStatus(Status::Cancelled("x")));
+  EXPECT_TRUE(IsLifecycleStatus(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsLifecycleStatus(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsLifecycleStatus(Status::OK()));
+  EXPECT_FALSE(IsLifecycleStatus(Status::Internal("x")));
+  EXPECT_EQ(FriendlyLifecycleMessage(Status::Cancelled("x")),
+            "query cancelled");
+  EXPECT_EQ(FriendlyLifecycleMessage(Status::DeadlineExceeded("x")),
+            "query timed out");
+  EXPECT_EQ(FriendlyLifecycleMessage(Status::ResourceExhausted("x")),
+            "query exceeded its memory budget");
+}
+
+// --- Failpoint unit tests ---------------------------------------------------
+
+TEST_F(FaultInjectionTest, FailpointModes) {
+  Failpoint& fp = Failpoint::GetOrCreate("test.modes");
+  EXPECT_FALSE(fp.armed());
+  EXPECT_FALSE(fp.ShouldFail());
+
+  fp.ArmAlways();
+  EXPECT_TRUE(fp.armed());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_EQ(fp.hits(), 2u);
+  EXPECT_TRUE(IsInjectedFault(fp.Fail()));
+  EXPECT_NE(fp.Fail().message().find("test.modes"), std::string::npos);
+
+  fp.ArmAfterHits(3);
+  EXPECT_EQ(fp.hits(), 0u);  // rearming resets the hit count
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+
+  fp.Disarm();
+  EXPECT_FALSE(fp.armed());
+  EXPECT_FALSE(fp.ShouldFail());
+}
+
+TEST_F(FaultInjectionTest, FailpointProbabilityIsDeterministic) {
+  Failpoint& fp = Failpoint::GetOrCreate("test.prob");
+  auto sample = [&fp](double p, uint64_t seed, int n) {
+    fp.ArmProbability(p, seed);
+    std::vector<bool> fired;
+    fired.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) fired.push_back(fp.ShouldFail());
+    return fired;
+  };
+  // Same (p, seed) replays the same fault schedule.
+  EXPECT_EQ(sample(0.3, 42, 200), sample(0.3, 42, 200));
+  // p = 0 never fires, p = 1 always fires.
+  std::vector<bool> never = sample(0.0, 7, 100);
+  EXPECT_EQ(std::count(never.begin(), never.end(), true), 0);
+  std::vector<bool> always = sample(1.0, 7, 100);
+  EXPECT_EQ(std::count(always.begin(), always.end(), true), 100);
+  // A middling p fires sometimes but not always.
+  std::vector<bool> mixed = sample(0.5, 99, 400);
+  auto fired = std::count(mixed.begin(), mixed.end(), true);
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 400);
+  fp.Disarm();
+}
+
+TEST_F(FaultInjectionTest, FailpointSpecParsing) {
+  Failpoint& fp = Failpoint::GetOrCreate("test.spec");
+  EXPECT_TRUE(fp.ArmFromSpec("always").ok());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ArmFromSpec("off").ok());
+  EXPECT_FALSE(fp.armed());
+  EXPECT_TRUE(fp.ArmFromSpec("after:2").ok());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ArmFromSpec("prob:0.5:123").ok());
+  EXPECT_TRUE(fp.armed());
+  // Bad specs are rejected and leave the site disarmed.
+  for (const char* bad : {"", "sometimes", "after:", "after:x", "prob:",
+                          "prob:2.5", "prob:-1", "prob:0.5:zz"}) {
+    EXPECT_FALSE(fp.ArmFromSpec(bad).ok()) << bad;
+    EXPECT_FALSE(fp.armed()) << bad;
+  }
+}
+
+TEST_F(FaultInjectionTest, FailpointRegistryAndSuspension) {
+  // The library's planted sites are registered by static initialization.
+  std::vector<std::string> names = Failpoint::RegisteredNames();
+  for (const char* site : {"exec.open", "exec.next", "exec.materialize",
+                           "gather.handoff", "index.build",
+                           "repartition.route"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), site), names.end())
+        << "site not planted: " << site;
+    EXPECT_NE(Failpoint::Find(site), nullptr);
+  }
+  EXPECT_EQ(Failpoint::Find("no.such.site"), nullptr);
+
+  ScopedFailpoint guard("exec.open", "always");
+  EXPECT_TRUE(guard.failpoint().armed());
+  Failpoint::SuspendAll(true);
+  EXPECT_FALSE(guard.failpoint().ShouldFail());  // suspended, still armed
+  EXPECT_TRUE(guard.failpoint().armed());
+  Failpoint::SuspendAll(false);
+  EXPECT_TRUE(guard.failpoint().ShouldFail());
+  Failpoint::DisarmAll();
+  EXPECT_FALSE(guard.failpoint().armed());
+}
+
+TEST_F(FaultInjectionTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint guard("exec.next", "always");
+    EXPECT_TRUE(Failpoint::Find("exec.next")->armed());
+  }
+  EXPECT_FALSE(Failpoint::Find("exec.next")->armed());
+}
+
+// --- environment activation (run by the CI smoke step) ----------------------
+
+TEST(FailpointEnvSmoke, EnvArmedSiteFailsQueries) {
+  const char* env = std::getenv("ONGOINGDB_FAILPOINTS");
+  if (env == nullptr ||
+      std::string(env).find("exec.open=always") == std::string::npos) {
+    GTEST_SKIP()
+        << "run with ONGOINGDB_FAILPOINTS=exec.open=always to exercise "
+           "environment activation";
+  }
+  EXPECT_TRUE(Failpoint::Find("exec.open") != nullptr &&
+              Failpoint::Find("exec.open")->armed());
+  OngoingRelation r(Schema({{"K", ValueType::kInt64},
+                            {"VT", ValueType::kOngoingInterval}}));
+  ASSERT_TRUE(
+      r.Insert({Value::Int64(1),
+                Value::Ongoing(OngoingInterval::SinceUntilNow(0))})
+          .ok());
+  // A filter on top keeps the drain off the borrowed-scan shortcut, so
+  // the root Open (and with it the armed site) is actually reached.
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("K"), Lit(int64_t{10})));
+  auto result = Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsInjectedFault(result.status()));
+  // Suspension restores fault-free execution without touching the
+  // environment arming.
+  Failpoint::SuspendAll(true);
+  EXPECT_TRUE(Execute(plan).ok());
+  Failpoint::SuspendAll(false);
+}
+
+// --- randomized fault-injection sweeps --------------------------------------
+
+struct ExecConfig {
+  const char* name;
+  size_t workers;  // 0 = serial Compile (no ParallelOptions)
+  size_t morsel_size;
+};
+
+const ExecConfig kConfigs[] = {
+    {"serial", 0, 0},
+    {"parallel1", 1, 3},
+    {"parallel2", 2, 3},
+    {"parallel4", 4, 3},
+};
+
+Result<PhysicalOpPtr> CompileFor(const PlanPtr& plan, const ExecConfig& cfg,
+                                 QueryContext* ctx) {
+  if (cfg.workers == 0) {
+    return Compile(plan, ExecMode::kOngoing, 0, ctx);
+  }
+  return Compile(plan, ExecMode::kOngoing, 0,
+                 ForcedParallel(cfg.workers, cfg.morsel_size), ctx);
+}
+
+// One lifecycle scenario: run `arm` (arming failpoints and/or poisoning
+// the context), drain the tree expecting either a clean typed error or —
+// when the fault never got hit — the correct result; then disarm, reset,
+// and reopen the SAME tree, which must produce exactly `want`.
+void RunScenario(const char* label, PhysicalOperator& root, QueryContext& ctx,
+                 const std::multiset<std::string>& want,
+                 const std::function<void()>& arm,
+                 bool expect_failure = false) {
+  SCOPED_TRACE(label);
+  arm();
+  auto faulty = DrainToRelation(root, &ctx);
+  if (!faulty.ok()) {
+    const Status& st = faulty.status();
+    EXPECT_TRUE(IsLifecycleStatus(st) || IsInjectedFault(st))
+        << st.ToString();
+  } else {
+    EXPECT_FALSE(expect_failure) << "fault did not surface";
+    EXPECT_EQ(Fingerprint(*faulty), want);
+  }
+  // All charges are released once the tree is closed (DrainToRelation
+  // closes on every path).
+  EXPECT_EQ(ctx.memory_used(), 0u);
+
+  Failpoint::DisarmAll();
+  ctx.Reset();
+  ctx.SetMemoryBudget(0);  // Reset keeps the budget limit; clear it here
+  auto recovered = DrainToRelation(root, &ctx);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Fingerprint(*recovered), want);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+class LifecycleFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { Failpoint::DisarmAll(); }
+  void TearDown() override {
+    Failpoint::DisarmAll();
+    Failpoint::SuspendAll(false);
+  }
+};
+
+TEST_P(LifecycleFuzzTest, InjectedFaultsSurfaceCleanlyAndTreesReopen) {
+  const uint64_t seed = GetParam();
+  ONGOINGDB_FUZZ_SEED_TRACE(seed);
+  Rng rng(seed);
+  PlanFixture fx;
+  PlanPtr plan = RandomPlan(rng, &fx, 3);
+  auto reference = ReferenceExecute(plan);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::multiset<std::string> want = Fingerprint(*reference);
+
+  for (const ExecConfig& cfg : kConfigs) {
+    SCOPED_TRACE(cfg.name);
+    QueryContext ctx;
+    auto compiled = CompileFor(plan, cfg, &ctx);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    PhysicalOperator& root = **compiled;
+
+    RunScenario("pre-cancelled", root, ctx, want, [&ctx] { ctx.Cancel(); },
+                /*expect_failure=*/true);
+    RunScenario("expired-deadline", root, ctx, want,
+                [&ctx] {
+                  ctx.SetDeadline(std::chrono::steady_clock::now() -
+                                  std::chrono::milliseconds(1));
+                },
+                /*expect_failure=*/true);
+    RunScenario("tiny-budget", root, ctx, want,
+                [&ctx] { ctx.SetMemoryBudget(1); });
+
+    // Every planted seam, in every trigger mode that can reach it. Sites
+    // a given plan/config never reaches (no index, serial gather) simply
+    // do not fire — the scenario then checks the correct result instead.
+    // A bare-scan root in a serial tree is drained through the borrowed
+    // shortcut without ever calling Open — the one shape exec.open
+    // cannot reach.
+    const bool open_reachable =
+        plan->kind() != PlanKind::kScan || cfg.workers >= 2;
+    RunScenario("fp-open-always", root, ctx, want,
+                [] { Failpoint::Find("exec.open")->ArmAlways(); },
+                /*expect_failure=*/open_reachable);
+    RunScenario("fp-open-mid", root, ctx, want, [] {
+      Failpoint::Find("exec.open")->ArmAfterHits(1);
+    });
+    RunScenario("fp-next-first", root, ctx, want, [] {
+      Failpoint::Find("exec.next")->ArmAlways();
+    });
+    RunScenario("fp-next-mid", root, ctx, want, [] {
+      Failpoint::Find("exec.next")->ArmAfterHits(2);
+    });
+    RunScenario("fp-next-prob", root, ctx, want, [seed] {
+      Failpoint::Find("exec.next")->ArmProbability(0.3, seed);
+    });
+    RunScenario("fp-materialize", root, ctx, want, [] {
+      Failpoint::Find("exec.materialize")->ArmAfterHits(1);
+    });
+    RunScenario("fp-handoff", root, ctx, want, [] {
+      Failpoint::Find("gather.handoff")->ArmAfterHits(1);
+    });
+    RunScenario("fp-index-build", root, ctx, want, [] {
+      Failpoint::Find("index.build")->ArmAlways();
+    });
+    RunScenario("fp-route", root, ctx, want, [] {
+      Failpoint::Find("repartition.route")->ArmAfterHits(1);
+    });
+
+    // Concurrent cancellation: a racing thread cancels while the tree
+    // drains. Whichever side wins, the error (if any) is typed, workers
+    // are joined, and the tree reopens to the exact result.
+    std::thread canceller;
+    RunScenario("async-cancel", root, ctx, want, [&ctx, &canceller] {
+      canceller = std::thread([&ctx] { ctx.Cancel(); });
+    });
+    canceller.join();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleFuzzTest,
+                         ::testing::ValuesIn(FuzzSeeds(6)));
+
+// Clifford-mode (instantiated) execution honors the same contract.
+TEST_P(LifecycleFuzzTest, AtReferenceTimeHonorsLifecycle) {
+  const uint64_t seed = GetParam();
+  ONGOINGDB_FUZZ_SEED_TRACE(seed);
+  Rng rng(seed);
+  PlanFixture fx;
+  PlanPtr plan = RandomPlan(rng, &fx, 2);
+  const TimePoint rt = 50;
+  auto reference = ReferenceExecuteAt(plan, rt);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  QueryContext ctx;
+  ctx.Cancel();
+  auto cancelled = ExecuteAtReferenceTime(plan, rt, &ctx);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  ctx.Reset();
+  {
+    ScopedFailpoint guard("exec.next", "after:1");
+    auto faulty = ExecuteAtReferenceTime(plan, rt, &ctx);
+    if (!faulty.ok()) EXPECT_TRUE(IsInjectedFault(faulty.status()));
+  }
+  auto recovered = ExecuteAtReferenceTime(plan, rt, &ctx);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Fingerprint(*recovered), Fingerprint(*reference));
+  EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+// --- executor / aggregate / view surfaces -----------------------------------
+
+TEST_F(FaultInjectionTest, ExecuteSurfacesTypedStatuses) {
+  Rng rng(11);
+  OngoingRelation r = MakeBase(rng, "E_", 30);
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("E_ID"), Lit(int64_t{25})));
+
+  QueryContext ctx;
+  ctx.Cancel();
+  EXPECT_EQ(Execute(plan, &ctx).status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(Execute(plan, ForcedParallel(2, 4), &ctx).status().code(),
+            StatusCode::kCancelled);
+
+  ctx.Reset();
+  ctx.SetDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_EQ(Execute(plan, &ctx).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  ctx.Reset();
+  ctx.SetMemoryBudget(8);  // smaller than any materialized tuple
+  auto exhausted = Execute(plan, &ctx);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+
+  // A generous budget passes and the result matches the unbudgeted run.
+  ctx.Reset();
+  ctx.SetMemoryBudget(64 << 20);
+  auto budgeted = Execute(plan, &ctx);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  auto plain = Execute(plan);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(Fingerprint(*budgeted), Fingerprint(*plain));
+}
+
+TEST_F(FaultInjectionTest, StreamingAggregatesHonorLifecycle) {
+  Rng rng(12);
+  OngoingRelation r = MakeBase(rng, "A_", 40);
+  PlanPtr plan = Scan(&r, "R");
+
+  QueryContext ctx;
+  ctx.Cancel();
+  EXPECT_EQ(CountAtEachReferenceTime(plan, {}, &ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(CountAtEachReferenceTime(plan, ForcedParallel(2, 4), &ctx)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(SumAtEachReferenceTime(plan, "A_K", {}, &ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(CountGroupedBy(plan, "A_K", {}, &ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(MaxAtEachReferenceTime(plan, "A_K", 0, {}, &ctx).status().code(),
+            StatusCode::kCancelled);
+
+  ctx.Reset();
+  auto counted = CountAtEachReferenceTime(plan, {}, &ctx);
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  auto unscoped = CountAtEachReferenceTime(plan);
+  ASSERT_TRUE(unscoped.ok());
+  EXPECT_EQ(*counted, *unscoped);
+
+  // Mid-stream faults in the aggregation drain surface and recover.
+  {
+    ScopedFailpoint guard("exec.next", "after:2");
+    auto faulty = CountAtEachReferenceTime(plan, ForcedParallel(2, 4), &ctx);
+    if (!faulty.ok()) EXPECT_TRUE(IsInjectedFault(faulty.status()));
+  }
+  auto recovered = CountAtEachReferenceTime(plan, ForcedParallel(2, 4), &ctx);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, *unscoped);
+}
+
+TEST_F(FaultInjectionTest, MaterializedViewKeepsResultAcrossFailedRefresh) {
+  Rng rng(13);
+  auto r = MakeBase(rng, "V_", 25);
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("V_ID"), Lit(int64_t{20})));
+  auto view = MaterializedView::Create(plan);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  const std::multiset<std::string> want = Fingerprint(view->ongoing_result());
+
+  QueryContext ctx;
+  ctx.Cancel();
+  Status st = view->Refresh(&ctx);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The previous materialization keeps serving.
+  EXPECT_EQ(Fingerprint(view->ongoing_result()), want);
+
+  {
+    ScopedFailpoint guard("exec.open", "always");
+    ctx.Reset();
+    EXPECT_TRUE(IsInjectedFault(view->Refresh(&ctx)));
+    EXPECT_EQ(Fingerprint(view->ongoing_result()), want);
+  }
+
+  ctx.Reset();
+  ASSERT_TRUE(view->Refresh(&ctx).ok());
+  EXPECT_EQ(Fingerprint(view->ongoing_result()), want);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+TEST_F(FaultInjectionTest, IndexBuildFaultLeavesIndexUsable) {
+  // An index-nested-loop join whose index build fails mid-flight must
+  // recover on the next Open: the build restarts from scratch.
+  Rng rng(14);
+  OngoingRelation left = MakeBase(rng, "L_", 12);
+  OngoingRelation right = MakeBase(rng, "R_", 12);
+  PlanPtr plan = Join(Scan(&left, "L"), Scan(&right, "R"),
+                      OverlapsExpr(Col("L_VT"), Col("R_VT")), "L", "R",
+                      JoinAlgorithm::kIndexNL);
+  auto reference = ReferenceExecute(plan);
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto compiled = Compile(plan, ExecMode::kOngoing, 0, &ctx);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  {
+    ScopedFailpoint guard("index.build", "always");
+    auto faulty = DrainToRelation(**compiled, &ctx);
+    ASSERT_FALSE(faulty.ok());
+    EXPECT_TRUE(IsInjectedFault(faulty.status()));
+  }
+  auto recovered = DrainToRelation(**compiled, &ctx);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Fingerprint(*recovered), Fingerprint(*reference));
+}
+
+}  // namespace
+}  // namespace ongoingdb
