@@ -1,0 +1,116 @@
+// Concurrent serving demo: several reader sessions querying a table at
+// pinned transaction-time snapshots while writer sessions keep
+// committing — the MVCC serving layer end to end.
+//
+// Each reader repeatedly pins a snapshot and runs an ongoing SELECT; it
+// prints (a few times) which commit sequence it observed and how many
+// rows that snapshot held. Readers never block on the writers: a pin is
+// one atomic load, and the relations a snapshot resolves are immutable.
+//
+// Build & run:  ./build/serve_demo
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/catalog.h"
+#include "server/session.h"
+
+using namespace ongoingdb;
+
+int main() {
+  constexpr int kReaders = 3;
+  constexpr int kWriters = 2;
+  constexpr int kWritesPerWriter = 40;
+
+  server::Catalog catalog;
+  server::SessionManager manager(&catalog);
+
+  {
+    auto boot = manager.CreateSession();
+    auto created = boot->Execute(
+        "CREATE TABLE Bugs (BID INT, C TEXT, VT PERIOD)");
+    if (!created.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::mutex print_mu;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&manager, &print_mu, w] {
+      auto session = manager.CreateSession();
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        const int bid = w * 1000 + i;
+        auto inserted = session->Execute(
+            "INSERT INTO Bugs VALUES (" + std::to_string(bid) +
+            ", 'component-" + std::to_string(w) +
+            "', PERIOD ['01/01', NOW))");
+        if (!inserted.ok()) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::fprintf(stderr, "writer %d: %s\n", w,
+                       inserted.status().ToString().c_str());
+          return;
+        }
+        if (i % 10 == 0) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("writer %d: committed BID %d at commit %llu\n", w, bid,
+                      static_cast<unsigned long long>(
+                          inserted->snapshot_seq));
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&manager, &print_mu, &done, r] {
+      auto session = manager.CreateSession();
+      int runs = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto result = session->Execute("SELECT * FROM Bugs");
+        if (!result.ok()) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::fprintf(stderr, "reader %d: %s\n", r,
+                       result.status().ToString().c_str());
+          return;
+        }
+        if (++runs % 25 == 0) {
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("reader %d: snapshot @ commit %llu -> %zu row(s)\n", r,
+                      static_cast<unsigned long long>(result->snapshot_seq),
+                      result->result.affected);
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Final state, observed through a fresh pinned snapshot.
+  auto session = manager.CreateSession();
+  auto final_count = session->Execute("SELECT * FROM Bugs");
+  if (!final_count.ok()) {
+    std::fprintf(stderr, "final read failed: %s\n",
+                 final_count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("final: %zu row(s) at commit %llu (expected %d)\n",
+              final_count->result.affected,
+              static_cast<unsigned long long>(final_count->snapshot_seq),
+              kWriters * kWritesPerWriter);
+  return final_count->result.affected ==
+                 static_cast<size_t>(kWriters * kWritesPerWriter)
+             ? 0
+             : 1;
+}

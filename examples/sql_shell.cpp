@@ -1,35 +1,33 @@
 // SQL shell: the textual face of the library (the paper's prototype is a
 // PostgreSQL extension; this is the equivalent interface here).
 //
-// Loads the running-example relations into a catalog, runs a demo script
-// of queries — including the paper's three-way join — and then, if stdin
-// is a terminal, drops into an interactive loop where each line is
-// parsed, optimized, executed with ongoing semantics, and printed with
-// its reference times.
+// Runs on the serving layer (server/catalog.h, server/session.h): the
+// shell is one Session over a server Catalog, so every SELECT executes
+// against a pinned transaction-time snapshot and every modification goes
+// through the serialized commit path — the same machinery concurrent
+// clients use, exercised from a single-threaded prompt.
 //
 // Session knobs (interactive + demo):
-//   SET timeout_ms = N;   -- per-statement deadline (0 disables); on
-//                            expiry the shell prints a one-line friendly
-//                            error instead of a raw Status dump.
+//   SET timeout_ms = N;        -- per-statement deadline (0 disables)
+//   SET workers = N;           -- parallel pipelines per statement
+//   SET memory_limit_mb = N;   -- per-statement memory budget (0 = off)
 //
-// Build & run:  ./build/examples/sql_shell
-//               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/examples/sql_shell
-#include <chrono>
-#include <cinttypes>
+// Build & run:  ./build/sql_shell
+//               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/sql_shell
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "query/exec_context.h"
-#include "sql/statement.h"
+#include "server/catalog.h"
+#include "server/session.h"
 #include "unistd.h"
 
 using namespace ongoingdb;
 
 namespace {
 
-sql::Catalog MakeCatalog() {
-  sql::Catalog catalog;
+void PopulateCatalog(server::Catalog* catalog) {
   OngoingRelation b(Schema({{"BID", ValueType::kInt64},
                             {"C", ValueType::kString},
                             {"VT", ValueType::kOngoingInterval}}));
@@ -38,7 +36,7 @@ sql::Catalog MakeCatalog() {
   (void)b.Insert({Value::Int64(501), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(3, 30),
                                                         MD(8, 21)))});
-  catalog.Register("B", std::move(b));
+  (void)catalog->RegisterTable("B", b);
 
   OngoingRelation p(Schema({{"PID", ValueType::kInt64},
                             {"C", ValueType::kString},
@@ -49,7 +47,7 @@ sql::Catalog MakeCatalog() {
   (void)p.Insert({Value::Int64(202), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(8, 24),
                                                         MD(8, 27)))});
-  catalog.Register("P", std::move(p));
+  (void)catalog->RegisterTable("P", p);
 
   OngoingRelation l(Schema({{"Name", ValueType::kString},
                             {"C", ValueType::kString},
@@ -59,51 +57,12 @@ sql::Catalog MakeCatalog() {
                                                         MD(8, 18)))});
   (void)l.Insert({Value::String("Bob"), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::SinceUntilNow(MD(8, 18)))});
-  catalog.Register("L", std::move(l));
-  return catalog;
+  (void)catalog->RegisterTable("L", l);
 }
 
-// Shell-level session state: a timeout applied to each statement.
-struct ShellSession {
-  QueryContext ctx;
-  int64_t timeout_ms = 0;  // 0 = no deadline
-};
-
-// Handles the shell's own `SET knob = value;` statements. Returns true
-// when `statement` was a SET command (handled here, not sent to SQL).
-bool HandleSet(const std::string& statement, ShellSession* session) {
-  int64_t value = 0;
-  int consumed = 0;
-  if (std::sscanf(statement.c_str(), " SET timeout_ms = %" SCNd64 " %n",
-                  &value, &consumed) == 1 ||
-      std::sscanf(statement.c_str(), " set timeout_ms = %" SCNd64 " %n",
-                  &value, &consumed) == 1) {
-    std::string rest = statement.substr(consumed);
-    if (rest.empty() || rest == ";") {
-      session->timeout_ms = value < 0 ? 0 : value;
-      if (session->timeout_ms == 0) {
-        std::printf("timeout disabled\n\n");
-      } else {
-        std::printf("timeout_ms = %lld\n\n",
-                    static_cast<long long>(session->timeout_ms));
-      }
-      return true;
-    }
-  }
-  return false;
-}
-
-void RunAndPrint(const std::string& statement, sql::Catalog* catalog,
-                 ShellSession* session) {
+void RunAndPrint(const std::string& statement, server::Session* session) {
   std::printf("ongoingdb> %s\n", statement.c_str());
-  if (HandleSet(statement, session)) return;
-  session->ctx.Reset();
-  if (session->timeout_ms > 0) {
-    session->ctx.SetTimeout(std::chrono::milliseconds(session->timeout_ms));
-  } else {
-    session->ctx.ClearDeadline();
-  }
-  auto result = sql::RunStatement(statement, catalog, &session->ctx);
+  auto result = session->Execute(statement);
   if (!result.ok()) {
     if (IsLifecycleStatus(result.status())) {
       std::printf("error: %s\n\n",
@@ -113,24 +72,30 @@ void RunAndPrint(const std::string& statement, sql::Catalog* catalog,
     }
     return;
   }
-  if (result->relation.has_value()) {
-    std::printf("%s(%s)\n\n", result->relation->ToString().c_str(),
-                result->message.c_str());
+  if (result->result.relation.has_value()) {
+    std::printf("%s(%s @ commit %llu)\n\n",
+                result->result.relation->ToString().c_str(),
+                result->result.message.c_str(),
+                static_cast<unsigned long long>(result->snapshot_seq));
   } else {
-    std::printf("%s\n\n", result->message.c_str());
+    std::printf("%s\n\n", result->result.message.c_str());
   }
 }
 
 }  // namespace
 
 int main() {
-  sql::Catalog catalog = MakeCatalog();
+  server::Catalog catalog;
+  PopulateCatalog(&catalog);
+  server::SessionManager manager(&catalog);
+  std::shared_ptr<server::Session> session = manager.CreateSession();
+
   std::printf("ongoingdb SQL shell — relations: B(BID, C, VT), "
               "P(PID, C, VT), L(Name, C, VT)\n"
               "Ongoing literals: NOW, DATE '08/15', "
               "PERIOD ['01/25', NOW)\n"
-              "Session knobs: SET timeout_ms = N;  (0 disables)\n\n");
-  ShellSession session;
+              "Session knobs: SET timeout_ms = N;  SET workers = N;  "
+              "SET memory_limit_mb = N;\n\n");
 
   const char* demo[] = {
       "SELECT * FROM B",
@@ -139,6 +104,8 @@ int main() {
       "JOIN P p ON b.C = p.C AND b.VT BEFORE p.VT "
       "JOIN L l ON b.C = l.C AND b.VT OVERLAPS l.VT",
       "SELECT BID FROM B WHERE DURATION(VT) > 180",
+      "SET workers = 2;",
+      "SET memory_limit_mb = 64;",
       "CREATE TABLE Notes (ID INT, Text TEXT, VT PERIOD)",
       "INSERT INTO Notes VALUES (1, 'spam regression', "
       "PERIOD ['08/01', NOW))",
@@ -147,7 +114,7 @@ int main() {
   };
   std::printf("--- demo script ---\n");
   for (const char* statement : demo) {
-    RunAndPrint(statement, &catalog, &session);
+    RunAndPrint(statement, session.get());
   }
 
   if (isatty(fileno(stdin))) {
@@ -156,7 +123,7 @@ int main() {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) break;
-    RunAndPrint(line, &catalog, &session);
+    RunAndPrint(line, session.get());
   }
   return 0;
 }

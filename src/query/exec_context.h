@@ -123,13 +123,29 @@ class QueryContext {
     used_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
   }
 
+  /// The transaction-time snapshot this query is pinned to (the serving
+  /// layer's commit sequence, server/catalog.h; 0 = not a snapshot
+  /// read). Stamped by the session at pin time, before compilation —
+  /// every operator of the tree, on any worker thread, observes the
+  /// same value; diagnostics and the concurrent-equivalence tests read
+  /// it back to tie a result to the snapshot that produced it.
+  void SetSnapshotSeq(uint64_t seq) {
+    snapshot_seq_.store(seq, std::memory_order_release);
+  }
+
+  uint64_t snapshot_seq() const {
+    return snapshot_seq_.load(std::memory_order_acquire);
+  }
+
   /// Rearms the context for another run of the same tree: clears the
-  /// cancel flag, the deadline, and the memory accounting. The budget
-  /// limit is kept (set a new one explicitly if needed).
+  /// cancel flag, the deadline, the memory accounting, and the pinned
+  /// snapshot. The budget limit is kept (set a new one explicitly if
+  /// needed).
   void Reset() {
     cancelled_.store(false, std::memory_order_release);
     deadline_ns_.store(0, std::memory_order_release);
     used_bytes_.store(0, std::memory_order_release);
+    snapshot_seq_.store(0, std::memory_order_release);
   }
 
  private:
@@ -137,6 +153,7 @@ class QueryContext {
   std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns; 0 = none
   std::atomic<uint64_t> budget_bytes_{0};  // 0 = unlimited
   std::atomic<uint64_t> used_bytes_{0};
+  std::atomic<uint64_t> snapshot_seq_{0};  // 0 = not a snapshot read
 };
 
 /// True for the three query-lifecycle status codes (kCancelled,

@@ -20,6 +20,23 @@ size_t BitemporalRelation::Delete(
   return deleted;
 }
 
+Status BitemporalRelation::CloseVersion(size_t i, TimePoint tt) {
+  if (i >= tt_.size()) {
+    return Status::OutOfRange("version index out of range");
+  }
+  if (tt_[i].end != kUntilChanged) {
+    return Status::InvalidArgument("version is already superseded");
+  }
+  tt_[i].end = tt;
+  return Status::OK();
+}
+
+void BitemporalRelation::AppendVersionUnchecked(Tuple tuple, TimePoint tt) {
+  if (tuple.rt().IsEmpty()) return;
+  data_.AppendUnchecked(std::move(tuple));
+  tt_.push_back(FixedInterval{tt, kUntilChanged});
+}
+
 OngoingRelation BitemporalRelation::Current() const {
   OngoingRelation result(data_.schema());
   for (size_t i = 0; i < data_.size(); ++i) {

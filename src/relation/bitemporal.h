@@ -57,6 +57,25 @@ class BitemporalRelation {
   /// The transaction-time interval of version `i`.
   FixedInterval TransactionTime(size_t i) const { return tt_[i]; }
 
+  /// The tuple of version `i` (superseded versions included).
+  const Tuple& version(size_t i) const { return data_.tuple(i); }
+
+  /// True iff version `i` is current (TT end is until-changed).
+  bool IsCurrent(size_t i) const { return tt_[i].end == kUntilChanged; }
+
+  /// Closes the transaction time of version `i` at tt. Fails if the
+  /// version is already superseded. Used by the commit-stamped
+  /// modification path (relation/modifications.h), which supersedes
+  /// individual versions rather than filter-matched sets.
+  Status CloseVersion(size_t i, TimePoint tt);
+
+  /// Appends a pre-validated tuple as a current version with
+  /// TT = [tt, until-changed), preserving the tuple's reference time
+  /// (Insert() always stamps the trivial RT). Tuples with an empty RT
+  /// are dropped, mirroring OngoingRelation::AppendUnchecked — the
+  /// transaction-time bookkeeping stays aligned either way.
+  void AppendVersionUnchecked(Tuple tuple, TimePoint tt);
+
  private:
   OngoingRelation data_;
   std::vector<FixedInterval> tt_;

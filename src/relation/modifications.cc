@@ -93,4 +93,87 @@ Result<size_t> TemporalUpdate(
   return modified;
 }
 
+namespace {
+
+Status CheckBitemporalVtIndex(const BitemporalRelation& r, size_t vt_index) {
+  if (vt_index >= r.schema().num_attributes()) {
+    return Status::OutOfRange("valid-time attribute index out of range");
+  }
+  if (r.schema().attribute(vt_index).type != ValueType::kOngoingInterval) {
+    return Status::TypeError(
+        "temporal modifications require an ongoing interval valid-time "
+        "attribute");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StampedInsert(BitemporalRelation* r, std::vector<Value> values,
+                     TimePoint commit_seq) {
+  return r->Insert(std::move(values), commit_seq);
+}
+
+Result<size_t> StampedTemporalDelete(BitemporalRelation* r, size_t vt_index,
+                                     TimePoint tc,
+                                     const ModificationFilter& filter,
+                                     TimePoint commit_seq) {
+  ONGOINGDB_RETURN_NOT_OK(CheckBitemporalVtIndex(*r, vt_index));
+  // Match before mutating: appended versions must not be re-examined,
+  // and a filter failure must leave the store untouched.
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < r->num_versions(); ++i) {
+    if (r->IsCurrent(i) && filter(r->version(i))) matches.push_back(i);
+  }
+  for (size_t i : matches) {
+    const Tuple& old = r->version(i);
+    OngoingInterval closed =
+        CloseAt(old.value(vt_index).AsOngoingInterval(), tc);
+    Tuple replacement;
+    if (!closed.IsAlwaysEmpty()) {
+      std::vector<Value> values = old.values();
+      values[vt_index] = Value::Ongoing(closed);
+      replacement = Tuple(std::move(values), old.rt());
+    }
+    ONGOINGDB_RETURN_NOT_OK(r->CloseVersion(i, commit_seq));
+    if (!closed.IsAlwaysEmpty()) {
+      r->AppendVersionUnchecked(std::move(replacement), commit_seq);
+    }
+  }
+  return matches.size();
+}
+
+Result<size_t> StampedTemporalUpdate(
+    BitemporalRelation* r, size_t vt_index, TimePoint tc,
+    const ModificationFilter& filter,
+    const std::function<std::vector<Value>(const Tuple&)>& updater,
+    TimePoint commit_seq) {
+  ONGOINGDB_RETURN_NOT_OK(CheckBitemporalVtIndex(*r, vt_index));
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < r->num_versions(); ++i) {
+    if (r->IsCurrent(i) && filter(r->version(i))) matches.push_back(i);
+  }
+  for (size_t i : matches) {
+    const Tuple& old = r->version(i);
+    OngoingInterval closed =
+        CloseAt(old.value(vt_index).AsOngoingInterval(), tc);
+    std::vector<Value> new_values = updater(old);
+    new_values[vt_index] = Value::Ongoing(OngoingInterval(
+        OngoingTimePoint::Fixed(tc), OngoingTimePoint::Now()));
+    Tuple updated(std::move(new_values), old.rt());
+    Tuple closed_old;
+    if (!closed.IsAlwaysEmpty()) {
+      std::vector<Value> old_values = old.values();
+      old_values[vt_index] = Value::Ongoing(closed);
+      closed_old = Tuple(std::move(old_values), old.rt());
+    }
+    ONGOINGDB_RETURN_NOT_OK(r->CloseVersion(i, commit_seq));
+    if (!closed.IsAlwaysEmpty()) {
+      r->AppendVersionUnchecked(std::move(closed_old), commit_seq);
+    }
+    r->AppendVersionUnchecked(std::move(updated), commit_seq);
+  }
+  return matches.size();
+}
+
 }  // namespace ongoingdb

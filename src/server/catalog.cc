@@ -1,0 +1,196 @@
+#include "server/catalog.h"
+
+#include <algorithm>
+
+#include "util/failpoint.h"
+
+namespace ongoingdb {
+namespace server {
+
+namespace {
+
+// The mid-commit fault seam: planted after validation, before the
+// master mutation + publish pair. A triggered failure aborts the commit
+// with the master untouched and nothing published — the half-visible
+// write the fault-injection suite proves impossible.
+Failpoint& fp_catalog_commit = Failpoint::GetOrCreate("catalog.commit");
+
+// The valid-time attribute temporal DML applies to: the first PERIOD
+// column, as in the statement layer's VtIndexOf.
+Result<size_t> VtIndexOfSchema(const Schema& schema) {
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (schema.attribute(i).type == ValueType::kOngoingInterval) return i;
+  }
+  return Status::InvalidArgument(
+      "temporal modification requires a PERIOD (ongoing interval) column");
+}
+
+}  // namespace
+
+// --- Snapshot ---------------------------------------------------------------
+
+Result<std::shared_ptr<const OngoingRelation>> Snapshot::Get(
+    const std::string& name) const {
+  auto it = state_->tables.find(name);
+  if (it == state_->tables.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.current().data;
+}
+
+Result<std::shared_ptr<const OngoingRelation>> Snapshot::GetAsOf(
+    const std::string& name, uint64_t seq) const {
+  auto it = state_->tables.find(name);
+  if (it == state_->tables.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  const std::vector<TableVersion>& recent = it->second.recent;
+  // Newest version with commit_seq <= seq (ring is ordered oldest
+  // first). Walk backwards; rings are short by construction.
+  for (auto rit = recent.rbegin(); rit != recent.rend(); ++rit) {
+    if (rit->commit_seq <= seq) return rit->data;
+  }
+  return Status::OutOfRange(
+      "commit sequence " + std::to_string(seq) + " predates the " +
+      std::to_string(recent.size()) + " retained version(s) of '" + name +
+      "'; use Catalog::MaterializeAsOf");
+}
+
+std::vector<std::string> Snapshot::Names() const {
+  std::vector<std::string> names;
+  names.reserve(state_->tables.size());
+  for (const auto& [name, _] : state_->tables) names.push_back(name);
+  return names;
+}
+
+sql::Catalog Snapshot::View() const {
+  sql::Catalog view;
+  for (const auto& [name, table] : state_->tables) {
+    view.RegisterShared(name, table.current().data);
+  }
+  return view;
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+Catalog::Catalog(size_t version_ring_cap)
+    : version_ring_cap_(std::max<size_t>(1, version_ring_cap)),
+      state_(std::make_shared<const CatalogState>()) {}
+
+Result<Catalog::TableEntry*> Catalog::FindEntry(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+void Catalog::PublishTable(const std::string& name, uint64_t seq) {
+  const TableEntry& entry = *entries_.at(name);
+  auto next = std::make_shared<CatalogState>(*state_.Load());
+  next->commit_seq = seq;
+  PublishedTable& table = next->tables[name];
+  table.recent.push_back(TableVersion{
+      seq, std::make_shared<const OngoingRelation>(entry.master.Current())});
+  if (table.recent.size() > version_ring_cap_) {
+    table.recent.erase(table.recent.begin());
+  }
+  state_.Store(std::move(next));
+}
+
+Result<uint64_t> Catalog::CreateTable(const std::string& name,
+                                      Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  ONGOINGDB_FAILPOINT(fp_catalog_commit);
+  const uint64_t seq = next_seq_++;
+  entries_[name] = std::make_unique<TableEntry>(std::move(schema));
+  PublishTable(name, seq);
+  return seq;
+}
+
+Result<uint64_t> Catalog::RegisterTable(const std::string& name,
+                                        const OngoingRelation& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  ONGOINGDB_FAILPOINT(fp_catalog_commit);
+  const uint64_t seq = next_seq_;
+  auto entry = std::make_unique<TableEntry>(data.schema());
+  for (const Tuple& t : data.tuples()) {
+    entry->master.AppendVersionUnchecked(t, static_cast<TimePoint>(seq));
+  }
+  next_seq_++;
+  entries_[name] = std::move(entry);
+  PublishTable(name, seq);
+  return seq;
+}
+
+Result<uint64_t> Catalog::Insert(const std::string& name,
+                                 std::vector<Value> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  ONGOINGDB_FAILPOINT(fp_catalog_commit);
+  const uint64_t seq = next_seq_;
+  // StampedInsert validates before mutating: a failure here leaves the
+  // master untouched and consumes no sequence number.
+  ONGOINGDB_RETURN_NOT_OK(StampedInsert(&entry->master, std::move(values),
+                                        static_cast<TimePoint>(seq)));
+  next_seq_++;
+  PublishTable(name, seq);
+  return seq;
+}
+
+Result<uint64_t> Catalog::TemporalDeleteWhere(const std::string& name,
+                                              TimePoint tc,
+                                              const ModificationFilter& filter,
+                                              size_t* deleted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  ONGOINGDB_FAILPOINT(fp_catalog_commit);
+  const uint64_t seq = next_seq_;
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt,
+                             VtIndexOfSchema(entry->master.schema()));
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      size_t count, StampedTemporalDelete(&entry->master, vt, tc, filter,
+                                          static_cast<TimePoint>(seq)));
+  next_seq_++;
+  PublishTable(name, seq);
+  if (deleted != nullptr) *deleted = count;
+  return seq;
+}
+
+Result<uint64_t> Catalog::TemporalUpdateWhere(
+    const std::string& name, TimePoint tc, const ModificationFilter& filter,
+    const std::function<std::vector<Value>(const Tuple&)>& updater,
+    size_t* updated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  ONGOINGDB_FAILPOINT(fp_catalog_commit);
+  const uint64_t seq = next_seq_;
+  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt,
+                             VtIndexOfSchema(entry->master.schema()));
+  ONGOINGDB_ASSIGN_OR_RETURN(
+      size_t count, StampedTemporalUpdate(&entry->master, vt, tc, filter,
+                                          updater,
+                                          static_cast<TimePoint>(seq)));
+  next_seq_++;
+  PublishTable(name, seq);
+  if (updated != nullptr) *updated = count;
+  return seq;
+}
+
+Result<std::shared_ptr<const OngoingRelation>> Catalog::MaterializeAsOf(
+    const std::string& name, uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  return std::make_shared<const OngoingRelation>(
+      entry->master.AsOf(static_cast<TimePoint>(seq)));
+}
+
+}  // namespace server
+}  // namespace ongoingdb

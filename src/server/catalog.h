@@ -1,0 +1,201 @@
+// The serving catalog: a thread-safe registry of named ongoing
+// relations with MVCC snapshot isolation over transaction time.
+//
+// Storage model. Each table has ONE master store, a BitemporalRelation
+// whose transaction-time axis is the catalog's commit sequence: version
+// v carries TT = [inserted_seq, superseded_seq). Every write runs the
+// commit-stamped Torp modifications (relation/modifications.h) against
+// the master under the catalog's single writer mutex, then publishes an
+// immutable materialization of the new current state.
+//
+// Publication protocol (RCU over util/published_ptr.h). The published
+// unit is a CatalogState: the commit sequence plus, per table, the
+// current materialization and a short ring of recent versions. A commit
+// builds the next state completely off to the side and installs it with
+// one atomic pointer store; a reader pins the state with one atomic
+// load. Consequences:
+//
+//  * readers NEVER take a lock on the write path and never observe a
+//    half-applied commit — visibility is all-or-nothing at the pointer
+//    swap (the epoch bump);
+//  * a snapshot pinned before a commit keeps resolving the exact
+//    pre-commit versions for as long as it is held (shared_ptr keeps
+//    superseded states alive until the last reader lets go);
+//  * writers never wait for readers.
+//
+// Snapshot visibility rule. A snapshot pinned at commit sequence S sees,
+// for each table, the version published at the greatest sequence <= S.
+// Time travel below the retained ring (GetAsOf) falls back to the master
+// store's per-tuple transaction time: AsOf(S) keeps exactly the versions
+// whose TT contains S — the same rule, evaluated tuple-wise. The
+// fallback takes the commit lock (it reads the master); the serving hot
+// path never does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "relation/bitemporal.h"
+#include "relation/modifications.h"
+#include "relation/relation.h"
+#include "sql/catalog.h"
+#include "util/published_ptr.h"
+#include "util/result.h"
+
+namespace ongoingdb {
+namespace server {
+
+/// One published, immutable table version.
+struct TableVersion {
+  /// The commit sequence this version was published at.
+  uint64_t commit_seq = 0;
+  /// The current-state materialization at that sequence.
+  std::shared_ptr<const OngoingRelation> data;
+};
+
+/// The published versions of one table: `recent` is a ring of the last
+/// few versions (oldest first, newest last == current). Copied by value
+/// into each new CatalogState; entries are shared_ptr-cheap.
+struct PublishedTable {
+  std::vector<TableVersion> recent;
+
+  const TableVersion& current() const { return recent.back(); }
+};
+
+/// One immutable epoch of the catalog. Built off to the side by the
+/// committing writer, published atomically, pinned by readers.
+struct CatalogState {
+  /// The last committed sequence number visible in this state.
+  uint64_t commit_seq = 0;
+  std::map<std::string, PublishedTable> tables;
+};
+
+/// A pinned, immutable view of the catalog at one commit sequence.
+/// Cheap to copy; keeps every relation it can resolve alive. Safe to
+/// use from any thread without synchronization.
+class Snapshot {
+ public:
+  Snapshot() : state_(std::make_shared<const CatalogState>()) {}
+  explicit Snapshot(std::shared_ptr<const CatalogState> state)
+      : state_(std::move(state)) {}
+
+  /// The commit sequence this snapshot observes.
+  uint64_t commit_seq() const { return state_->commit_seq; }
+
+  /// The table's current version at this snapshot. The relation is
+  /// immutable; plans scan it in place while the returned shared_ptr
+  /// (or this snapshot) is held.
+  Result<std::shared_ptr<const OngoingRelation>> Get(
+      const std::string& name) const;
+
+  /// Time travel within the retained version ring: the table as of
+  /// commit sequence `seq` (the greatest published version <= seq).
+  /// Fails with OutOfRange when `seq` predates the ring — the caller
+  /// falls back to Catalog::MaterializeAsOf.
+  Result<std::shared_ptr<const OngoingRelation>> GetAsOf(
+      const std::string& name, uint64_t seq) const;
+
+  std::vector<std::string> Names() const;
+
+  /// A sql::Catalog of read-only views over every table at this
+  /// snapshot — the FROM-clause namespace for parsing and executing
+  /// statements against the snapshot. The returned catalog shares
+  /// ownership of the pinned versions, so it stays valid even if the
+  /// snapshot itself is dropped.
+  sql::Catalog View() const;
+
+ private:
+  std::shared_ptr<const CatalogState> state_;
+};
+
+/// The thread-safe serving catalog. Any number of concurrent reader
+/// threads may pin snapshots while one writer at a time commits.
+class Catalog {
+ public:
+  /// `version_ring_cap` bounds how many superseded versions each table
+  /// retains for lock-free time travel (>= 1; the current version
+  /// always counts as one).
+  explicit Catalog(size_t version_ring_cap = 8);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- read path (lock-free) ----------------------------------------------
+
+  /// Pins the current published state. One atomic load; never blocks.
+  Snapshot PinSnapshot() const { return Snapshot(state_.Load()); }
+
+  /// The last committed sequence number currently published.
+  uint64_t commit_seq() const { return state_.Load()->commit_seq; }
+
+  // --- write path (serialized on the commit lock) -------------------------
+  // Each write validates, applies the commit-stamped modification to the
+  // master store, and publishes the next CatalogState. On any failure —
+  // including the `catalog.commit` failpoint — nothing is published and
+  // the master is untouched: a reader can never observe a half-applied
+  // write, and a failed commit consumes no sequence number. All return
+  // the commit sequence they published.
+
+  /// Creates an empty table. Fails if the name exists.
+  Result<uint64_t> CreateTable(const std::string& name, Schema schema);
+
+  /// Bulk-registers an existing relation as a table whose tuples are all
+  /// inserted at the returned commit sequence (test/bench/bootstrap
+  /// loading). Fails if the name exists.
+  Result<uint64_t> RegisterTable(const std::string& name,
+                                 const OngoingRelation& data);
+
+  /// Inserts one row (values as given, trivial RT).
+  Result<uint64_t> Insert(const std::string& name, std::vector<Value> values);
+
+  /// Torp valid-time DELETE at commit time `tc` of the rows matching
+  /// `filter`. `*deleted` (optional) receives the modified-row count.
+  Result<uint64_t> TemporalDeleteWhere(const std::string& name, TimePoint tc,
+                                       const ModificationFilter& filter,
+                                       size_t* deleted = nullptr);
+
+  /// Torp valid-time UPDATE at commit time `tc`: rows matching `filter`
+  /// are closed and re-inserted with `updater`'s values.
+  Result<uint64_t> TemporalUpdateWhere(
+      const std::string& name, TimePoint tc, const ModificationFilter& filter,
+      const std::function<std::vector<Value>(const Tuple&)>& updater,
+      size_t* updated = nullptr);
+
+  // --- time travel below the ring -----------------------------------------
+
+  /// Materializes `name` as of commit sequence `seq` from the master
+  /// store's per-tuple transaction time (visibility: TT contains seq).
+  /// Takes the commit lock; intended for historical reads that fell off
+  /// the lock-free ring, not for the serving hot path.
+  Result<std::shared_ptr<const OngoingRelation>> MaterializeAsOf(
+      const std::string& name, uint64_t seq) const;
+
+ private:
+  struct TableEntry {
+    BitemporalRelation master;
+    explicit TableEntry(Schema schema) : master(std::move(schema)) {}
+  };
+
+  /// Shared tail of every commit: publishes the next state with `name`
+  /// rebound to a fresh materialization of its master at `seq`.
+  /// Must be called with mu_ held; never fails.
+  void PublishTable(const std::string& name, uint64_t seq);
+
+  /// Looks up a table entry; mu_ must be held.
+  Result<TableEntry*> FindEntry(const std::string& name) const;
+
+  const size_t version_ring_cap_;
+
+  mutable std::mutex mu_;  // the commit lock: masters + next_seq_
+  std::map<std::string, std::unique_ptr<TableEntry>> entries_;
+  uint64_t next_seq_ = 1;
+
+  PublishedPtr<CatalogState> state_;
+};
+
+}  // namespace server
+}  // namespace ongoingdb

@@ -1,6 +1,14 @@
 // The catalog: named ongoing relations that SQL queries can reference in
-// FROM clauses. Relations are owned by the catalog; plans scan them in
-// place.
+// FROM clauses. Two kinds of entries coexist:
+//
+//  * owned entries (Register) — the embedded-library mode: the catalog
+//    owns the relation and hands out mutable access for modification
+//    statements;
+//  * shared entries (RegisterShared) — the serving mode: the entry
+//    borrows an immutable relation published by a server snapshot
+//    (server/catalog.h). Plans scan it in place and the shared_ptr
+//    keeps the pinned version alive for the life of the catalog view;
+//    GetMutable refuses — writes go through the server's commit path.
 #pragma once
 
 #include <map>
@@ -16,10 +24,24 @@ namespace sql {
 /// A registry of named base relations.
 class Catalog {
  public:
-  /// Registers (or replaces) a relation under `name`.
+  /// Registers (or replaces) an owned, mutable relation under `name`.
   void Register(const std::string& name, OngoingRelation relation) {
-    relations_[name] =
-        std::make_unique<OngoingRelation>(std::move(relation));
+    Entry entry;
+    entry.relation =
+        std::make_shared<OngoingRelation>(std::move(relation));
+    entry.writable = true;
+    relations_[name] = std::move(entry);
+  }
+
+  /// Registers (or replaces) a read-only view of a shared immutable
+  /// relation (a pinned snapshot version). The catalog participates in
+  /// the relation's lifetime but never mutates it.
+  void RegisterShared(const std::string& name,
+                      std::shared_ptr<const OngoingRelation> relation) {
+    Entry entry;
+    entry.relation = std::move(relation);
+    entry.writable = false;
+    relations_[name] = std::move(entry);
   }
 
   /// Looks up a relation; the pointer stays valid until the relation is
@@ -29,16 +51,25 @@ class Catalog {
     if (it == relations_.end()) {
       return Status::NotFound("no relation named '" + name + "'");
     }
-    return const_cast<const OngoingRelation*>(it->second.get());
+    return it->second.relation.get();
   }
 
-  /// Mutable access for modification statements.
+  /// Mutable access for modification statements. Fails for shared
+  /// (snapshot-view) entries, which are immutable by contract.
   Result<OngoingRelation*> GetMutable(const std::string& name) {
     auto it = relations_.find(name);
     if (it == relations_.end()) {
       return Status::NotFound("no relation named '" + name + "'");
     }
-    return it->second.get();
+    if (!it->second.writable) {
+      return Status::InvalidArgument(
+          "relation '" + name +
+          "' is a read-only snapshot view; route modifications through "
+          "the serving catalog");
+    }
+    // Owned entries were created non-const by Register(); the const in
+    // the member type only protects shared snapshot views.
+    return const_cast<OngoingRelation*>(it->second.relation.get());
   }
 
   bool Contains(const std::string& name) const {
@@ -52,7 +83,12 @@ class Catalog {
   }
 
  private:
-  std::map<std::string, std::unique_ptr<OngoingRelation>> relations_;
+  struct Entry {
+    std::shared_ptr<const OngoingRelation> relation;
+    bool writable = false;
+  };
+
+  std::map<std::string, Entry> relations_;
 };
 
 }  // namespace sql

@@ -375,6 +375,15 @@ Result<OngoingRelation> RunQuery(const std::string& query,
   return Execute(optimized, ctx);
 }
 
+Result<OngoingRelation> RunQuery(const std::string& query,
+                                 const Catalog& catalog,
+                                 const ParallelOptions& options,
+                                 QueryContext* ctx) {
+  ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr plan, ParseQuery(query, catalog));
+  ONGOINGDB_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(plan));
+  return Execute(optimized, options, ctx);
+}
+
 Result<ExprPtr> ParseExpressionFragment(const std::vector<Token>& tokens,
                                         size_t* pos) {
   static const Catalog kEmptyCatalog;

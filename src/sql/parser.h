@@ -26,6 +26,7 @@
 #pragma once
 
 #include "query/exec_context.h"
+#include "query/physical.h"
 #include "query/plan.h"
 #include "sql/catalog.h"
 #include "sql/lexer.h"
@@ -45,6 +46,15 @@ Result<PlanPtr> ParseQuery(const std::string& query, const Catalog& catalog);
 /// their typed Status.
 Result<OngoingRelation> RunQuery(const std::string& query,
                                  const Catalog& catalog,
+                                 QueryContext* ctx = nullptr);
+
+/// As above, draining the plan with `options.workers` parallel partition
+/// pipelines (query/physical.h). The per-session execution entry point
+/// of the serving layer: each session passes its own worker knob while
+/// all sessions share the global TaskScheduler.
+Result<OngoingRelation> RunQuery(const std::string& query,
+                                 const Catalog& catalog,
+                                 const ParallelOptions& options,
                                  QueryContext* ctx = nullptr);
 
 // --- Fragment entry points (used by the statement parser) ------------------

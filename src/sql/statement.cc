@@ -19,9 +19,14 @@ Status FailAt(const std::vector<Token>& tokens, size_t pos,
       (t.text.empty() ? "" : " ('" + t.text + "')"));
 }
 
-Result<ValueType> TypeFromName(std::string name) {
-  std::transform(name.begin(), name.end(), name.begin(),
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+Result<ValueType> TypeFromName(std::string name) {
+  name = Upper(std::move(name));
   if (name == "INT" || name == "INTEGER" || name == "BIGINT") {
     return ValueType::kInt64;
   }
@@ -48,27 +53,21 @@ Result<ValueType> ParseColumnType(const std::vector<Token>& tokens,
 }
 
 // CREATE TABLE name (col TYPE, ...)
-Result<StatementResult> RunCreateTable(const std::vector<Token>& tokens,
-                                       size_t pos, Catalog* catalog) {
-  if (!tokens[pos].Is(TokenType::kIdentifier) ||
-      tokens[pos].text != "TABLE") {
-    // "TABLE" is not a reserved keyword; accept identifier spelling.
-    std::string upper = tokens[pos].text;
-    std::transform(upper.begin(), upper.end(), upper.begin(),
-                   [](unsigned char c) { return std::toupper(c); });
-    if (upper != "TABLE") return FailAt(tokens, pos, "expected TABLE");
+Result<ParsedStatement> ParseCreateTable(const std::vector<Token>& tokens,
+                                         size_t pos) {
+  // "TABLE" is not a reserved keyword; accept identifier spelling.
+  if (Upper(tokens[pos].text) != "TABLE") {
+    return FailAt(tokens, pos, "expected TABLE");
   }
   ++pos;
   if (!tokens[pos].Is(TokenType::kIdentifier)) {
     return FailAt(tokens, pos, "expected table name");
   }
-  std::string name = tokens[pos++].text;
-  if (catalog->Contains(name)) {
-    return Status::AlreadyExists("table '" + name + "' already exists");
-  }
+  ParsedStatement ps;
+  ps.kind = StatementKind::kCreateTable;
+  ps.table = tokens[pos++].text;
   if (!tokens[pos].IsPunct("(")) return FailAt(tokens, pos, "expected '('");
   ++pos;
-  Schema schema;
   while (true) {
     if (!tokens[pos].Is(TokenType::kIdentifier)) {
       return FailAt(tokens, pos, "expected column name");
@@ -76,7 +75,7 @@ Result<StatementResult> RunCreateTable(const std::vector<Token>& tokens,
     std::string column = tokens[pos++].text;
     ONGOINGDB_ASSIGN_OR_RETURN(ValueType type,
                                ParseColumnType(tokens, &pos));
-    ONGOINGDB_RETURN_NOT_OK(schema.AddAttribute(std::move(column), type));
+    ONGOINGDB_RETURN_NOT_OK(ps.schema.AddAttribute(std::move(column), type));
     if (tokens[pos].IsPunct(",")) {
       ++pos;
       continue;
@@ -85,37 +84,35 @@ Result<StatementResult> RunCreateTable(const std::vector<Token>& tokens,
   }
   if (!tokens[pos].IsPunct(")")) return FailAt(tokens, pos, "expected ')'");
   ++pos;
-  catalog->Register(name, OngoingRelation(std::move(schema)));
-  StatementResult result;
-  result.message = "table '" + name + "' created";
-  return result;
+  return ps;
 }
 
 // INSERT INTO name VALUES (lit, ...)
-Result<StatementResult> RunInsert(const std::vector<Token>& tokens,
-                                  size_t pos, Catalog* catalog) {
-  std::string upper = tokens[pos].text;
-  std::transform(upper.begin(), upper.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (upper != "INTO") return FailAt(tokens, pos, "expected INTO");
+Result<ParsedStatement> ParseInsert(const std::vector<Token>& tokens,
+                                    size_t pos, const Catalog& catalog) {
+  if (Upper(tokens[pos].text) != "INTO") {
+    return FailAt(tokens, pos, "expected INTO");
+  }
   ++pos;
   if (!tokens[pos].Is(TokenType::kIdentifier)) {
     return FailAt(tokens, pos, "expected table name");
   }
-  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
-                             catalog->GetMutable(tokens[pos].text));
+  ParsedStatement ps;
+  ps.kind = StatementKind::kInsert;
+  ps.table = tokens[pos].text;
+  // Fail early when the table is unknown (the values may still be
+  // parseable, but the statement cannot apply anywhere).
+  ONGOINGDB_RETURN_NOT_OK(catalog.Get(ps.table).status());
   ++pos;
-  upper = tokens[pos].text;
-  std::transform(upper.begin(), upper.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (upper != "VALUES") return FailAt(tokens, pos, "expected VALUES");
+  if (Upper(tokens[pos].text) != "VALUES") {
+    return FailAt(tokens, pos, "expected VALUES");
+  }
   ++pos;
   if (!tokens[pos].IsPunct("(")) return FailAt(tokens, pos, "expected '('");
   ++pos;
-  std::vector<Value> values;
   while (true) {
     ONGOINGDB_ASSIGN_OR_RETURN(Value v, ParseLiteralFragment(tokens, &pos));
-    values.push_back(std::move(v));
+    ps.values.push_back(std::move(v));
     if (tokens[pos].IsPunct(",")) {
       ++pos;
       continue;
@@ -128,11 +125,7 @@ Result<StatementResult> RunInsert(const std::vector<Token>& tokens,
   if (!tokens[pos].Is(TokenType::kEnd)) {
     return FailAt(tokens, pos, "unexpected trailing input");
   }
-  ONGOINGDB_RETURN_NOT_OK(relation->Insert(std::move(values)));
-  StatementResult result;
-  result.message = "1 row inserted";
-  result.affected = 1;
-  return result;
+  return ps;
 }
 
 // Shared by DELETE/UPDATE: parses [WHERE expr] AT DATE 'tc', returning
@@ -149,10 +142,9 @@ Result<std::pair<ExprPtr, TimePoint>> ParseWhereAt(
           "modification predicates must reference fixed attributes only");
     }
   }
-  std::string upper = tokens[*pos].text;
-  std::transform(upper.begin(), upper.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (upper != "AT") return FailAt(tokens, *pos, "expected AT");
+  if (Upper(tokens[*pos].text) != "AT") {
+    return FailAt(tokens, *pos, "expected AT");
+  }
   ++*pos;
   if (!tokens[*pos].IsKeyword("DATE")) {
     return FailAt(tokens, *pos, "expected DATE");
@@ -175,18 +167,9 @@ Result<size_t> VtIndexOf(const Schema& schema) {
       "temporal modification requires a PERIOD (ongoing interval) column");
 }
 
-ModificationFilter MakeFilter(const ExprPtr& predicate,
-                              const Schema& schema) {
-  if (predicate == nullptr) return [](const Tuple&) { return true; };
-  return [predicate, &schema](const Tuple& t) {
-    auto keep = predicate->EvalPredicateFixed(schema, t);
-    return keep.ok() && *keep;
-  };
-}
-
 // DELETE FROM name [WHERE pred] AT DATE 'tc'
-Result<StatementResult> RunDelete(const std::vector<Token>& tokens,
-                                  size_t pos, Catalog* catalog) {
+Result<ParsedStatement> ParseDelete(const std::vector<Token>& tokens,
+                                    size_t pos, const Catalog& catalog) {
   if (!tokens[pos].IsKeyword("FROM")) {
     return FailAt(tokens, pos, "expected FROM");
   }
@@ -194,38 +177,36 @@ Result<StatementResult> RunDelete(const std::vector<Token>& tokens,
   if (!tokens[pos].Is(TokenType::kIdentifier)) {
     return FailAt(tokens, pos, "expected table name");
   }
-  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
-                             catalog->GetMutable(tokens[pos].text));
+  ParsedStatement ps;
+  ps.kind = StatementKind::kDelete;
+  ps.table = tokens[pos].text;
+  ONGOINGDB_ASSIGN_OR_RETURN(const OngoingRelation* relation,
+                             catalog.Get(ps.table));
   ++pos;
   ONGOINGDB_ASSIGN_OR_RETURN(auto where_at,
                              ParseWhereAt(tokens, &pos, relation->schema()));
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, VtIndexOf(relation->schema()));
-  const Schema& schema = relation->schema();
-  ONGOINGDB_ASSIGN_OR_RETURN(
-      size_t deleted,
-      TemporalDelete(relation, vt, where_at.second,
-                     MakeFilter(where_at.first, schema)));
-  StatementResult result;
-  result.affected = deleted;
-  result.message = std::to_string(deleted) + " row(s) logically deleted";
-  return result;
+  ONGOINGDB_ASSIGN_OR_RETURN(ps.vt_index, VtIndexOf(relation->schema()));
+  ps.predicate = std::move(where_at.first);
+  ps.tc = where_at.second;
+  return ps;
 }
 
 // UPDATE name SET col = lit [, ...] [WHERE pred] AT DATE 'tc'
-Result<StatementResult> RunUpdate(const std::vector<Token>& tokens,
-                                  size_t pos, Catalog* catalog) {
+Result<ParsedStatement> ParseUpdate(const std::vector<Token>& tokens,
+                                    size_t pos, const Catalog& catalog) {
   if (!tokens[pos].Is(TokenType::kIdentifier)) {
     return FailAt(tokens, pos, "expected table name");
   }
-  ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
-                             catalog->GetMutable(tokens[pos].text));
+  ParsedStatement ps;
+  ps.kind = StatementKind::kUpdate;
+  ps.table = tokens[pos].text;
+  ONGOINGDB_ASSIGN_OR_RETURN(const OngoingRelation* relation,
+                             catalog.Get(ps.table));
   ++pos;
-  std::string upper = tokens[pos].text;
-  std::transform(upper.begin(), upper.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (upper != "SET") return FailAt(tokens, pos, "expected SET");
+  if (Upper(tokens[pos].text) != "SET") {
+    return FailAt(tokens, pos, "expected SET");
+  }
   ++pos;
-  std::vector<std::pair<size_t, Value>> assignments;
   while (true) {
     if (!tokens[pos].Is(TokenType::kIdentifier)) {
       return FailAt(tokens, pos, "expected column name");
@@ -242,7 +223,7 @@ Result<StatementResult> RunUpdate(const std::vector<Token>& tokens,
       return Status::TypeError("assignment type mismatch for column '" +
                                relation->schema().attribute(idx).name + "'");
     }
-    assignments.emplace_back(idx, std::move(v));
+    ps.assignments.emplace_back(idx, std::move(v));
     if (tokens[pos].IsPunct(",")) {
       ++pos;
       continue;
@@ -251,51 +232,119 @@ Result<StatementResult> RunUpdate(const std::vector<Token>& tokens,
   }
   ONGOINGDB_ASSIGN_OR_RETURN(auto where_at,
                              ParseWhereAt(tokens, &pos, relation->schema()));
-  ONGOINGDB_ASSIGN_OR_RETURN(size_t vt, VtIndexOf(relation->schema()));
-  const Schema& schema = relation->schema();
-  ONGOINGDB_ASSIGN_OR_RETURN(
-      size_t updated,
-      TemporalUpdate(relation, vt, where_at.second,
-                     MakeFilter(where_at.first, schema),
-                     [&assignments](const Tuple& t) {
-                       std::vector<Value> values = t.values();
-                       for (const auto& [idx, value] : assignments) {
-                         values[idx] = value;
-                       }
-                       return values;
-                     }));
-  StatementResult result;
-  result.affected = updated;
-  result.message = std::to_string(updated) + " row(s) updated";
-  return result;
+  ONGOINGDB_ASSIGN_OR_RETURN(ps.vt_index, VtIndexOf(relation->schema()));
+  ps.predicate = std::move(where_at.first);
+  ps.tc = where_at.second;
+  return ps;
 }
 
 }  // namespace
 
-Result<StatementResult> RunStatement(const std::string& statement,
-                                     Catalog* catalog, QueryContext* ctx) {
+ModificationFilter MakeModificationFilter(const ExprPtr& predicate,
+                                          const Schema& schema) {
+  if (predicate == nullptr) return [](const Tuple&) { return true; };
+  return [predicate, schema](const Tuple& t) {
+    auto keep = predicate->EvalPredicateFixed(schema, t);
+    return keep.ok() && *keep;
+  };
+}
+
+std::function<std::vector<Value>(const Tuple&)> MakeAssignmentUpdater(
+    std::vector<std::pair<size_t, Value>> assignments) {
+  return [assignments = std::move(assignments)](const Tuple& t) {
+    std::vector<Value> values = t.values();
+    for (const auto& [idx, value] : assignments) {
+      values[idx] = value;
+    }
+    return values;
+  };
+}
+
+Result<ParsedStatement> ParseStatement(const std::string& statement,
+                                       const Catalog& catalog) {
   ONGOINGDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
   if (tokens.empty() || tokens[0].Is(TokenType::kEnd)) {
     return Status::InvalidArgument("empty statement");
   }
   if (tokens[0].IsKeyword("SELECT")) {
-    ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation relation,
-                               RunQuery(statement, *catalog, ctx));
-    StatementResult result;
-    result.affected = relation.size();
-    result.message = std::to_string(relation.size()) + " row(s)";
-    result.relation = std::move(relation);
-    return result;
+    ParsedStatement ps;
+    ps.kind = StatementKind::kSelect;
+    ps.text = statement;
+    return ps;
   }
-  std::string first = tokens[0].text;
-  std::transform(first.begin(), first.end(), first.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  if (first == "CREATE") return RunCreateTable(tokens, 1, catalog);
-  if (first == "INSERT") return RunInsert(tokens, 1, catalog);
-  if (first == "DELETE") return RunDelete(tokens, 1, catalog);
-  if (first == "UPDATE") return RunUpdate(tokens, 1, catalog);
+  const std::string first = Upper(tokens[0].text);
+  if (first == "CREATE") return ParseCreateTable(tokens, 1);
+  if (first == "INSERT") return ParseInsert(tokens, 1, catalog);
+  if (first == "DELETE") return ParseDelete(tokens, 1, catalog);
+  if (first == "UPDATE") return ParseUpdate(tokens, 1, catalog);
   return Status::InvalidArgument("unknown statement '" + tokens[0].text +
                                  "'");
+}
+
+Result<StatementResult> ApplyStatement(const ParsedStatement& ps,
+                                       Catalog* catalog, QueryContext* ctx) {
+  StatementResult result;
+  switch (ps.kind) {
+    case StatementKind::kSelect: {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation relation,
+                                 RunQuery(ps.text, *catalog, ctx));
+      result.affected = relation.size();
+      result.message = std::to_string(relation.size()) + " row(s)";
+      result.relation = std::move(relation);
+      return result;
+    }
+    case StatementKind::kCreateTable: {
+      if (catalog->Contains(ps.table)) {
+        return Status::AlreadyExists("table '" + ps.table +
+                                     "' already exists");
+      }
+      catalog->Register(ps.table, OngoingRelation(ps.schema));
+      result.message = "table '" + ps.table + "' created";
+      return result;
+    }
+    case StatementKind::kInsert: {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                                 catalog->GetMutable(ps.table));
+      ONGOINGDB_RETURN_NOT_OK(relation->Insert(ps.values));
+      result.message = "1 row inserted";
+      result.affected = 1;
+      return result;
+    }
+    case StatementKind::kDelete: {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                                 catalog->GetMutable(ps.table));
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          size_t deleted,
+          TemporalDelete(
+              relation, ps.vt_index, ps.tc,
+              MakeModificationFilter(ps.predicate, relation->schema())));
+      result.affected = deleted;
+      result.message =
+          std::to_string(deleted) + " row(s) logically deleted";
+      return result;
+    }
+    case StatementKind::kUpdate: {
+      ONGOINGDB_ASSIGN_OR_RETURN(OngoingRelation * relation,
+                                 catalog->GetMutable(ps.table));
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          size_t updated,
+          TemporalUpdate(
+              relation, ps.vt_index, ps.tc,
+              MakeModificationFilter(ps.predicate, relation->schema()),
+              MakeAssignmentUpdater(ps.assignments)));
+      result.affected = updated;
+      result.message = std::to_string(updated) + " row(s) updated";
+      return result;
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<StatementResult> RunStatement(const std::string& statement,
+                                     Catalog* catalog, QueryContext* ctx) {
+  ONGOINGDB_ASSIGN_OR_RETURN(ParsedStatement ps,
+                             ParseStatement(statement, *catalog));
+  return ApplyStatement(ps, catalog, ctx);
 }
 
 }  // namespace sql

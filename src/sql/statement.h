@@ -12,12 +12,22 @@
 // min(end, tc), which stays exact because Omega is closed under min. The
 // WHERE predicate of a modification must reference fixed attributes only
 // (the modification applies to the *tuple*, not to reference times).
+//
+// Statement handling is split into parse and apply so the two execution
+// paths share one grammar: RunStatement (below) parses and applies
+// against an embedded catalog in one call, while the serving layer
+// (server/session.h) parses against a pinned snapshot's schemas and
+// routes the parsed statement through the server catalog's commit path.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "expr/expr.h"
 #include "query/exec_context.h"
+#include "relation/modifications.h"
 #include "relation/relation.h"
 #include "sql/catalog.h"
 #include "util/result.h"
@@ -35,10 +45,58 @@ struct StatementResult {
   size_t affected = 0;
 };
 
+enum class StatementKind { kSelect, kCreateTable, kInsert, kDelete, kUpdate };
+
+/// A parsed, schema-validated statement, decoupled from the catalog it
+/// will be applied to. SELECT statements keep their text (the query
+/// parser builds the plan at execution time against the executing
+/// catalog view); DML carries the resolved pieces the apply step needs.
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kSelect;
+  /// The original statement text (used to run SELECTs).
+  std::string text;
+  /// Target table of DDL/DML.
+  std::string table;
+  /// CREATE TABLE: the new table's schema.
+  Schema schema;
+  /// INSERT: the row literals, in schema order.
+  std::vector<Value> values;
+  /// DELETE/UPDATE: the optional fixed-only WHERE predicate.
+  ExprPtr predicate;
+  /// DELETE/UPDATE: the commit time from AT DATE.
+  TimePoint tc = 0;
+  /// DELETE/UPDATE: the valid-time (PERIOD) attribute index.
+  size_t vt_index = 0;
+  /// UPDATE: (column index, new value) assignments, type-checked.
+  std::vector<std::pair<size_t, Value>> assignments;
+};
+
+/// Parses one statement, resolving and validating DML against the
+/// schemas in `catalog` (which is only read). CREATE TABLE existence is
+/// checked at apply time, not here — parsing is side-effect free.
+Result<ParsedStatement> ParseStatement(const std::string& statement,
+                                       const Catalog& catalog);
+
+/// The ModificationFilter for a parsed WHERE predicate (nullptr matches
+/// everything). The schema is captured by value: the filter may outlive
+/// the catalog view it was parsed against (the serving path applies it
+/// to the master store under the commit lock).
+ModificationFilter MakeModificationFilter(const ExprPtr& predicate,
+                                          const Schema& schema);
+
+/// The updater applying UPDATE assignments to a tuple's values.
+std::function<std::vector<Value>(const Tuple&)> MakeAssignmentUpdater(
+    std::vector<std::pair<size_t, Value>> assignments);
+
+/// Applies a parsed statement to an embedded catalog. SELECT execution
+/// observes a non-null `ctx` (cancellation, deadline, memory budget);
+/// DDL/DML run unconditionally.
+Result<StatementResult> ApplyStatement(const ParsedStatement& statement,
+                                       Catalog* catalog,
+                                       QueryContext* ctx = nullptr);
+
 /// Parses and executes one statement against (and possibly mutating)
-/// `catalog`. A non-null `ctx` (query/exec_context.h) applies the query
-/// lifecycle — cancellation, deadline, memory budget — to SELECT
-/// execution; DDL/DML run unconditionally.
+/// `catalog`: ParseStatement + ApplyStatement in one call.
 Result<StatementResult> RunStatement(const std::string& statement,
                                      Catalog* catalog,
                                      QueryContext* ctx = nullptr);

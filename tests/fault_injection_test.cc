@@ -27,6 +27,7 @@
 #include "query/aggregate.h"
 #include "query/executor.h"
 #include "query/materialized_view.h"
+#include "server/session.h"
 #include "testing/plan_fuzz.h"
 #include "util/failpoint.h"
 
@@ -540,6 +541,140 @@ TEST_F(FaultInjectionTest, MaterializedViewKeepsResultAcrossFailedRefresh) {
   ASSERT_TRUE(view->Refresh(&ctx).ok());
   EXPECT_EQ(Fingerprint(view->ongoing_result()), want);
   EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+// --- serving-layer seams (server/catalog.h, server/session.h) ---------------
+
+TEST_F(FaultInjectionTest, CatalogCommitFaultNeverPublishesHalfWrite) {
+  server::Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateTable("Bugs",
+                               Schema({{"BID", ValueType::kInt64},
+                                       {"VT", ValueType::kOngoingInterval}}))
+                  .ok());
+  auto row = [](int64_t bid) {
+    return std::vector<Value>{
+        Value::Int64(bid), Value::Ongoing(OngoingInterval::SinceUntilNow(0))};
+  };
+  ASSERT_TRUE(catalog.Insert("Bugs", row(1)).ok());
+
+  server::Snapshot before = catalog.PinSnapshot();
+  auto before_data = before.Get("Bugs");
+  ASSERT_TRUE(before_data.ok());
+  const std::multiset<std::string> want = Fingerprint(**before_data);
+
+  {
+    ScopedFailpoint guard("catalog.commit", "always");
+    // Every commit kind fails with the injected fault...
+    EXPECT_TRUE(IsInjectedFault(catalog.Insert("Bugs", row(2)).status()));
+    EXPECT_TRUE(IsInjectedFault(
+        catalog
+            .TemporalDeleteWhere("Bugs", 10, [](const Tuple&) { return true; })
+            .status()));
+    EXPECT_TRUE(IsInjectedFault(
+        catalog
+            .TemporalUpdateWhere(
+                "Bugs", 10, [](const Tuple&) { return true; },
+                [](const Tuple& t) { return t.values(); })
+            .status()));
+    EXPECT_TRUE(IsInjectedFault(
+        catalog.CreateTable("Other", Schema({{"X", ValueType::kInt64}}))
+            .status()));
+    // ...and NOTHING becomes visible: no new table, no new state, no
+    // consumed sequence number — a failed commit is a perfect no-op.
+    server::Snapshot after = catalog.PinSnapshot();
+    EXPECT_EQ(after.commit_seq(), before.commit_seq());
+    auto after_data = after.Get("Bugs");
+    ASSERT_TRUE(after_data.ok());
+    EXPECT_EQ(Fingerprint(**after_data), want);
+    EXPECT_FALSE(after.Get("Other").ok());
+  }
+
+  // Disarmed, the very next commit takes the very next sequence.
+  auto committed = catalog.Insert("Bugs", row(3));
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(*committed, before.commit_seq() + 1);
+
+  // A probabilistic fault schedule across a write burst: exactly the
+  // successful commits are visible, with gapless sequences.
+  Failpoint::Find("catalog.commit")->ArmProbability(0.5, 42);
+  size_t succeeded = 0;
+  uint64_t last_seq = *committed;
+  for (int i = 10; i < 30; ++i) {
+    auto result = catalog.Insert("Bugs", row(i));
+    if (result.ok()) {
+      ++succeeded;
+      EXPECT_EQ(*result, last_seq + 1);
+      last_seq = *result;
+    } else {
+      EXPECT_TRUE(IsInjectedFault(result.status()));
+    }
+  }
+  Failpoint::DisarmAll();
+  auto final_data = catalog.PinSnapshot().Get("Bugs");
+  ASSERT_TRUE(final_data.ok());
+  EXPECT_EQ((*final_data)->size(), 2 + succeeded);
+  EXPECT_EQ(catalog.commit_seq(), last_seq);
+}
+
+TEST_F(FaultInjectionTest, SnapshotPinFaultFailsStatementsCleanly) {
+  server::Catalog catalog;
+  server::SessionManager manager(&catalog);
+  auto session = manager.CreateSession();
+  ASSERT_TRUE(
+      session->Execute("CREATE TABLE Bugs (BID INT, VT PERIOD)").ok());
+  ASSERT_TRUE(
+      session->Execute("INSERT INTO Bugs VALUES (1, PERIOD ['01/01', NOW))")
+          .ok());
+
+  {
+    ScopedFailpoint guard("session.snapshot_pin", "always");
+    // Both explicit pinning and the per-statement pin fail with the
+    // injected fault — before any compilation or execution.
+    EXPECT_TRUE(IsInjectedFault(session->PinSnapshot().status()));
+    EXPECT_FALSE(session->pinned());
+    auto read = session->Execute("SELECT * FROM Bugs");
+    ASSERT_FALSE(read.ok());
+    EXPECT_TRUE(IsInjectedFault(read.status()));
+  }
+  // Disarmed, the same session recovers.
+  auto recovered = session->Execute("SELECT * FROM Bugs");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->result.affected, 1u);
+
+  // A session that pinned BEFORE the fault arms keeps reading: its
+  // snapshot is already held, so no pin (and no failpoint) is on the
+  // read path.
+  ASSERT_TRUE(session->PinSnapshot().ok());
+  {
+    ScopedFailpoint guard("session.snapshot_pin", "always");
+    auto pinned_read = session->Execute("SELECT * FROM Bugs");
+    ASSERT_TRUE(pinned_read.ok()) << pinned_read.status();
+    EXPECT_EQ(pinned_read->result.affected, 1u);
+  }
+  session->Unpin();
+
+  // Intermittent pin faults: each statement either fails with the
+  // injected fault or returns the correct, current result.
+  Failpoint::Find("session.snapshot_pin")->ArmProbability(0.5, 7);
+  for (int i = 0; i < 10; ++i) {
+    auto read = session->Execute("SELECT * FROM Bugs");
+    if (read.ok()) {
+      EXPECT_EQ(read->result.affected, 1u);
+    } else {
+      EXPECT_TRUE(IsInjectedFault(read.status()));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, ServingSeamsAreRegistered) {
+  // Constructing the serving types links their translation units; the
+  // seams must be planted and discoverable for ONGOINGDB_FAILPOINTS.
+  server::Catalog catalog;
+  server::SessionManager manager(&catalog);
+  auto session = manager.CreateSession();
+  EXPECT_NE(Failpoint::Find("catalog.commit"), nullptr);
+  EXPECT_NE(Failpoint::Find("session.snapshot_pin"), nullptr);
 }
 
 TEST_F(FaultInjectionTest, IndexBuildFaultLeavesIndexUsable) {

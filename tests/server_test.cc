@@ -1,0 +1,355 @@
+// Unit tests of the serving layer (server/catalog.h, server/session.h):
+// the thread-safe catalog's commit/publish protocol, snapshot pinning
+// and stability, ring-based time travel with the locked MaterializeAsOf
+// fallback, the read-only snapshot views, session statement execution
+// with per-session knobs, and the SessionManager.
+//
+// The *concurrent* equivalence guarantees are covered by
+// concurrent_serving_test.cc; this suite pins down the single-threaded
+// semantics those tests build on.
+#include "server/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relation/modifications.h"
+#include "server/catalog.h"
+#include "sql/parser.h"
+#include "sql/statement.h"
+#include "testing/plan_fuzz.h"
+
+namespace ongoingdb {
+namespace server {
+namespace {
+
+using plan_fuzz::Fingerprint;
+
+Schema BugsSchema() {
+  return Schema({{"BID", ValueType::kInt64},
+                 {"C", ValueType::kString},
+                 {"VT", ValueType::kOngoingInterval}});
+}
+
+std::vector<Value> BugRow(int64_t bid, const std::string& component,
+                          TimePoint since) {
+  return {Value::Int64(bid), Value::String(component),
+          Value::Ongoing(OngoingInterval::SinceUntilNow(since))};
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+TEST(ServerCatalogTest, CommitsPublishMonotoneSequences) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.commit_seq(), 0u);
+
+  auto created = catalog.CreateTable("Bugs", BugsSchema());
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_EQ(*created, 1u);
+
+  auto first = catalog.Insert("Bugs", BugRow(500, "spam", 10));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, 2u);
+  auto second = catalog.Insert("Bugs", BugRow(501, "ui", 20));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 3u);
+  EXPECT_EQ(catalog.commit_seq(), 3u);
+
+  // Duplicate creation and unknown tables fail without consuming a
+  // sequence number.
+  EXPECT_FALSE(catalog.CreateTable("Bugs", BugsSchema()).ok());
+  EXPECT_FALSE(catalog.Insert("Nope", BugRow(1, "x", 0)).ok());
+  // A malformed row (arity) fails validation before any mutation.
+  EXPECT_FALSE(catalog.Insert("Bugs", {Value::Int64(1)}).ok());
+  EXPECT_EQ(catalog.commit_seq(), 3u);
+  auto next = catalog.Insert("Bugs", BugRow(502, "perf", 30));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 4u);
+}
+
+TEST(ServerCatalogTest, PinnedSnapshotsAreStableAcrossCommits) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("Bugs", BugsSchema()).ok());
+  ASSERT_TRUE(catalog.Insert("Bugs", BugRow(500, "spam", 10)).ok());
+
+  Snapshot before = catalog.PinSnapshot();
+  auto before_data = before.Get("Bugs");
+  ASSERT_TRUE(before_data.ok());
+  const std::multiset<std::string> want = Fingerprint(**before_data);
+  EXPECT_EQ((*before_data)->size(), 1u);
+
+  ASSERT_TRUE(catalog.Insert("Bugs", BugRow(501, "ui", 20)).ok());
+  ASSERT_TRUE(catalog.Insert("Bugs", BugRow(502, "perf", 30)).ok());
+
+  // The pinned snapshot keeps resolving the exact pre-commit version.
+  auto still = before.Get("Bugs");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(Fingerprint(**still), want);
+  EXPECT_EQ(before.commit_seq(), 2u);
+
+  // A fresh pin observes every commit.
+  Snapshot after = catalog.PinSnapshot();
+  auto after_data = after.Get("Bugs");
+  ASSERT_TRUE(after_data.ok());
+  EXPECT_EQ((*after_data)->size(), 3u);
+  EXPECT_EQ(after.commit_seq(), 4u);
+
+  // Unknown tables are NotFound at snapshot resolution.
+  EXPECT_FALSE(after.Get("Nope").ok());
+  EXPECT_EQ(after.Names(), std::vector<std::string>{"Bugs"});
+}
+
+TEST(ServerCatalogTest, TimeTravelWithinRingAndMaterializeBelowIt) {
+  Catalog catalog(/*version_ring_cap=*/3);
+  ASSERT_TRUE(catalog.CreateTable("Bugs", BugsSchema()).ok());  // seq 1
+  for (int i = 0; i < 5; ++i) {                                 // seq 2..6
+    ASSERT_TRUE(
+        catalog.Insert("Bugs", BugRow(500 + i, "spam", 10 * (i + 1))).ok());
+  }
+  Snapshot snap = catalog.PinSnapshot();
+  ASSERT_EQ(snap.commit_seq(), 6u);
+
+  // The last 3 versions (seq 4, 5, 6) travel lock-free.
+  for (uint64_t seq = 4; seq <= 6; ++seq) {
+    auto at = snap.GetAsOf("Bugs", seq);
+    ASSERT_TRUE(at.ok()) << at.status();
+    EXPECT_EQ((*at)->size(), static_cast<size_t>(seq - 1));
+  }
+  // A sequence above the snapshot resolves to the newest <= seq.
+  auto above = snap.GetAsOf("Bugs", 99);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ((*above)->size(), 5u);
+
+  // Below the ring: OutOfRange from the snapshot, exact result from the
+  // master store's per-tuple transaction time.
+  auto fell_off = snap.GetAsOf("Bugs", 2);
+  ASSERT_FALSE(fell_off.ok());
+  EXPECT_EQ(fell_off.status().code(), StatusCode::kOutOfRange);
+  for (uint64_t seq = 1; seq <= 6; ++seq) {
+    auto mat = catalog.MaterializeAsOf("Bugs", seq);
+    ASSERT_TRUE(mat.ok()) << mat.status();
+    EXPECT_EQ((*mat)->size(), static_cast<size_t>(seq - 1)) << "seq " << seq;
+  }
+}
+
+TEST(ServerCatalogTest, StampedModificationsMatchPlainOps) {
+  // The serving catalog's current state after a DML sequence equals the
+  // same sequence of PLAIN Torp modifications on a plain relation — the
+  // invariant the concurrent equivalence replay relies on.
+  OngoingRelation plain(BugsSchema());
+  ASSERT_TRUE(plain.Insert(BugRow(500, "spam", 10)).ok());
+  ASSERT_TRUE(plain.Insert(BugRow(501, "spam", 20)).ok());
+  ASSERT_TRUE(plain.Insert(BugRow(502, "ui", 30)).ok());
+
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("Bugs", plain).ok());
+
+  ModificationFilter is_spam = [](const Tuple& t) {
+    return t.value(1).AsString() == "spam";
+  };
+  auto updater = [](const Tuple& t) {
+    std::vector<Value> values = t.values();
+    values[1] = Value::String("triaged");
+    return values;
+  };
+
+  size_t deleted = 0;
+  auto del = catalog.TemporalDeleteWhere("Bugs", 40, is_spam, &deleted);
+  ASSERT_TRUE(del.ok()) << del.status();
+  EXPECT_EQ(deleted, 2u);
+  ModificationFilter is_ui = [](const Tuple& t) {
+    return t.value(1).AsString() == "ui";
+  };
+  size_t updated = 0;
+  auto upd = catalog.TemporalUpdateWhere("Bugs", 50, is_ui, updater, &updated);
+  ASSERT_TRUE(upd.ok()) << upd.status();
+  EXPECT_EQ(updated, 1u);
+
+  ASSERT_TRUE(TemporalDelete(&plain, 2, 40, is_spam).ok());
+  ASSERT_TRUE(TemporalUpdate(&plain, 2, 50, is_ui, updater).ok());
+
+  auto served = catalog.PinSnapshot().Get("Bugs");
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(Fingerprint(**served), Fingerprint(plain));
+
+  // DML on a table without a PERIOD column is rejected cleanly.
+  ASSERT_TRUE(
+      catalog.CreateTable("Flat", Schema({{"X", ValueType::kInt64}})).ok());
+  EXPECT_FALSE(
+      catalog.TemporalDeleteWhere("Flat", 10, is_spam, nullptr).ok());
+}
+
+TEST(ServerCatalogTest, SnapshotViewIsReadOnly) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("Bugs", BugsSchema()).ok());
+  ASSERT_TRUE(catalog.Insert("Bugs", BugRow(500, "spam", 10)).ok());
+
+  sql::Catalog view = catalog.PinSnapshot().View();
+  ASSERT_TRUE(view.Contains("Bugs"));
+  ASSERT_TRUE(view.Get("Bugs").ok());
+  // Mutations cannot sneak past the commit path through a view.
+  EXPECT_FALSE(view.GetMutable("Bugs").ok());
+  // Reads through the view run the full query pipeline.
+  auto result = sql::RunQuery("SELECT * FROM Bugs", view);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+}
+
+// --- Session ----------------------------------------------------------------
+
+TEST(SessionTest, StatementsRoundTripThroughTheServingPath) {
+  Catalog catalog;
+  SessionManager manager(&catalog);
+  auto session = manager.CreateSession();
+
+  auto created = session->Execute(
+      "CREATE TABLE Bugs (BID INT, C TEXT, VT PERIOD)");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_EQ(created->snapshot_seq, 1u);
+
+  auto inserted = session->Execute(
+      "INSERT INTO Bugs VALUES (500, 'spam', PERIOD ['01/25', NOW))");
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_EQ(inserted->result.affected, 1u);
+  EXPECT_EQ(inserted->snapshot_seq, 2u);
+  ASSERT_TRUE(session->Execute("INSERT INTO Bugs VALUES (501, 'ui', "
+                               "PERIOD ['03/30', NOW))")
+                  .ok());
+
+  auto selected = session->Execute("SELECT * FROM Bugs WHERE BID = 500");
+  ASSERT_TRUE(selected.ok()) << selected.status();
+  ASSERT_TRUE(selected->result.relation.has_value());
+  EXPECT_EQ(selected->result.affected, 1u);
+  EXPECT_EQ(selected->snapshot_seq, 3u);
+  EXPECT_EQ(session->context().snapshot_seq(), 3u);
+
+  auto updated = session->Execute(
+      "UPDATE Bugs SET C = 'triaged' WHERE BID = 500 AT DATE '06/01'");
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(updated->result.affected, 1u);
+
+  auto deleted = session->Execute(
+      "DELETE FROM Bugs WHERE BID = 501 AT DATE '07/01'");
+  ASSERT_TRUE(deleted.ok()) << deleted.status();
+  EXPECT_EQ(deleted->result.affected, 1u);
+
+  // Errors are clean: unknown table, malformed SQL.
+  EXPECT_FALSE(session->Execute("SELECT * FROM Nope").ok());
+  EXPECT_FALSE(session->Execute("FROBNICATE").ok());
+}
+
+TEST(SessionTest, SetKnobsFlowIntoTheSession) {
+  Catalog catalog;
+  SessionManager manager(&catalog);
+  auto session = manager.CreateSession();
+
+  ASSERT_TRUE(session->Execute("SET workers = 4;").ok());
+  EXPECT_EQ(session->options().workers, 4u);
+  ASSERT_TRUE(session->Execute("SET memory_limit_mb = 64;").ok());
+  EXPECT_EQ(session->options().memory_limit_bytes, 64u << 20);
+  ASSERT_TRUE(session->Execute("SET timeout_ms = 250").ok());
+  EXPECT_EQ(session->options().timeout_ms, 250);
+
+  // workers is clamped to >= 1; 0 disables the budget.
+  ASSERT_TRUE(session->Execute("SET workers = 0;").ok());
+  EXPECT_EQ(session->options().workers, 1u);
+  ASSERT_TRUE(session->Execute("SET memory_limit_mb = 0;").ok());
+  EXPECT_EQ(session->options().memory_limit_bytes, 0u);
+
+  // Unknown knobs and malformed values are rejected.
+  EXPECT_FALSE(session->Execute("SET bogus = 1;").ok());
+  EXPECT_FALSE(session->Execute("SET workers = 'two';").ok());
+  EXPECT_FALSE(session->Execute("SET workers = 1; extra").ok());
+}
+
+TEST(SessionTest, MemoryBudgetAndTimeoutApplyPerStatement) {
+  Catalog catalog;
+  SessionManager manager(&catalog);
+  auto session = manager.CreateSession();
+  ASSERT_TRUE(
+      session->Execute("CREATE TABLE Bugs (BID INT, C TEXT, VT PERIOD)")
+          .ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(session
+                    ->Execute("INSERT INTO Bugs VALUES (" +
+                              std::to_string(i) +
+                              ", 'spam', PERIOD ['01/01', NOW))")
+                    .ok());
+  }
+
+  SessionOptions tiny;
+  tiny.memory_limit_bytes = 8;  // smaller than any materialized tuple
+  auto budgeted = manager.CreateSession(tiny);
+  auto exhausted = budgeted->Execute("SELECT * FROM Bugs WHERE BID < 10");
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  // The budget is per statement, not sticky poison: lifting it via SET
+  // makes the next statement pass.
+  ASSERT_TRUE(budgeted->Execute("SET memory_limit_mb = 64;").ok());
+  EXPECT_TRUE(budgeted->Execute("SELECT * FROM Bugs WHERE BID < 10").ok());
+
+  // A pre-cancelled context is rearmed by Execute's Reset.
+  session->Cancel();
+  EXPECT_TRUE(session->Execute("SELECT * FROM Bugs").ok());
+}
+
+TEST(SessionTest, PinnedSnapshotGivesRepeatableReads) {
+  Catalog catalog;
+  SessionManager manager(&catalog);
+  auto reader = manager.CreateSession();
+  auto writer = manager.CreateSession();
+  ASSERT_TRUE(
+      writer->Execute("CREATE TABLE Bugs (BID INT, C TEXT, VT PERIOD)").ok());
+  ASSERT_TRUE(writer
+                  ->Execute("INSERT INTO Bugs VALUES (500, 'spam', "
+                            "PERIOD ['01/25', NOW))")
+                  .ok());
+
+  auto pinned_at = reader->PinSnapshot();
+  ASSERT_TRUE(pinned_at.ok());
+  EXPECT_EQ(*pinned_at, 2u);
+  EXPECT_TRUE(reader->pinned());
+
+  ASSERT_TRUE(writer
+                  ->Execute("INSERT INTO Bugs VALUES (501, 'ui', "
+                            "PERIOD ['03/30', NOW))")
+                  .ok());
+
+  // The pinned reader keeps seeing the world at sequence 2...
+  auto repeat1 = reader->Execute("SELECT * FROM Bugs");
+  ASSERT_TRUE(repeat1.ok());
+  EXPECT_EQ(repeat1->result.affected, 1u);
+  EXPECT_EQ(repeat1->snapshot_seq, 2u);
+  auto repeat2 = reader->Execute("SELECT * FROM Bugs");
+  ASSERT_TRUE(repeat2.ok());
+  EXPECT_EQ(Fingerprint(*repeat1->result.relation),
+            Fingerprint(*repeat2->result.relation));
+
+  // ...and read-latest resumes after Unpin.
+  reader->Unpin();
+  EXPECT_FALSE(reader->pinned());
+  auto fresh = reader->Execute("SELECT * FROM Bugs");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->result.affected, 2u);
+  EXPECT_EQ(fresh->snapshot_seq, 3u);
+}
+
+TEST(SessionTest, ManagerTracksLiveSessions) {
+  Catalog catalog;
+  SessionManager manager(&catalog);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  auto a = manager.CreateSession();
+  auto b = manager.CreateSession();
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(manager.active_sessions(), 2u);
+  b.reset();
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  auto c = manager.CreateSession();
+  EXPECT_EQ(manager.active_sessions(), 2u);
+  EXPECT_NE(c->id(), a->id());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ongoingdb
