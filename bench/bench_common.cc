@@ -156,6 +156,18 @@ void BenchJsonWriter::AddMs(const std::string& name, double ms,
 std::string BenchJsonWriter::ToJson() const {
   std::string out = "{\n  \"suite\": \"";
   AppendEscaped(suite_, &out);
+  out += "\",\n  \"git_sha\": \"";
+#ifdef ONGOINGDB_GIT_SHA
+  AppendEscaped(ONGOINGDB_GIT_SHA, &out);
+#else
+  out += "unknown";
+#endif
+  out += "\",\n  \"build_type\": \"";
+#ifdef ONGOINGDB_BUILD_TYPE
+  AppendEscaped(ONGOINGDB_BUILD_TYPE, &out);
+#else
+  out += "unknown";
+#endif
   out += "\",\n  ";
   AppendNumber("scale", Scale(), &out);
   out += ",\n  ";

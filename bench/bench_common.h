@@ -101,11 +101,14 @@ struct BenchRecord {
 };
 
 /// Collects BenchRecords and renders them as a JSON document
-/// {"suite": ..., "scale": ..., "hardware_concurrency": ...,
-/// "effective_workers": ..., "benchmarks": [...]}. The host's hardware
-/// concurrency and the global scheduler's effective worker count are
-/// recorded in every suite, so baselines captured on constrained hosts
-/// (the PR 3 1-core-container caveat) are machine-readably marked.
+/// {"suite": ..., "git_sha": ..., "build_type": ..., "scale": ...,
+/// "hardware_concurrency": ..., "effective_workers": ...,
+/// "benchmarks": [...]}. The host's hardware concurrency and the global
+/// scheduler's effective worker count are recorded in every suite, so
+/// baselines captured on constrained hosts (the PR 3 1-core-container
+/// caveat) are machine-readably marked; the commit and build type pin
+/// down what a baseline was recorded from (both "unknown" when built
+/// outside a git checkout).
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string suite) : suite_(std::move(suite)) {}

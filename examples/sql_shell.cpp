@@ -11,6 +11,7 @@
 //   SET timeout_ms = N;        -- per-statement deadline (0 disables)
 //   SET workers = N;           -- parallel pipelines per statement
 //   SET memory_limit_mb = N;   -- per-statement memory budget (0 = off)
+//   SET batch_size = N;        -- tuple-batch capacity (0 = default)
 //
 // Build & run:  ./build/sql_shell
 //               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/sql_shell
@@ -95,7 +96,7 @@ int main() {
               "Ongoing literals: NOW, DATE '08/15', "
               "PERIOD ['01/25', NOW)\n"
               "Session knobs: SET timeout_ms = N;  SET workers = N;  "
-              "SET memory_limit_mb = N;\n\n");
+              "SET memory_limit_mb = N;  SET batch_size = N;\n\n");
 
   const char* demo[] = {
       "SELECT * FROM B",
@@ -106,6 +107,7 @@ int main() {
       "SELECT BID FROM B WHERE DURATION(VT) > 180",
       "SET workers = 2;",
       "SET memory_limit_mb = 64;",
+      "SET batch_size = 256;",
       "CREATE TABLE Notes (ID INT, Text TEXT, VT PERIOD)",
       "INSERT INTO Notes VALUES (1, 'spam regression', "
       "PERIOD ['08/01', NOW))",

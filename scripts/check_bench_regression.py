@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare freshly emitted bench JSON against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_PR8_smoke.json \
+        bench_smoke_joins.json [bench_smoke_index.json ...]
+
+The baseline is either a combined document ({"baseline": ..., "suites":
+[...]}) like the committed BENCH_PR*.json files, or a single suite as
+written by BenchJsonWriter. Each NEW file is a single-suite document; it
+is matched to the baseline suite with the same "suite" name, and records
+are matched by benchmark name. Suites or records present on only one
+side are reported but never fail the check — benches come and go across
+PRs; the gate only judges the records both sides measured.
+
+Pass/fail: the check fails when the MEDIAN ns_per_op ratio (new/old)
+over the common records of any suite exceeds --threshold (default 2.0).
+
+Noise threshold rationale: shared CI runners routinely wobble
+individual records by 20-50%, and a cold file cache can double one
+measurement; the median over a suite's common records is robust to a
+few outliers, and a 2x median shift is far outside runner noise — it
+means the suite as a whole got slower. The per-record ratios are
+printed so genuine single-bench regressions are still visible in the
+log even when they do not trip the gate.
+
+Scale guard: a suite pair recorded at different ONGOINGDB_BENCH_SCALE
+values is not comparable; mismatched scales fail the check outright.
+
+Exit codes: 0 ok, 1 regression or scale mismatch, 2 usage/format error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def baseline_suites(doc, path):
+    if "suites" in doc:
+        return {s["suite"]: s for s in doc["suites"]}
+    if "suite" in doc:
+        return {doc["suite"]: doc}
+    print(f"error: {path} has neither 'suites' nor 'suite'", file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (combined or single-suite)")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed median ns_per_op ratio (default 2.0)")
+    ap.add_argument("new", nargs="+",
+                    help="freshly emitted single-suite JSON files")
+    args = ap.parse_args()
+
+    base = baseline_suites(load(args.baseline), args.baseline)
+    failed = False
+
+    for path in args.new:
+        doc = load(path)
+        name = doc.get("suite")
+        if name is None:
+            print(f"error: {path} has no 'suite' field", file=sys.stderr)
+            sys.exit(2)
+        ref = base.get(name)
+        if ref is None:
+            print(f"[skip] suite '{name}' ({path}): not in baseline")
+            continue
+        if doc.get("scale") != ref.get("scale"):
+            print(f"[FAIL] suite '{name}': scale mismatch "
+                  f"(new {doc.get('scale')} vs baseline {ref.get('scale')})")
+            failed = True
+            continue
+
+        old = {b["name"]: b["ns_per_op"] for b in ref.get("benchmarks", [])}
+        new = {b["name"]: b["ns_per_op"] for b in doc.get("benchmarks", [])}
+        common = sorted(set(old) & set(new))
+        if not common:
+            print(f"[skip] suite '{name}': no common records")
+            continue
+
+        ratios = []
+        for bench in common:
+            if old[bench] <= 0:
+                continue
+            r = new[bench] / old[bench]
+            ratios.append(r)
+            print(f"  {name}/{bench}: {old[bench]:.3g} -> {new[bench]:.3g} "
+                  f"ns/op  (x{r:.2f})")
+        only_old = sorted(set(old) - set(new))
+        only_new = sorted(set(new) - set(old))
+        if only_old:
+            print(f"  (baseline-only, ignored: {', '.join(only_old)})")
+        if only_new:
+            print(f"  (new-only, ignored: {', '.join(only_new)})")
+        if not ratios:
+            print(f"[skip] suite '{name}': no usable records")
+            continue
+
+        med = statistics.median(ratios)
+        verdict = "FAIL" if med > args.threshold else "ok"
+        print(f"[{verdict}] suite '{name}': median ratio x{med:.2f} over "
+              f"{len(ratios)} common records (threshold x{args.threshold})")
+        if med > args.threshold:
+            failed = True
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

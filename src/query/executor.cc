@@ -23,7 +23,7 @@ Result<OngoingRelation> Execute(const PlanPtr& plan,
                                 QueryContext* ctx) {
   ONGOINGDB_ASSIGN_OR_RETURN(
       PhysicalOpPtr root, Compile(plan, ExecMode::kOngoing, 0, options, ctx));
-  return DrainToRelation(*root, ctx);
+  return DrainToRelation(*root, ctx, EffectiveBatchSize(options));
 }
 
 Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
@@ -33,7 +33,7 @@ Result<OngoingRelation> ExecuteAtReferenceTime(const PlanPtr& plan,
   ONGOINGDB_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
       Compile(plan, ExecMode::kAtReferenceTime, rt, options, ctx));
-  return DrainToRelation(*root, ctx);
+  return DrainToRelation(*root, ctx, EffectiveBatchSize(options));
 }
 
 }  // namespace ongoingdb

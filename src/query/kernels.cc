@@ -1,0 +1,331 @@
+#include "query/kernels.h"
+
+#include <utility>
+
+namespace ongoingdb {
+namespace kernels {
+
+std::optional<IntervalProbeOp> ProbeOpFor(AllenOp op, bool column_is_lhs) {
+  switch (op) {
+    case AllenOp::kOverlaps:
+      return IntervalProbeOp::kOverlaps;  // symmetric
+    case AllenOp::kBefore:
+      return column_is_lhs ? IntervalProbeOp::kBefore
+                           : IntervalProbeOp::kAfter;
+    case AllenOp::kMeets:
+      return column_is_lhs ? IntervalProbeOp::kMeets
+                           : IntervalProbeOp::kMetBy;
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+// The shared inner loop: every row writes its index to the output slot
+// and the predicate's 0/1 result advances the cursor — no data-dependent
+// branch, so mispredictions don't scale with selectivity and the
+// per-row comparisons are open to auto-vectorization.
+template <typename Pred>
+size_t SelectInto(const uint32_t* sel, size_t n, uint32_t* out, Pred pred) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = sel[i];
+    out[k] = r;
+    k += static_cast<size_t>(pred(r));
+  }
+  return k;
+}
+
+}  // namespace
+
+size_t FilterIntervalVsLiteral(IntervalProbeOp op, const TimePoint* start,
+                               const TimePoint* end, FixedInterval probe,
+                               const uint32_t* sel, size_t n, uint32_t* out) {
+  const TimePoint ps = probe.start;
+  const TimePoint pe = probe.end;
+  if (op == IntervalProbeOp::kContains) {
+    // ContainsF: start <= t < end (implies non-emptiness).
+    return SelectInto(sel, n, out, [=](uint32_t r) {
+      return int{start[r] <= ps} & int{ps < end[r]};
+    });
+  }
+  // Every Allen comparator requires both operands non-empty; the
+  // probe's emptiness is loop-invariant, so hoist it.
+  if (probe.empty()) return 0;
+  switch (op) {
+    case IntervalProbeOp::kBefore:  // BeforeF(row, probe)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{end[r] <= ps} & int{start[r] < end[r]};
+      });
+    case IntervalProbeOp::kAfter:  // BeforeF(probe, row)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{pe <= start[r]} & int{start[r] < end[r]};
+      });
+    case IntervalProbeOp::kMeets:  // MeetsF(row, probe)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{end[r] == ps} & int{start[r] < end[r]};
+      });
+    case IntervalProbeOp::kMetBy:  // MeetsF(probe, row)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{start[r] == pe} & int{start[r] < end[r]};
+      });
+    case IntervalProbeOp::kOverlaps:  // OverlapsF(row, probe)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{start[r] < pe} & int{ps < end[r]} &
+               int{start[r] < end[r]};
+      });
+    case IntervalProbeOp::kContains:
+      break;  // handled above
+  }
+  return 0;
+}
+
+size_t FilterIntervalVsInterval(IntervalProbeOp op, const TimePoint* ls,
+                                const TimePoint* le, const TimePoint* rs,
+                                const TimePoint* re, const uint32_t* sel,
+                                size_t n, uint32_t* out) {
+  switch (op) {
+    case IntervalProbeOp::kBefore:  // BeforeF(lhs, rhs)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{le[r] <= rs[r]} & int{ls[r] < le[r]} & int{rs[r] < re[r]};
+      });
+    case IntervalProbeOp::kAfter:  // BeforeF(rhs, lhs)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{re[r] <= ls[r]} & int{ls[r] < le[r]} & int{rs[r] < re[r]};
+      });
+    case IntervalProbeOp::kMeets:  // MeetsF(lhs, rhs)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{le[r] == rs[r]} & int{ls[r] < le[r]} & int{rs[r] < re[r]};
+      });
+    case IntervalProbeOp::kMetBy:  // MeetsF(rhs, lhs)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{ls[r] == re[r]} & int{ls[r] < le[r]} & int{rs[r] < re[r]};
+      });
+    case IntervalProbeOp::kOverlaps:  // OverlapsF(lhs, rhs)
+      return SelectInto(sel, n, out, [=](uint32_t r) {
+        return int{ls[r] < re[r]} & int{rs[r] < le[r]} & int{ls[r] < le[r]} &
+               int{rs[r] < re[r]};
+      });
+    case IntervalProbeOp::kContains:
+      break;  // not a column-pair op (see header)
+  }
+  return 0;
+}
+
+size_t FilterIntervalContainsPoint(const TimePoint* start,
+                                   const TimePoint* end,
+                                   const TimePoint* point,
+                                   const uint32_t* sel, size_t n,
+                                   uint32_t* out) {
+  return SelectInto(sel, n, out, [=](uint32_t r) {
+    return int{start[r] <= point[r]} & int{point[r] < end[r]};
+  });
+}
+
+namespace {
+// Process-wide ablation toggle; read at Compile() time only.
+bool g_kernel_filtering_enabled = true;
+}  // namespace
+
+void SetKernelFilteringEnabled(bool enabled) {
+  g_kernel_filtering_enabled = enabled;
+}
+
+bool KernelFilteringEnabled() { return g_kernel_filtering_enabled; }
+
+void BatchPredicate::Compile(const ExprPtr& conjunction, const Schema& schema,
+                             bool at_reference_time, TimePoint rt) {
+  atoms_.clear();
+  remainder_ = conjunction;
+  schema_ = &schema;
+  rt_ = at_reference_time ? rt : 0;
+  if (conjunction == nullptr || !KernelFilteringEnabled()) return;
+  std::vector<ExprPtr> conjuncts;
+  CollectTopLevelConjuncts(conjunction, &conjuncts);
+  std::vector<ExprPtr> rest;
+  for (const ExprPtr& conjunct : conjuncts) {
+    KernelAtom atom;
+    if (MatchAtom(conjunct, schema, at_reference_time, rt, &atom)) {
+      atom.source = conjunct;
+      atoms_.push_back(std::move(atom));
+    } else {
+      rest.push_back(conjunct);
+    }
+  }
+  if (atoms_.empty()) return;  // remainder_ stays the full conjunction
+  remainder_ = AndAll(rest);
+}
+
+bool BatchPredicate::MatchAtom(const ExprPtr& conjunct, const Schema& schema,
+                               bool at_reference_time, TimePoint rt,
+                               KernelAtom* atom) const {
+  auto column_index = [&schema](const ExprPtr& e) -> std::optional<size_t> {
+    std::optional<std::string> name = AsColumnName(e);
+    if (!name.has_value()) return std::nullopt;
+    auto idx = schema.IndexOf(*name);
+    if (!idx.ok()) return std::nullopt;
+    return *idx;
+  };
+  auto column_type = [&schema](size_t idx) {
+    return schema.attribute(idx).type;
+  };
+  // Literal eligibility: the value the scalar path would compare with.
+  // LiteralExpr::EvalScalarFixed instantiates at rt (Clifford's ongoing
+  // literals), so the same instantiation applies here; in ongoing mode
+  // an ongoing literal makes the conjunct reference-time-dependent and
+  // must stay in the remainder.
+  auto fixed_literal = [&](const ExprPtr& e) -> std::optional<Value> {
+    std::optional<Value> literal = AsLiteralValue(e);
+    if (!literal.has_value()) return std::nullopt;
+    if (at_reference_time) return literal->Instantiate(rt);
+    return literal;
+  };
+
+  if (std::optional<AllenParts> allen = AsAllen(conjunct)) {
+    std::optional<size_t> lhs = column_index(allen->lhs);
+    std::optional<size_t> rhs = column_index(allen->rhs);
+    if (lhs.has_value() && rhs.has_value()) {
+      if (column_type(*lhs) != ValueType::kFixedInterval ||
+          column_type(*rhs) != ValueType::kFixedInterval) {
+        return false;
+      }
+      std::optional<IntervalProbeOp> op =
+          ProbeOpFor(allen->op, /*column_is_lhs=*/true);
+      if (!op.has_value()) return false;
+      atom->op = *op;
+      atom->lhs_col = *lhs;
+      atom->rhs = KernelAtom::Rhs::kIntervalColumn;
+      atom->rhs_col = *rhs;
+      return true;
+    }
+    ExprPtr col_expr = allen->lhs;
+    ExprPtr lit_expr = allen->rhs;
+    bool column_is_lhs = true;
+    if (!lhs.has_value()) {
+      std::swap(col_expr, lit_expr);
+      column_is_lhs = false;
+    }
+    std::optional<size_t> col = column_index(col_expr);
+    if (!col.has_value() || column_type(*col) != ValueType::kFixedInterval) {
+      return false;
+    }
+    std::optional<IntervalProbeOp> op = ProbeOpFor(allen->op, column_is_lhs);
+    if (!op.has_value()) return false;
+    std::optional<Value> literal = fixed_literal(lit_expr);
+    if (!literal.has_value() ||
+        literal->type() != ValueType::kFixedInterval) {
+      return false;
+    }
+    atom->op = *op;
+    atom->lhs_col = *col;
+    atom->rhs = KernelAtom::Rhs::kLiteralInterval;
+    atom->probe = literal->AsInterval();
+    return true;
+  }
+
+  if (std::optional<ContainsParts> contains = AsContains(conjunct)) {
+    std::optional<size_t> iv_col = column_index(contains->interval);
+    if (!iv_col.has_value() ||
+        column_type(*iv_col) != ValueType::kFixedInterval) {
+      return false;
+    }
+    if (std::optional<size_t> pt_col = column_index(contains->point)) {
+      if (column_type(*pt_col) != ValueType::kTimePoint) return false;
+      atom->op = IntervalProbeOp::kContains;
+      atom->lhs_col = *iv_col;
+      atom->rhs = KernelAtom::Rhs::kPointColumn;
+      atom->rhs_col = *pt_col;
+      return true;
+    }
+    std::optional<Value> literal = fixed_literal(contains->point);
+    if (!literal.has_value() || literal->type() != ValueType::kTimePoint) {
+      return false;
+    }
+    atom->op = IntervalProbeOp::kContains;
+    atom->lhs_col = *iv_col;
+    atom->rhs = KernelAtom::Rhs::kLiteralPoint;
+    atom->probe = FixedInterval{literal->AsTime(), literal->AsTime()};
+    return true;
+  }
+
+  return false;
+}
+
+Status BatchPredicate::Apply(TupleBatch* batch) {
+  if (atoms_.empty() || batch->empty()) return Status::OK();
+  const size_t n = batch->size();
+  sel_.resize(n);
+  for (size_t i = 0; i < n; ++i) sel_[i] = static_cast<uint32_t>(i);
+  size_t m = n;
+  for (const KernelAtom& atom : atoms_) {
+    if (m == 0) break;
+    std::optional<IntervalColumnView> lhs =
+        batch->FixedIntervalColumn(atom.lhs_col);
+    if (!lhs.has_value()) return ApplyScalar(batch);
+    switch (atom.rhs) {
+      case KernelAtom::Rhs::kLiteralInterval:
+        m = FilterIntervalVsLiteral(atom.op, lhs->start, lhs->end, atom.probe,
+                                    sel_.data(), m, sel_.data());
+        break;
+      case KernelAtom::Rhs::kLiteralPoint:
+        m = FilterIntervalVsLiteral(IntervalProbeOp::kContains, lhs->start,
+                                    lhs->end, atom.probe, sel_.data(), m,
+                                    sel_.data());
+        break;
+      case KernelAtom::Rhs::kIntervalColumn: {
+        std::optional<IntervalColumnView> rhs =
+            batch->FixedIntervalColumn(atom.rhs_col);
+        if (!rhs.has_value()) return ApplyScalar(batch);
+        m = FilterIntervalVsInterval(atom.op, lhs->start, lhs->end, rhs->start,
+                                     rhs->end, sel_.data(), m, sel_.data());
+        break;
+      }
+      case KernelAtom::Rhs::kPointColumn: {
+        std::optional<TimePointColumnView> pt =
+            batch->TimePointColumn(atom.rhs_col);
+        if (!pt.has_value()) return ApplyScalar(batch);
+        m = FilterIntervalContainsPoint(lhs->start, lhs->end, pt->time,
+                                        sel_.data(), m, sel_.data());
+        break;
+      }
+    }
+  }
+  // Compact the survivors to the batch prefix. The selection vector is
+  // strictly ascending, so every source index src >= its destination k
+  // and the swapped-out (dead) tuple lands on a position no later
+  // survivor reads — a single left-to-right pass suffices.
+  for (size_t k = 0; k < m; ++k) {
+    const size_t src = sel_[k];
+    if (src != k) std::swap(batch->tuple(k), batch->tuple(src));
+  }
+  batch->Truncate(m);
+  return Status::OK();
+}
+
+// Whole-batch scalar evaluation of the extracted atoms — the gather
+// failed (null or mismatched values), so each original conjunct runs
+// through the expression evaluator exactly as the pre-kernel code did.
+Status BatchPredicate::ApplyScalar(TupleBatch* batch) {
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    bool keep = true;
+    for (const KernelAtom& atom : atoms_) {
+      ONGOINGDB_ASSIGN_OR_RETURN(
+          bool k,
+          atom.source->EvalPredicateFixed(*schema_, batch->tuple(i), rt_));
+      if (!k) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    if (kept != i) std::swap(batch->tuple(kept), batch->tuple(i));
+    ++kept;
+  }
+  batch->Truncate(kept);
+  return Status::OK();
+}
+
+}  // namespace kernels
+}  // namespace ongoingdb

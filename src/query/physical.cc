@@ -12,6 +12,7 @@
 
 #include "query/interval_index.h"
 #include "query/join.h"
+#include "query/kernels.h"
 #include "query/optimizer.h"
 #include "storage/stats.h"
 #include "util/failpoint.h"
@@ -120,14 +121,28 @@ Status MaterializeInput(PhysicalOperator& child, std::vector<Tuple>* owned,
 // intersected straight into the slot's RT (reusing its interval
 // buffer), and the residual is evaluated on the slot *before* it is
 // committed (PopLast un-claims it).
+//
+// Kernel-eligible residual conjuncts (query/kernels.h) are split off at
+// construction and deferred: Emit() applies only the scalar remainder
+// per pair, and the owning join runs FinishBatch() over each filled
+// batch to evaluate the deferred atoms columnar. The extraction is
+// exact because eligible atoms are fixed-only — in ongoing mode such a
+// conjunct contributes a constant reference-time set (everything or
+// nothing), so dropping failing rows afterwards equals intersecting
+// their RT with the empty set inside Emit().
 class BatchJoinEmitter {
  public:
   BatchJoinEmitter(const Schema& joined_schema, ExprPtr residual,
                    ExecMode mode, TimePoint rt)
-      : joined_schema_(joined_schema),
-        residual_(std::move(residual)),
-        mode_(mode),
-        rt_(rt) {}
+      : joined_schema_(joined_schema), mode_(mode), rt_(rt) {
+    kernel_.Compile(residual, joined_schema_,
+                    mode == ExecMode::kAtReferenceTime, rt);
+    residual_ = kernel_.remainder();
+  }
+
+  // The deferred columnar pass over a batch Emit() filled; compacts the
+  // batch in place. Joins call this before handing the batch out.
+  Status FinishBatch(TupleBatch* out) { return kernel_.Apply(out); }
 
   // Appends the joined tuple for (lt, st) to *out unless the pair is
   // rejected. The caller guarantees the batch is not full.
@@ -183,12 +198,30 @@ class BatchJoinEmitter {
   }
 
   const Schema& joined_schema_;
-  ExprPtr residual_;
+  kernels::BatchPredicate kernel_;
+  ExprPtr residual_;  // kernel_.remainder(): the scalar per-pair part
   ExecMode mode_;
   TimePoint rt_;
   const IntervalSet all_ = IntervalSet::All();
   IntervalSet rt_scratch_;
 };
+
+// The join-side half of the deferred-residual protocol: pulls raw
+// batches from the join's emission loop and runs the emitter's columnar
+// pass over each. A batch the kernels empty entirely is refilled — the
+// raw loops only return an empty batch at stream end, so empty still
+// means exhausted to the consumer.
+template <typename NextBatchFn>
+Status JoinNextWithDeferredResidual(NextBatchFn&& next_batch,
+                                    BatchJoinEmitter& emitter,
+                                    TupleBatch* out) {
+  while (true) {
+    ONGOINGDB_RETURN_NOT_OK(next_batch(out));
+    if (out->empty()) return Status::OK();
+    ONGOINGDB_RETURN_NOT_OK(emitter.FinishBatch(out));
+    if (!out->empty()) return Status::OK();
+  }
+}
 
 // Tuple-at-a-time view over a physical input for the streaming side of
 // a join: borrows an ongoing-mode scan's relation outright, otherwise
@@ -340,27 +373,65 @@ class ScanOp final : public PhysicalOperator {
 // Filter
 // ---------------------------------------------------------------------------
 
-// The per-tuple selection decision shared by FilterOp and IndexScanOp.
-// In ongoing mode the predicate is split per Sec. VIII — the fixed part
-// is an ordinary WHERE filter, the ongoing part restricts the tuple's
-// RT (mutating it in place); in kAtReferenceTime mode the whole
-// predicate evaluates fixed at rt.
+// The selection decision shared by FilterOp and IndexScanOp. In ongoing
+// mode the predicate is split per Sec. VIII — the fixed part is an
+// ordinary WHERE filter, the ongoing part restricts the tuple's RT
+// (mutating it in place); in kAtReferenceTime mode the whole predicate
+// evaluates fixed at rt.
+//
+// The fixed portion additionally compiles into vectorized kernel atoms
+// (query/kernels.h) where eligible: FilterBatch() runs the atoms
+// columnar over the whole batch first (selection-vector filtering +
+// compaction), then the scalar tail — the non-kernel fixed remainder
+// and the ongoing RT restriction — per surviving tuple. With no
+// eligible atoms the remainder is the full fixed part and the behavior
+// is exactly the historical scalar path.
 class PredicateEvaluator {
  public:
   PredicateEvaluator(ExprPtr predicate, const Schema& schema, ExecMode mode,
                      TimePoint rt)
       : predicate_(std::move(predicate)), schema_(schema), mode_(mode),
         rt_(rt) {
-    if (mode_ == ExecMode::kOngoing) split_ = Split(predicate_, schema_);
+    if (mode_ == ExecMode::kOngoing) {
+      split_ = Split(predicate_, schema_);
+      kernel_.Compile(split_.fixed_part, schema_,
+                      /*at_reference_time=*/false, 0);
+    } else {
+      kernel_.Compile(predicate_, schema_, /*at_reference_time=*/true, rt_);
+    }
   }
 
-  Result<bool> Keep(Tuple& t) {
-    if (mode_ == ExecMode::kAtReferenceTime) {
-      return predicate_->EvalPredicateFixed(schema_, t, rt_);
+  // Filters `out` in place (kernels, then the scalar tail), preserving
+  // surviving-tuple order.
+  Status FilterBatch(TupleBatch* out) {
+    ONGOINGDB_RETURN_NOT_OK(kernel_.Apply(out));
+    if (!NeedScalarTail()) return Status::OK();
+    size_t kept = 0;
+    for (size_t i = 0; i < out->size(); ++i) {
+      Tuple& t = out->tuple(i);
+      ONGOINGDB_ASSIGN_OR_RETURN(bool keep, KeepScalar(t));
+      if (!keep) continue;
+      if (kept != i) std::swap(out->tuple(kept), out->tuple(i));
+      ++kept;
     }
-    if (split_.fixed_part != nullptr) {
+    out->Truncate(kept);
+    return Status::OK();
+  }
+
+ private:
+  bool NeedScalarTail() const {
+    return kernel_.remainder() != nullptr ||
+           (mode_ == ExecMode::kOngoing && split_.ongoing_part != nullptr);
+  }
+
+  // The per-tuple decision on everything the kernels did not cover.
+  Result<bool> KeepScalar(Tuple& t) {
+    if (mode_ == ExecMode::kAtReferenceTime) {
+      return kernel_.remainder()->EvalPredicateFixed(schema_, t, rt_);
+    }
+    if (kernel_.remainder() != nullptr) {
       ONGOINGDB_ASSIGN_OR_RETURN(
-          bool keep, split_.fixed_part->EvalPredicateFixed(schema_, t));
+          bool keep, kernel_.remainder()->EvalPredicateFixed(schema_, t));
       if (!keep) return false;
     }
     if (split_.ongoing_part != nullptr) {
@@ -373,12 +444,12 @@ class PredicateEvaluator {
     return true;
   }
 
- private:
   ExprPtr predicate_;
   const Schema& schema_;
   ExecMode mode_;
   TimePoint rt_;
   SplitPredicate split_;
+  kernels::BatchPredicate kernel_;
   IntervalSet rt_scratch_;
 };
 
@@ -408,15 +479,7 @@ class FilterOp final : public PhysicalOperator {
       ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
       ONGOINGDB_RETURN_NOT_OK(child_->Next(out));
       if (out->empty()) return Status::OK();
-      size_t kept = 0;
-      for (size_t i = 0; i < out->size(); ++i) {
-        Tuple& t = out->tuple(i);
-        ONGOINGDB_ASSIGN_OR_RETURN(bool keep, evaluator_.Keep(t));
-        if (!keep) continue;
-        if (kept != i) std::swap(out->tuple(kept), out->tuple(i));
-        ++kept;
-      }
-      out->Truncate(kept);
+      ONGOINGDB_RETURN_NOT_OK(evaluator_.FilterBatch(out));
       if (!out->empty()) return Status::OK();
     }
   }
@@ -521,35 +584,38 @@ class IndexScanOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
-    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
-    out->Clear();
+    // Fill-then-filter: a batch of candidates is emitted first, then
+    // the residual — the exact predicate — runs batch-at-a-time through
+    // the evaluator's kernel + scalar-tail path. A batch the residual
+    // empties entirely is refilled (never an empty batch mid-stream),
+    // with the lifecycle check inside the loop like FilterOp's.
     const std::vector<size_t>& candidates = state_->candidates;
     const std::vector<Tuple>& tuples = state_->info.relation->tuples();
-    while (!out->full()) {
-      if (pos_ >= end_) {
-        if (cursor_ != nullptr) {
-          const size_t begin =
-              cursor_->next.fetch_add(morsel_size_, std::memory_order_relaxed);
-          if (begin >= candidates.size()) break;
-          pos_ = begin;
-          end_ = std::min(begin + morsel_size_, candidates.size());
-        } else {
-          if (serial_done_) break;
-          serial_done_ = true;
-          pos_ = 0;
-          end_ = candidates.size();
-          if (end_ == 0) break;
+    while (true) {
+      ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
+      out->Clear();
+      while (!out->full()) {
+        if (pos_ >= end_) {
+          if (cursor_ != nullptr) {
+            const size_t begin = cursor_->next.fetch_add(
+                morsel_size_, std::memory_order_relaxed);
+            if (begin >= candidates.size()) break;
+            pos_ = begin;
+            end_ = std::min(begin + morsel_size_, candidates.size());
+          } else {
+            if (serial_done_) break;
+            serial_done_ = true;
+            pos_ = 0;
+            end_ = candidates.size();
+            if (end_ == 0) break;
+          }
         }
+        EmitBaseTuple(tuples[candidates[pos_++]], mode_, rt_, all_, out);
       }
-      const Tuple& t = tuples[candidates[pos_++]];
-      if (!EmitBaseTuple(t, mode_, rt_, all_, out)) continue;
-      // Residual: the exact predicate on the claimed slot; PopLast
-      // un-claims rejected candidates without a heap allocation.
-      ONGOINGDB_ASSIGN_OR_RETURN(bool keep,
-                                 evaluator_.Keep(out->tuple(out->size() - 1)));
-      if (!keep) out->PopLast();
+      if (out->empty()) return Status::OK();  // candidates exhausted
+      ONGOINGDB_RETURN_NOT_OK(evaluator_.FilterBatch(out));
+      if (!out->empty()) return Status::OK();
     }
-    return Status::OK();
   }
 
  private:
@@ -656,6 +722,13 @@ class HashJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    return JoinNextWithDeferredResidual(
+        [this](TupleBatch* b) { return NextBatch(b); }, emitter_, out);
+  }
+
+  // The raw emission loop: candidate pairs through the emitter's scalar
+  // part, suspension state preserved across calls.
+  Status NextBatch(TupleBatch* out) {
     ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
@@ -729,6 +802,11 @@ class NestedLoopJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    return JoinNextWithDeferredResidual(
+        [this](TupleBatch* b) { return NextBatch(b); }, emitter_, out);
+  }
+
+  Status NextBatch(TupleBatch* out) {
     ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
@@ -834,6 +912,11 @@ class IndexJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    return JoinNextWithDeferredResidual(
+        [this](TupleBatch* b) { return NextBatch(b); }, emitter_, out);
+  }
+
+  Status NextBatch(TupleBatch* out) {
     ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     const std::vector<Tuple>& inner = state_->info.inner->tuples();
@@ -970,6 +1053,11 @@ class SortMergeJoinOp final : public PhysicalOperator {
   }
 
   Status Next(TupleBatch* out) override {
+    return JoinNextWithDeferredResidual(
+        [this](TupleBatch* b) { return NextBatch(b); }, emitter_, out);
+  }
+
+  Status NextBatch(TupleBatch* out) {
     ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
     out->Clear();
     while (true) {
@@ -1221,7 +1309,8 @@ class RepartitionOp final : public PhysicalOperator {
 class GatherOp final : public PhysicalOperator {
  public:
   GatherOp(std::vector<PhysicalOpPtr> pipelines,
-           std::shared_ptr<ExchangeState> exchange, QueryContext* ctx)
+           std::shared_ptr<ExchangeState> exchange, size_t batch_capacity,
+           QueryContext* ctx)
       // Guard the schema deref: an (ill-formed) empty pipeline vector
       // must not crash the constructor — the operator then streams an
       // empty result over an empty schema.
@@ -1229,6 +1318,7 @@ class GatherOp final : public PhysicalOperator {
                                            : pipelines.front()->schema()),
         pipelines_(std::move(pipelines)),
         exchange_(std::move(exchange)),
+        batch_capacity_(batch_capacity),
         ctx_(ctx) {}
 
   ~GatherOp() override { CancelAndJoin(); }
@@ -1248,7 +1338,9 @@ class GatherOp final : public PhysicalOperator {
       current_pos_ = 0;
       // Two in-flight batches per producer: one being filled, one
       // queued or being consumed.
-      for (size_t i = 0; i < 2 * pipelines_.size(); ++i) free_.emplace_back();
+      for (size_t i = 0; i < 2 * pipelines_.size(); ++i) {
+        free_.emplace_back(batch_capacity_);
+      }
     }
     started_ = true;
     for (PhysicalOpPtr& p : pipelines_) {
@@ -1369,6 +1461,7 @@ class GatherOp final : public PhysicalOperator {
 
   std::vector<PhysicalOpPtr> pipelines_;
   std::shared_ptr<ExchangeState> exchange_;
+  size_t batch_capacity_;
   QueryContext* ctx_;
   TaskGroup group_;
   std::mutex mu_;
@@ -1726,11 +1819,12 @@ Result<PhysicalOpPtr> Compile(const PlanPtr& plan, ExecMode mode, TimePoint rt,
       CompilePartitions(plan, mode, rt, workers, options.morsel_size, ctx));
   return PhysicalOpPtr(std::make_unique<GatherOp>(
       std::move(partitioned.pipelines), std::move(partitioned.exchange),
-      ctx));
+      EffectiveBatchSize(options), ctx));
 }
 
 Result<OngoingRelation> DrainToRelation(PhysicalOperator& op,
-                                        QueryContext* ctx) {
+                                        QueryContext* ctx,
+                                        size_t batch_capacity) {
   if (ctx != nullptr) ONGOINGDB_RETURN_NOT_OK(ctx->Check());
   // A bare ongoing scan materializes to a copy of the relation itself.
   if (const OngoingRelation* rel = op.BorrowedRelation()) return *rel;
@@ -1744,7 +1838,7 @@ Result<OngoingRelation> DrainToRelation(PhysicalOperator& op,
   OngoingRelation result(op.schema());
   MemoryCharge charge;
   charge.Init(ctx);
-  TupleBatch batch;
+  TupleBatch batch(batch_capacity);
   Status st;
   while (true) {
     st = op.Next(&batch);

@@ -138,7 +138,20 @@ struct ParallelOptions {
   /// Set to 0 to force parallel lowering regardless of input size
   /// (the equivalence tests do).
   size_t min_parallel_tuples = 4096;
+
+  /// Capacity of the tuple batches the query drains through (the
+  /// gather pool's batches in a parallel plan, the root drain's batch
+  /// always). 0 means TupleBatch::kDefaultCapacity. Exposed as the
+  /// sql_shell `SET batch_size = N;` knob so the vectorized-kernel
+  /// batch-size behavior is explorable interactively.
+  size_t batch_size = 0;
 };
+
+/// The concrete batch capacity `options` asks for (0 = default).
+inline size_t EffectiveBatchSize(const ParallelOptions& options) {
+  return options.batch_size > 0 ? options.batch_size
+                                : TupleBatch::kDefaultCapacity;
+}
 
 /// Shared coordination state of one parallel compilation: the atomic
 /// morsel cursors the exchange scans pull from. One cursor per logical
@@ -228,8 +241,11 @@ Result<PhysicalOpPtr> MakeJoinOp(JoinAlgorithm algorithm, PhysicalOpPtr left,
 /// relation copy. On error the tree is Close()d before the Status
 /// returns (producer tasks joined, bulk state released); a non-null
 /// `ctx` additionally charges the materialized result against the
-/// query's memory budget while the drain runs.
-Result<OngoingRelation> DrainToRelation(PhysicalOperator& op,
-                                        QueryContext* ctx = nullptr);
+/// query's memory budget while the drain runs. `batch_capacity` sizes
+/// the drain batch (ParallelOptions::batch_size flows in here via the
+/// executor).
+Result<OngoingRelation> DrainToRelation(
+    PhysicalOperator& op, QueryContext* ctx = nullptr,
+    size_t batch_capacity = TupleBatch::kDefaultCapacity);
 
 }  // namespace ongoingdb

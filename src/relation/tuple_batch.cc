@@ -6,6 +6,7 @@ namespace ongoingdb {
 
 Tuple& TupleBatch::NextSlot() {
   assert(size_ < slots_.size());
+  ++generation_;
   Tuple& slot = slots_[size_++];
   slot.mutable_values().clear();
   return slot;
@@ -13,17 +14,88 @@ Tuple& TupleBatch::NextSlot() {
 
 void TupleBatch::PopLast() {
   assert(size_ > 0);
+  ++generation_;
   --size_;
 }
 
 void TupleBatch::Truncate(size_t n) {
   assert(n <= size_);
+  ++generation_;
   size_ = n;
 }
 
 Tuple& TupleBatch::tuple(size_t i) {
   assert(i < size_);
+  ++generation_;
   return slots_[i];
+}
+
+TupleBatch::ColumnCache& TupleBatch::CacheFor(size_t col, ValueType type) {
+  for (ColumnCache& c : column_cache_) {
+    if (c.col == col && c.type == type) return c;
+  }
+  ColumnCache& c = column_cache_.emplace_back();
+  c.col = col;
+  c.type = type;
+  return c;
+}
+
+// The gather shared by the typed views: column-major copy of one
+// attribute of the live tuples, bailing out (ok = false) on the first
+// missing or type-mismatched value.
+bool TupleBatch::Gather(ColumnCache* cache) {
+  if (cache->generation == generation_) return cache->ok;
+  cache->generation = generation_;
+  cache->ok = false;
+  const size_t col = cache->col;
+  if (cache->type == ValueType::kInt64) {
+    cache->ints.resize(size_);
+  } else {
+    cache->a.resize(size_);
+    if (cache->type == ValueType::kFixedInterval) cache->b.resize(size_);
+  }
+  for (size_t i = 0; i < size_; ++i) {
+    const Tuple& t = slots_[i];
+    if (col >= t.num_values()) return false;
+    const Value& v = t.value(col);
+    if (v.type() != cache->type) return false;
+    switch (cache->type) {
+      case ValueType::kFixedInterval: {
+        const FixedInterval iv = v.AsInterval();
+        cache->a[i] = iv.start;
+        cache->b[i] = iv.end;
+        break;
+      }
+      case ValueType::kTimePoint:
+        cache->a[i] = v.AsTime();
+        break;
+      case ValueType::kInt64:
+        cache->ints[i] = v.AsInt64();
+        break;
+      default:
+        return false;
+    }
+  }
+  cache->ok = true;
+  return true;
+}
+
+std::optional<IntervalColumnView> TupleBatch::FixedIntervalColumn(size_t col) {
+  ColumnCache& c = CacheFor(col, ValueType::kFixedInterval);
+  if (!Gather(&c)) return std::nullopt;
+  return IntervalColumnView{c.a.data(), c.b.data()};
+}
+
+std::optional<TimePointColumnView> TupleBatch::TimePointColumn(size_t col) {
+  ColumnCache& c = CacheFor(col, ValueType::kTimePoint);
+  if (!Gather(&c)) return std::nullopt;
+  return TimePointColumnView{c.a.data()};
+}
+
+std::optional<Int64ColumnView> TupleBatch::Int64Column(size_t col) {
+  ColumnCache& c = CacheFor(col, ValueType::kInt64);
+  if (!Gather(&c)) return std::nullopt;
+  return Int64ColumnView{c.ints.data()};
 }
 
 }  // namespace ongoingdb

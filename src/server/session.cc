@@ -82,9 +82,12 @@ std::optional<Result<ExecResult>> Session::TrySet(
     options_.memory_limit_bytes = static_cast<uint64_t>(value) << 20;
   } else if (knob == "TIMEOUT_MS") {
     options_.timeout_ms = value;
+  } else if (knob == "BATCH_SIZE") {
+    options_.batch_size = static_cast<size_t>(value);
   } else {
     return fail("unknown session knob '" + ts[1].text +
-                "' (expected workers, memory_limit_mb, or timeout_ms)");
+                "' (expected workers, memory_limit_mb, timeout_ms, or "
+                "batch_size)");
   }
   ExecResult out;
   out.result.message =
@@ -115,6 +118,7 @@ Result<ExecResult> Session::Execute(const std::string& statement) {
       ctx_.SetSnapshotSeq(snap.commit_seq());
       ParallelOptions popts;
       popts.workers = options_.workers;
+      popts.batch_size = options_.batch_size;
       ONGOINGDB_ASSIGN_OR_RETURN(
           OngoingRelation relation,
           sql::RunQuery(parsed.text, view, popts, &ctx_));

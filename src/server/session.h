@@ -13,8 +13,8 @@
 //    serving catalog's commit path (server/catalog.h), which serializes
 //    writers and publishes each commit atomically.
 //  * SET knob = value; adjusts the session's own execution knobs
-//    (workers, memory_limit_mb, timeout_ms) — they apply to every
-//    subsequent statement of this session only.
+//    (workers, memory_limit_mb, timeout_ms, batch_size) — they apply to
+//    every subsequent statement of this session only.
 //
 // By default every SELECT pins a fresh snapshot (read-latest). A session
 // may instead PinSnapshot() to hold one transaction-time point across
@@ -48,6 +48,9 @@ struct SessionOptions {
   uint64_t memory_limit_bytes = 0;
   /// Statement timeout in milliseconds, 0 = none (SET timeout_ms = N).
   int64_t timeout_ms = 0;
+  /// Tuple-batch capacity queries drain through, 0 = engine default
+  /// (SET batch_size = N). Flows into ParallelOptions::batch_size.
+  size_t batch_size = 0;
 };
 
 /// Outcome of one statement, tied to the transaction time it observed.

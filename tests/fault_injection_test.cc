@@ -300,7 +300,8 @@ Result<PhysicalOpPtr> CompileFor(const PlanPtr& plan, const ExecConfig& cfg,
 void RunScenario(const char* label, PhysicalOperator& root, QueryContext& ctx,
                  const std::multiset<std::string>& want,
                  const std::function<void()>& arm,
-                 bool expect_failure = false) {
+                 bool expect_failure = false,
+                 const std::function<void()>& settle = {}) {
   SCOPED_TRACE(label);
   arm();
   auto faulty = DrainToRelation(root, &ctx);
@@ -316,6 +317,9 @@ void RunScenario(const char* label, PhysicalOperator& root, QueryContext& ctx,
   // closes on every path).
   EXPECT_EQ(ctx.memory_used(), 0u);
 
+  // Any concurrent faulting (the async canceller) must finish before the
+  // context resets — otherwise a late Cancel() poisons the recovery run.
+  if (settle) settle();
   Failpoint::DisarmAll();
   ctx.Reset();
   ctx.SetMemoryBudget(0);  // Reset keeps the budget limit; clear it here
@@ -402,10 +406,13 @@ TEST_P(LifecycleFuzzTest, InjectedFaultsSurfaceCleanlyAndTreesReopen) {
     // drains. Whichever side wins, the error (if any) is typed, workers
     // are joined, and the tree reopens to the exact result.
     std::thread canceller;
-    RunScenario("async-cancel", root, ctx, want, [&ctx, &canceller] {
-      canceller = std::thread([&ctx] { ctx.Cancel(); });
-    });
-    canceller.join();
+    RunScenario(
+        "async-cancel", root, ctx, want,
+        [&ctx, &canceller] {
+          canceller = std::thread([&ctx] { ctx.Cancel(); });
+        },
+        /*expect_failure=*/false,
+        /*settle=*/[&canceller] { canceller.join(); });
   }
 }
 

@@ -250,6 +250,10 @@ TEST(SessionTest, SetKnobsFlowIntoTheSession) {
   EXPECT_EQ(session->options().memory_limit_bytes, 64u << 20);
   ASSERT_TRUE(session->Execute("SET timeout_ms = 250").ok());
   EXPECT_EQ(session->options().timeout_ms, 250);
+  ASSERT_TRUE(session->Execute("SET batch_size = 256;").ok());
+  EXPECT_EQ(session->options().batch_size, 256u);
+  ASSERT_TRUE(session->Execute("SET batch_size = 0;").ok());
+  EXPECT_EQ(session->options().batch_size, 0u);
 
   // workers is clamped to >= 1; 0 disables the budget.
   ASSERT_TRUE(session->Execute("SET workers = 0;").ok());
@@ -292,6 +296,13 @@ TEST(SessionTest, MemoryBudgetAndTimeoutApplyPerStatement) {
   // A pre-cancelled context is rearmed by Execute's Reset.
   session->Cancel();
   EXPECT_TRUE(session->Execute("SELECT * FROM Bugs").ok());
+
+  // batch_size = 1 forces the smallest drain batches; results are
+  // unchanged (the batch capacity is a perf knob, not a semantic one).
+  ASSERT_TRUE(session->Execute("SET batch_size = 1;").ok());
+  auto one_by_one = session->Execute("SELECT * FROM Bugs WHERE BID < 10");
+  ASSERT_TRUE(one_by_one.ok());
+  EXPECT_EQ(one_by_one->result.affected, 10u);
 }
 
 TEST(SessionTest, PinnedSnapshotGivesRepeatableReads) {
