@@ -3,6 +3,8 @@
 // and Incumbent. The paper's shapes: in MozillaBugs ~50% of ongoing
 // tuples start within the last two years of the 20-year history; in
 // Incumbent all ongoing assignments start within the last year.
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 
 #include "bench_common.h"

@@ -16,8 +16,9 @@ using namespace ongoingdb::bench;
 
 namespace {
 
-void RunSelection(const char* title, const OngoingRelation* incumbent,
-                  AllenOp pred) {
+void RunSelection(const char* title, const char* key,
+                  const OngoingRelation* incumbent, AllenOp pred,
+                  BenchJsonWriter* json) {
   auto interval = SelectionInterval(*incumbent);
   if (!interval.ok()) {
     std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
@@ -48,6 +49,8 @@ void RunSelection(const char* title, const OngoingRelation* incumbent,
                   FormatDouble(clifford_ms * (1 + n), 3)});
   }
   table.Print();
+  json->AddMs(std::string("reevaluation/ongoing/") + key, ongoing_ms);
+  json->AddMs(std::string("reevaluation/cliff_max/") + key, clifford_ms);
   const double breakeven = BreakEven(ongoing_ms, clifford_ms) - 1;
   std::printf("ongoing is faster after %.0f re-evaluation(s)\n",
               breakeven < 0 ? 0 : breakeven);
@@ -58,8 +61,11 @@ void RunSelection(const char* title, const OngoingRelation* incumbent,
 int main() {
   std::printf("Fig. 8: Number of query re-evaluations on Incumbent\n");
   OngoingRelation incumbent = datasets::GenerateIncumbent(Scaled(83852));
-  RunSelection("(a) Q^sigma_ovlp with overlaps", &incumbent,
-               AllenOp::kOverlaps);
-  RunSelection("(b) Q^sigma_bef with before", &incumbent, AllenOp::kBefore);
+  BenchJsonWriter json("fig08_reevaluations");
+  RunSelection("(a) Q^sigma_ovlp with overlaps", "overlaps", &incumbent,
+               AllenOp::kOverlaps, &json);
+  RunSelection("(b) Q^sigma_bef with before", "before", &incumbent,
+               AllenOp::kBefore, &json);
+  json.WriteFromEnv();
   return 0;
 }

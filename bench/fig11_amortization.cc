@@ -34,6 +34,7 @@ double Amortization(double ongoing_ms, double instantiate_ms,
 int main() {
   std::printf("Fig. 11: Amortization for selection and join on "
               "MozillaBugs\n");
+  BenchJsonWriter json("fig11_amortization");
 
   std::printf("\n(a) Selection Q^sigma_ovlp(B)\n");
   {
@@ -63,6 +64,10 @@ int main() {
                     FormatDouble(Amortization(ongoing_ms, inst_ms,
                                               clifford_ms),
                                  2)});
+      const std::string size = std::to_string(bugs);
+      json.AddMs("amortization/selection/ongoing/" + size, ongoing_ms);
+      json.AddMs("amortization/selection/instantiate/" + size, inst_ms);
+      json.AddMs("amortization/selection/cliff_max/" + size, clifford_ms);
     }
     table.Print();
   }
@@ -92,8 +97,13 @@ int main() {
                     FormatDouble(Amortization(ongoing_ms, inst_ms,
                                               clifford_ms),
                                  2)});
+      const std::string size = std::to_string(bugs);
+      json.AddMs("amortization/join/ongoing/" + size, ongoing_ms);
+      json.AddMs("amortization/join/instantiate/" + size, inst_ms);
+      json.AddMs("amortization/join/cliff_max/" + size, clifford_ms);
     }
     table.Print();
   }
+  json.WriteFromEnv();
   return 0;
 }

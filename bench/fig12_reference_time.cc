@@ -21,12 +21,8 @@ int main() {
   std::printf("Fig. 12: Amortization and result size vs reference time "
               "(Q^sigma_ovlp(B) on MozillaBugs)\n");
 
-  struct NamedRt {
-    const char* label;
-    TimePoint rt;
-  };
-
   std::printf("\n(a) Amortization / (b) result size\n");
+  BenchJsonWriter json("fig12_reference_time");
   for (int64_t base : {5000, 10000, 20000}) {
     const int64_t bugs = Scaled(base);
     datasets::MozillaBugs data = datasets::GenerateMozillaBugs(bugs);
@@ -37,15 +33,20 @@ int main() {
     auto view = MaterializedView::Create(plan);
     if (!view.ok()) return 1;
 
-    const NamedRt rts[] = {
-        {"rt = min", data.history_start},
-        {"rt = 75% of history", data.history_start +
-                                    (data.history_end - data.history_start) *
-                                        3 / 4},
-        {"rt = 90% of history", data.history_start +
-                                    (data.history_end - data.history_start) *
-                                        9 / 10},
-        {"rt = max", data.history_end},
+    struct NamedRtKey {
+      const char* label;
+      const char* key;
+      TimePoint rt;
+    };
+    const NamedRtKey rts[] = {
+        {"rt = min", "min", data.history_start},
+        {"rt = 75% of history", "p75",
+         data.history_start +
+             (data.history_end - data.history_start) * 3 / 4},
+        {"rt = 90% of history", "p90",
+         data.history_start +
+             (data.history_end - data.history_start) * 9 / 10},
+        {"rt = max", "max", data.history_end},
     };
 
     size_t ongoing_size = 0;
@@ -59,7 +60,9 @@ int main() {
     table.SetHeader({"reference time", "instantiated result [tuples]",
                      "Cliff [ms]", "instantiate [ms]",
                      "# instantiations for amortization"});
-    for (const NamedRt& named : rts) {
+    const std::string size = std::to_string(bugs);
+    json.AddMs("reference_time/ongoing/" + size, ongoing_ms);
+    for (const NamedRtKey& named : rts) {
       size_t inst_size = 0;
       const double inst_ms =
           MedianSeconds([&] {
@@ -75,8 +78,13 @@ int main() {
       table.AddRow({named.label, std::to_string(inst_size),
                     FormatDouble(clifford_ms, 2), FormatDouble(inst_ms, 2),
                     FormatDouble(amortization, 2)});
+      json.AddMs("reference_time/instantiate/" + size + "/" + named.key,
+                 inst_ms);
+      json.AddMs("reference_time/cliff/" + size + "/" + named.key,
+                 clifford_ms);
     }
     table.Print();
   }
+  json.WriteFromEnv();
   return 0;
 }

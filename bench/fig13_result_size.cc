@@ -8,6 +8,8 @@
 // size is *optimal* (equal to the largest instantiated result, reached
 // at late reference times); for before it reaches the optimum for
 // selections and stays close for joins.
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 
 #include "bench_common.h"

@@ -3,6 +3,8 @@
 // and whether they are closed under min and max. Closure is verified by
 // exhaustive search over a bounded grid: a domain is reported closed iff
 // no counterexample exists; the witness counterexamples are printed.
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 
 #include "baselines/torp.h"

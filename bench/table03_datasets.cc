@@ -2,6 +2,8 @@
 // data sets (cardinality, share of ongoing tuples, interval kind, time
 // span). Sizes are laptop-scaled; the paper's full cardinalities are
 // shown for reference.
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 
 #include "bench_common.h"

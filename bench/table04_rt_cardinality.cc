@@ -6,6 +6,8 @@
 //
 // Paper's result: cardinality 1 everywhere except overlaps on
 // expanding + shrinking operands, which can need 2 intervals.
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 #include <functional>
 

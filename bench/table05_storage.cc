@@ -8,6 +8,8 @@
 // (A, S: +32-34%) and insignificant for large ones (B, QC: 1-3%); using
 // ongoing rather than fixed values raises the total size by 4% (B) to
 // 75% (small foreign-key tuples).
+// lint:allow bench-json: shape/statistics report with no timed operations;
+// there is nothing for the perf regression gate to compare run over run.
 #include <cstdio>
 
 #include "bench_common.h"

@@ -9,6 +9,7 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/operations.h"
@@ -17,38 +18,52 @@
 
 using namespace ongoingdb;
 
+// Demo data is known-good; if a statement ever fails, surface it loudly
+// instead of discarding the [[nodiscard]] Status (see util/status.h).
+void Require(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void Require(const Result<T>& result) {
+  Require(result.status());
+}
+
 int main() {
   // --- Base relations (Fig. 1). RT is set by the system. -------------------
   OngoingRelation bugs(Schema({{"BID", ValueType::kInt64},
                                {"C", ValueType::kString},
                                {"VT", ValueType::kOngoingInterval}}));
   // Deprioritized bug 500: open from 01/25 until now (ongoing).
-  (void)bugs.Insert({Value::Int64(500), Value::String("Spam filter"),
-                     Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))});
+  Require(bugs.Insert({Value::Int64(500), Value::String("Spam filter"),
+                     Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))}));
   // Prioritized bug 501: fixed resolution deadline 08/21.
-  (void)bugs.Insert({Value::Int64(501), Value::String("Spam filter"),
+  Require(bugs.Insert({Value::Int64(501), Value::String("Spam filter"),
                      Value::Ongoing(OngoingInterval::Fixed(MD(3, 30),
-                                                           MD(8, 21)))});
+                                                           MD(8, 21)))}));
 
   OngoingRelation patches(Schema({{"PID", ValueType::kInt64},
                                   {"C", ValueType::kString},
                                   {"VT", ValueType::kOngoingInterval}}));
-  (void)patches.Insert({Value::Int64(201), Value::String("Spam filter"),
+  Require(patches.Insert({Value::Int64(201), Value::String("Spam filter"),
                         Value::Ongoing(OngoingInterval::Fixed(MD(8, 15),
-                                                              MD(8, 24)))});
-  (void)patches.Insert({Value::Int64(202), Value::String("Spam filter"),
+                                                              MD(8, 24)))}));
+  Require(patches.Insert({Value::Int64(202), Value::String("Spam filter"),
                         Value::Ongoing(OngoingInterval::Fixed(MD(8, 24),
-                                                              MD(8, 27)))});
+                                                              MD(8, 27)))}));
 
   OngoingRelation leads(Schema({{"Name", ValueType::kString},
                                 {"C", ValueType::kString},
                                 {"VT", ValueType::kOngoingInterval}}));
-  (void)leads.Insert({Value::String("Ann"), Value::String("Spam filter"),
+  Require(leads.Insert({Value::String("Ann"), Value::String("Spam filter"),
                       Value::Ongoing(OngoingInterval::Fixed(MD(1, 20),
-                                                            MD(8, 18)))});
-  (void)leads.Insert({Value::String("Bob"), Value::String("Spam filter"),
+                                                            MD(8, 18)))}));
+  Require(leads.Insert({Value::String("Bob"), Value::String("Spam filter"),
                       Value::Ongoing(OngoingInterval::SinceUntilNow(
-                          MD(8, 18)))});
+                          MD(8, 18)))}));
 
   std::printf("=== Base relations (Fig. 1) ===\n\nB (bugs):\n%s\nP "
               "(patches):\n%s\nL (leads):\n%s\n",

@@ -16,6 +16,7 @@
 // Build & run:  ./build/sql_shell
 //               echo "SELECT * FROM B WHERE VT OVERLAPS PERIOD ['08/01', '09/01')" | ./build/sql_shell
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -28,37 +29,51 @@ using namespace ongoingdb;
 
 namespace {
 
+// Demo data is known-good; if a statement ever fails, surface it loudly
+// instead of discarding the [[nodiscard]] Status (see util/status.h).
+void Require(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void Require(const Result<T>& result) {
+  Require(result.status());
+}
+
 void PopulateCatalog(server::Catalog* catalog) {
   OngoingRelation b(Schema({{"BID", ValueType::kInt64},
                             {"C", ValueType::kString},
                             {"VT", ValueType::kOngoingInterval}}));
-  (void)b.Insert({Value::Int64(500), Value::String("Spam filter"),
-                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))});
-  (void)b.Insert({Value::Int64(501), Value::String("Spam filter"),
+  Require(b.Insert({Value::Int64(500), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(1, 25)))}));
+  Require(b.Insert({Value::Int64(501), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(3, 30),
-                                                        MD(8, 21)))});
-  (void)catalog->RegisterTable("B", b);
+                                                        MD(8, 21)))}));
+  Require(catalog->RegisterTable("B", b));
 
   OngoingRelation p(Schema({{"PID", ValueType::kInt64},
                             {"C", ValueType::kString},
                             {"VT", ValueType::kOngoingInterval}}));
-  (void)p.Insert({Value::Int64(201), Value::String("Spam filter"),
+  Require(p.Insert({Value::Int64(201), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(8, 15),
-                                                        MD(8, 24)))});
-  (void)p.Insert({Value::Int64(202), Value::String("Spam filter"),
+                                                        MD(8, 24)))}));
+  Require(p.Insert({Value::Int64(202), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(8, 24),
-                                                        MD(8, 27)))});
-  (void)catalog->RegisterTable("P", p);
+                                                        MD(8, 27)))}));
+  Require(catalog->RegisterTable("P", p));
 
   OngoingRelation l(Schema({{"Name", ValueType::kString},
                             {"C", ValueType::kString},
                             {"VT", ValueType::kOngoingInterval}}));
-  (void)l.Insert({Value::String("Ann"), Value::String("Spam filter"),
+  Require(l.Insert({Value::String("Ann"), Value::String("Spam filter"),
                   Value::Ongoing(OngoingInterval::Fixed(MD(1, 20),
-                                                        MD(8, 18)))});
-  (void)l.Insert({Value::String("Bob"), Value::String("Spam filter"),
-                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(8, 18)))});
-  (void)catalog->RegisterTable("L", l);
+                                                        MD(8, 18)))}));
+  Require(l.Insert({Value::String("Bob"), Value::String("Spam filter"),
+                  Value::Ongoing(OngoingInterval::SinceUntilNow(MD(8, 18)))}));
+  Require(catalog->RegisterTable("L", l));
 }
 
 void RunAndPrint(const std::string& statement, server::Session* session) {

@@ -10,6 +10,7 @@
 //
 // Build & run:  ./build/examples/temporal_audit
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "relation/algebra.h"
@@ -19,6 +20,20 @@
 using namespace ongoingdb;
 
 namespace {
+
+// Demo data is known-good; if a statement ever fails, surface it loudly
+// instead of discarding the [[nodiscard]] Status (see util/status.h).
+void Require(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void Require(const Result<T>& result) {
+  Require(result.status());
+}
 
 Schema PolicySchema() {
   return Schema({{"Policy", ValueType::kString},
@@ -35,26 +50,26 @@ void Show(const char* title, const OngoingRelation& r) {
 int main() {
   // Primary register: all policies, inserted as base tuples.
   OngoingRelation primary(PolicySchema());
-  (void)primary.Insert({Value::String("P-100"), Value::String("Ada"),
+  Require(primary.Insert({Value::String("P-100"), Value::String("Ada"),
                         Value::Ongoing(OngoingInterval::SinceUntilNow(
-                            MD(2, 1)))});
-  (void)primary.Insert({Value::String("P-200"), Value::String("Grace"),
+                            MD(2, 1)))}));
+  Require(primary.Insert({Value::String("P-200"), Value::String("Grace"),
                         Value::Ongoing(OngoingInterval::Fixed(MD(3, 1),
-                                                              MD(9, 1)))});
-  (void)primary.Insert({Value::String("P-300"), Value::String("Edsger"),
+                                                              MD(9, 1)))}));
+  Require(primary.Insert({Value::String("P-300"), Value::String("Edsger"),
                         Value::Ongoing(OngoingInterval::SinceUntilNow(
-                            MD(6, 15)))});
+                            MD(6, 15)))}));
 
   // Replica register: P-200 arrives identically; P-100 was only synced
   // from 04/01 on (restricted reference time); P-300 never arrived.
   OngoingRelation replica(PolicySchema());
-  (void)replica.Insert({Value::String("P-200"), Value::String("Grace"),
+  Require(replica.Insert({Value::String("P-200"), Value::String("Grace"),
                         Value::Ongoing(OngoingInterval::Fixed(MD(3, 1),
-                                                              MD(9, 1)))});
-  (void)replica.InsertWithRt(
+                                                              MD(9, 1)))}));
+  Require(replica.InsertWithRt(
       {Value::String("P-100"), Value::String("Ada"),
        Value::Ongoing(OngoingInterval::SinceUntilNow(MD(2, 1)))},
-      IntervalSet{{MD(4, 1), kMaxInfinity}});
+      IntervalSet{{MD(4, 1), kMaxInfinity}}));
 
   Show("=== Primary register ===", primary);
   Show("=== Replica register ===", replica);

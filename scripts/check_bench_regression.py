@@ -27,11 +27,22 @@ log even when they do not trip the gate.
 Scale guard: a suite pair recorded at different ONGOINGDB_BENCH_SCALE
 values is not comparable; mismatched scales fail the check outright.
 
+Robustness: a NEW file that is missing, unreadable, or malformed is
+reported as [skip] and never fails the check — a bench binary that
+crashed before WriteFromEnv(), or a CI step that never produced the
+smoke file, is a problem for the bench job itself, not a perf
+regression. Records without a usable ns_per_op (absent, non-numeric,
+zero/negative, or non-finite on either side) are likewise skipped
+per-record. Only a missing/malformed BASELINE is a hard usage error:
+the committed file is under version control, so breakage there is
+always a repo bug.
+
 Exit codes: 0 ok, 1 regression or scale mismatch, 2 usage/format error.
 """
 
 import argparse
 import json
+import math
 import statistics
 import sys
 
@@ -43,6 +54,29 @@ def load(path):
     except (OSError, ValueError) as e:
         print(f"error: cannot load {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def ns_per_op(record):
+    """The record's ns_per_op as a positive finite float, else None."""
+    if not isinstance(record, dict) or "name" not in record:
+        return None
+    value = record.get("ns_per_op")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return None
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        return None
+    return value
+
+
+def usable_records(doc):
+    """{name: ns_per_op} over the doc's well-formed benchmark records."""
+    out = {}
+    for record in doc.get("benchmarks", []):
+        value = ns_per_op(record)
+        if value is not None:
+            out[record["name"]] = value
+    return out
 
 
 def baseline_suites(doc, path):
@@ -68,11 +102,18 @@ def main():
     failed = False
 
     for path in args.new:
-        doc = load(path)
-        name = doc.get("suite")
-        if name is None:
-            print(f"error: {path} has no 'suite' field", file=sys.stderr)
-            sys.exit(2)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"[skip] {path}: cannot load new results ({e}); "
+                  "the bench run that should have written it needs a look")
+            continue
+        if not isinstance(doc, dict) or not isinstance(doc.get("suite"), str):
+            print(f"[skip] {path}: not a single-suite bench document "
+                  "(no 'suite' field)")
+            continue
+        name = doc["suite"]
         ref = base.get(name)
         if ref is None:
             print(f"[skip] suite '{name}' ({path}): not in baseline")
@@ -83,17 +124,15 @@ def main():
             failed = True
             continue
 
-        old = {b["name"]: b["ns_per_op"] for b in ref.get("benchmarks", [])}
-        new = {b["name"]: b["ns_per_op"] for b in doc.get("benchmarks", [])}
+        old = usable_records(ref)
+        new = usable_records(doc)
         common = sorted(set(old) & set(new))
         if not common:
-            print(f"[skip] suite '{name}': no common records")
+            print(f"[skip] suite '{name}': no common usable records")
             continue
 
         ratios = []
         for bench in common:
-            if old[bench] <= 0:
-                continue
             r = new[bench] / old[bench]
             ratios.append(r)
             print(f"  {name}/{bench}: {old[bench]:.3g} -> {new[bench]:.3g} "

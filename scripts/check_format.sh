@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Format gate, changed files only.
+#
+# Runs `clang-format --dry-run -Werror` over the C++ files that differ
+# from the merge base with $1 (default: origin/main). Scoping to
+# changed files keeps the gate incremental: new and touched code must
+# match .clang-format, while untouched files are never mass-reformatted
+# (see the note in .clang-format).
+#
+# Exits 0 when clean, when there is nothing to check, or when the
+# environment cannot run the check (no clang-format, shallow clone with
+# no merge base) — the gate only ever fails on real formatting drift.
+set -euo pipefail
+
+base_ref="${1:-origin/main}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping"
+  exit 0
+fi
+
+if ! merge_base=$(git merge-base HEAD "$base_ref" 2>/dev/null); then
+  echo "check_format: no merge base with ${base_ref}; skipping"
+  exit 0
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$merge_base" \
+  -- '*.cc' '*.h' '*.cpp' | while read -r f; do
+    [ -f "$f" ] && echo "$f"
+  done)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no C++ files changed since ${merge_base}"
+  exit 0
+fi
+
+echo "check_format: checking ${#files[@]} changed file(s)"
+clang-format --dry-run -Werror "${files[@]}"
+echo "check_format: OK"

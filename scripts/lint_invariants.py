@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for ongoingdb.
+
+Checks invariants that the compilers cannot express but the codebase
+relies on (see docs/DESIGN.md, "Static analysis"):
+
+  1. failpoint-table   Every `Failpoint::GetOrCreate("<name>")` site in
+                       src/ is documented in the failpoint table in
+                       docs/DESIGN.md. Failpoints are part of the test
+                       surface (ONGOINGDB_FAILPOINTS env specs target
+                       them by name), so an undocumented site is
+                       effectively an unlisted API.
+  2. next-lifecycle    Every PhysicalOperator::Next implementation calls
+                       CheckLifecycle (directly, or by delegating to a
+                       NextBatch method of the same class that does).
+                       This is the cancellation/deadline/failpoint
+                       contract: a Next that skips it makes the operator
+                       unkillable.
+  3. raw-new           No raw owning `new`/`delete` in src/. The
+                       codebase is unique_ptr/shared_ptr throughout;
+                       allowlisted exceptions are the failpoint registry
+                       (intentionally leaked singletons) and the
+                       counting-allocator operator new/delete
+                       replacements. Placement new and `::operator
+                       new/delete` (manual-buffer idiom, inline_vector)
+                       are not flagged.
+  4. bench-json        Every bench suite in bench/*.cc registers its
+                       measurements with BenchJsonWriter so the
+                       check_bench_regression.py perf gate sees them.
+                       Shape-only reports (no timed operations) may opt
+                       out with an explicit allow comment.
+
+A finding can be suppressed with an inline comment on the offending
+line, the line above it, or (for next-lifecycle) inside the function
+body:
+
+    // lint:allow <rule>: <justification>
+
+Exit status: 0 when clean, 1 when any finding, 2 on usage errors.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"lint:allow\s+([a-z-]+)\s*:")
+
+# Files in which rule 3 does not apply at all (see rule description).
+RAW_NEW_ALLOWLIST = {
+    "src/util/failpoint.cc",      # registry leaks Failpoint singletons on purpose
+    "src/util/alloc_counter.cc",  # global operator new/delete replacements
+}
+
+
+def strip_code(text, keep_strings):
+    """Blanks out comments (and optionally string/char literals) while
+    preserving the character count, so offsets and line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            for k in range(i, j):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            if not keep_strings:
+                for k in range(i, j):
+                    if out[k] != "\n":
+                        out[k] = " "
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def allowed(raw_text, offset, rule):
+    """True if the line at `offset` or the line above carries
+    `lint:allow <rule>:`."""
+    line_start = raw_text.rfind("\n", 0, offset) + 1
+    line_end = raw_text.find("\n", offset)
+    line_end = len(raw_text) if line_end < 0 else line_end
+    prev_start = raw_text.rfind("\n", 0, max(line_start - 1, 0)) + 1
+    window = raw_text[prev_start:line_end]
+    m = ALLOW_RE.search(window)
+    return m is not None and m.group(1) == rule
+
+
+def match_braces(text, open_idx):
+    """Given the offset of a '{', returns the offset one past its
+    matching '}' (or len(text) if unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def class_spans(clean):
+    """[(start, end, name)] for every class/struct definition."""
+    spans = []
+    for m in re.finditer(r"\b(?:class|struct)\s+(\w+)[^;{=()]*\{", clean):
+        open_idx = m.end() - 1
+        spans.append((m.start(), match_braces(clean, open_idx), m.group(1)))
+    return spans
+
+
+def iter_source(root, subdir, suffixes=(".cc", ".h")):
+    base = root / subdir
+    if not base.is_dir():
+        return []
+    return sorted(p for p in base.rglob("*") if p.suffix in suffixes)
+
+
+# --------------------------------------------------------------------------
+# Rule 1: failpoint-table
+# --------------------------------------------------------------------------
+
+GET_OR_CREATE_RE = re.compile(r'Failpoint::GetOrCreate\(\s*"([^"]+)"\s*\)')
+
+
+def check_failpoint_table(root, findings):
+    design = root / "docs" / "DESIGN.md"
+    documented = set()
+    if design.is_file():
+        # Failpoint table rows look like: | `exec.open` | ... |
+        documented = set(
+            re.findall(r"^\|\s*`([^`]+)`", design.read_text(), re.MULTILINE)
+        )
+    for path in iter_source(root, "src"):
+        raw = path.read_text()
+        clean = strip_code(raw, keep_strings=True)
+        for m in GET_OR_CREATE_RE.finditer(clean):
+            name = m.group(1)
+            if name in documented or allowed(raw, m.start(), "failpoint-table"):
+                continue
+            findings.append(
+                (path, line_of(raw, m.start()), "failpoint-table",
+                 f'failpoint site "{name}" is not documented in the '
+                 "failpoint table in docs/DESIGN.md"))
+
+
+# --------------------------------------------------------------------------
+# Rule 2: next-lifecycle
+# --------------------------------------------------------------------------
+
+NEXT_RE = re.compile(
+    r"Status\s+Next\s*\(\s*TupleBatch\s*\*\s*\w+\s*\)\s*(?:override\s*)?\{")
+NEXT_BATCH_RE = re.compile(
+    r"Status\s+NextBatch\s*\(\s*TupleBatch\s*\*\s*\w+\s*\)\s*\{")
+
+
+def check_next_lifecycle(root, findings):
+    for path in iter_source(root, "src", suffixes=(".cc",)):
+        raw = path.read_text()
+        clean = strip_code(raw, keep_strings=False)
+        spans = class_spans(clean)
+        for m in NEXT_RE.finditer(clean):
+            open_idx = m.end() - 1
+            body = clean[open_idx:match_braces(clean, open_idx)]
+            raw_body = raw[m.start():match_braces(clean, open_idx)]
+            if "CheckLifecycle" in body:
+                continue
+            if ALLOW_RE.search(raw_body) and \
+                    "lint:allow next-lifecycle" in raw_body:
+                continue
+            if re.search(r"\bNextBatch\s*\(", body) and _delegate_checks(
+                    clean, spans, m.start()):
+                continue
+            findings.append(
+                (path, line_of(raw, m.start()), "next-lifecycle",
+                 "PhysicalOperator::Next implementation never calls "
+                 "CheckLifecycle (directly or via a NextBatch that does)"))
+
+
+def _delegate_checks(clean, spans, next_offset):
+    """True if the class enclosing the Next at `next_offset` has a
+    NextBatch whose body calls CheckLifecycle."""
+    enclosing = [s for s in spans if s[0] <= next_offset < s[1]]
+    if not enclosing:
+        return False
+    start, end, _ = min(enclosing, key=lambda s: s[1] - s[0])
+    for nb in NEXT_BATCH_RE.finditer(clean, start, end):
+        open_idx = nb.end() - 1
+        if "CheckLifecycle" in clean[open_idx:match_braces(clean, open_idx)]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rule 3: raw-new
+# --------------------------------------------------------------------------
+
+# An owning allocation: `new Type`, not `operator new`, not placement
+# `new (addr) Type`, not `new (std::nothrow)`.
+RAW_NEW_RE = re.compile(r"(?<![:\w])new\s+[\w:]")
+# An owning deallocation: `delete expr` / `delete[] expr`, not
+# `= delete` (deleted functions) and not `operator delete`.
+RAW_DELETE_RE = re.compile(r"(?<![:\w])delete\b\s*(?:\[\s*\]\s*)?[\w:(*]")
+
+
+def check_raw_new(root, findings):
+    for path in iter_source(root, "src"):
+        rel = path.relative_to(root).as_posix()
+        if rel in RAW_NEW_ALLOWLIST:
+            continue
+        raw = path.read_text()
+        clean = strip_code(raw, keep_strings=False)
+        # Preprocessor lines (`#include <new>`) are not expressions.
+        clean = re.sub(r"^\s*#.*$", lambda m: " " * len(m.group(0)), clean,
+                       flags=re.MULTILINE)
+        for regex, what in ((RAW_NEW_RE, "new"), (RAW_DELETE_RE, "delete")):
+            for m in regex.finditer(clean):
+                before = clean[max(0, m.start() - 64):m.start()]
+                if re.search(r"operator\s*$", before):
+                    continue
+                if what == "delete" and re.search(r"=\s*$", before):
+                    continue
+                if allowed(raw, m.start(), "raw-new"):
+                    continue
+                findings.append(
+                    (path, line_of(raw, m.start()), "raw-new",
+                     f"raw `{what}` in src/ — use unique_ptr/shared_ptr, "
+                     "or add to the allowlist with a justification"))
+
+
+# --------------------------------------------------------------------------
+# Rule 4: bench-json
+# --------------------------------------------------------------------------
+
+
+def check_bench_json(root, findings):
+    base = root / "bench"
+    if not base.is_dir():
+        return
+    for path in sorted(base.glob("*.cc")):
+        if path.name.startswith("bench_common"):
+            continue
+        raw = path.read_text()
+        if "BenchJsonWriter" in raw:
+            continue
+        m = ALLOW_RE.search(raw)
+        if m and m.group(1) == "bench-json":
+            continue
+        findings.append(
+            (path, 1, "bench-json",
+             "bench suite never registers with BenchJsonWriter, so the "
+             "perf regression gate cannot see its measurements"))
+
+
+# --------------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", required=True,
+                        help="repository root to lint")
+    parser.add_argument("--rule", action="append", default=None,
+                        choices=["failpoint-table", "next-lifecycle",
+                                 "raw-new", "bench-json"],
+                        help="run only the named rule(s); default: all")
+    args = parser.parse_args()
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"lint_invariants: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    rules = {
+        "failpoint-table": check_failpoint_table,
+        "next-lifecycle": check_next_lifecycle,
+        "raw-new": check_raw_new,
+        "bench-json": check_bench_json,
+    }
+    selected = args.rule or list(rules)
+
+    findings = []
+    for name in selected:
+        rules[name](root, findings)
+
+    for path, line, rule, message in findings:
+        rel = path.relative_to(root).as_posix()
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

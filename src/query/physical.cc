@@ -1,9 +1,7 @@
 #include "query/physical.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
 #include <optional>
 #include <unordered_map>
@@ -16,6 +14,8 @@
 #include "query/optimizer.h"
 #include "storage/stats.h"
 #include "util/failpoint.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ongoingdb {
@@ -510,11 +510,23 @@ class FilterOp final : public PhysicalOperator {
 // serialize on the mutex; after the first (re)build the state is only
 // read.
 struct IndexScanState {
-  IndexScanInfo info;
-  std::mutex mu;
-  std::optional<IntervalIndex> index;
-  std::vector<size_t> candidates;
-  uint64_t validated_generation = 0;
+  IndexScanInfo info;  // immutable after construction; read lock-free
+  Mutex mu;
+  std::optional<IntervalIndex> index GUARDED_BY(mu);
+  std::vector<size_t> candidates GUARDED_BY(mu);
+  uint64_t validated_generation GUARDED_BY(mu) = 0;
+
+  // Post-Ensure read surface. The fields above are guarded for the
+  // (re)build; once a pipeline's own Ensure() returned OK for the
+  // current drain round the state is immutable until the next
+  // ExchangeState::Reset(), and every reader's accesses are ordered
+  // after the build by the mu acquire inside its own Ensure() call.
+  // The accessor opts out of the analysis for exactly that protocol —
+  // callers must not touch it before Ensure() succeeded.
+  const std::vector<size_t>& candidates_after_ensure() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return candidates;
+  }
 
   // `generation` is the exchange's drain-round counter (0 when the scan
   // is serial, i.e. outside any exchange): the base data cannot change
@@ -522,7 +534,7 @@ struct IndexScanState {
   // fingerprint sweep — the W-1 other pipeline Open()s return here
   // without touching the relation.
   Status Ensure(uint64_t generation) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (generation != 0 && generation == validated_generation) {
       return Status::OK();
     }
@@ -589,7 +601,7 @@ class IndexScanOp final : public PhysicalOperator {
     // the evaluator's kernel + scalar-tail path. A batch the residual
     // empties entirely is refilled (never an empty batch mid-stream),
     // with the lifecycle check inside the loop like FilterOp's.
-    const std::vector<size_t>& candidates = state_->candidates;
+    const std::vector<size_t>& candidates = state_->candidates_after_ensure();
     const std::vector<Tuple>& tuples = state_->info.relation->tuples();
     while (true) {
       ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
@@ -848,13 +860,21 @@ class NestedLoopJoinOp final : public PhysicalOperator {
 // IndexScanState's: fingerprint the indexed column per drain round,
 // rebuild only on change.
 struct IndexJoinState {
-  IndexJoinInfo info;
-  std::mutex mu;
-  std::optional<IntervalIndex> index;
-  uint64_t validated_generation = 0;
+  IndexJoinInfo info;  // immutable after construction; read lock-free
+  Mutex mu;
+  std::optional<IntervalIndex> index GUARDED_BY(mu);
+  uint64_t validated_generation GUARDED_BY(mu) = 0;
+
+  // Same post-publication protocol as IndexScanState: immutable after
+  // this pipeline's Ensure() succeeded for the current drain round,
+  // reads ordered by that call's own mu acquire. Must not be touched
+  // before Ensure() succeeded.
+  const IntervalIndex& index_after_ensure() const NO_THREAD_SAFETY_ANALYSIS {
+    return *index;
+  }
 
   Status Ensure(uint64_t generation) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (generation != 0 && generation == validated_generation) {
       return Status::OK();
     }
@@ -924,7 +944,7 @@ class IndexJoinOp final : public PhysicalOperator {
       ONGOINGDB_ASSIGN_OR_RETURN(const Tuple* lt, outer_stream_.Current());
       if (lt == nullptr) return Status::OK();
       if (!cands_valid_) {
-        state_->index->CandidatesInto(
+        state_->index_after_ensure().CandidatesInto(
             state_->info.op,
             IntervalBoundsOfValue(
                 lt->value(state_->info.outer_column_index)),
@@ -1328,7 +1348,7 @@ class GatherOp final : public PhysicalOperator {
     ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_open));
     exchange_->Reset();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       error_ = Status::OK();
       cancelled_ = false;
       producing_ = pipelines_.size();
@@ -1372,23 +1392,29 @@ class GatherOp final : public PhysicalOperator {
         // A partial batch is fine mid-stream; only empty means "done".
         if (!out->empty()) return Status::OK();
       }
-      std::unique_lock<std::mutex> lock(mu_);
-      consumer_cv_.wait(lock, [this] {
-        return !error_.ok() || !ready_.empty() || producing_ == 0;
-      });
-      if (!error_.ok()) {
-        const Status failed = error_;
-        cancelled_ = true;
-        producer_cv_.notify_all();
-        consumer_cv_.wait(lock, [this] { return producing_ == 0; });
-        lock.unlock();
-        group_.Wait();
+      Status failed;  // non-OK once a producer error was collected
+      {
+        MutexLock lock(mu_);
+        while (error_.ok() && ready_.empty() && producing_ > 0) {
+          consumer_cv_.Wait(mu_);
+        }
+        if (!error_.ok()) {
+          failed = error_;
+          cancelled_ = true;
+          producer_cv_.NotifyAll();
+          while (producing_ > 0) consumer_cv_.Wait(mu_);
+        } else if (ready_.empty()) {
+          return Status::OK();  // all producers done
+        } else {
+          current_.emplace(std::move(ready_.front()));
+          ready_.pop_front();
+          current_pos_ = 0;
+        }
+      }
+      if (!failed.ok()) {
+        group_.Wait();  // off the lock: producers' completion lambdas lock
         return failed;
       }
-      if (ready_.empty()) return Status::OK();  // all producers done
-      current_.emplace(std::move(ready_.front()));
-      ready_.pop_front();
-      current_pos_ = 0;
     }
   }
 
@@ -1410,25 +1436,25 @@ class GatherOp final : public PhysicalOperator {
           break;
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           ready_.push_back(std::move(*batch));
         }
-        consumer_cv_.notify_one();
+        consumer_cv_.NotifyOne();
       }
     }
     // Close unconditionally — also after a failed Open(): a partially
     // opened pipeline (say, a join whose build side materialized before
     // the probe side failed) holds bulk state that must be released.
     pipeline->Close();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!st.ok() && error_.ok()) error_ = st;
     --producing_;
-    consumer_cv_.notify_all();
+    consumer_cv_.NotifyAll();
   }
 
   std::optional<TupleBatch> AcquireFree() {
-    std::unique_lock<std::mutex> lock(mu_);
-    producer_cv_.wait(lock, [this] { return cancelled_ || !free_.empty(); });
+    MutexLock lock(mu_);
+    while (!cancelled_ && free_.empty()) producer_cv_.Wait(mu_);
     if (cancelled_) return std::nullopt;
     TupleBatch batch = std::move(free_.front());
     free_.pop_front();
@@ -1438,24 +1464,29 @@ class GatherOp final : public PhysicalOperator {
   void Recycle(TupleBatch batch) {
     batch.Clear();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       free_.push_back(std::move(batch));
     }
-    producer_cv_.notify_one();
+    producer_cv_.NotifyOne();
   }
 
   // Stops the producers and waits for them; safe to call repeatedly.
   void CancelAndJoin() {
     if (!started_) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cancelled_ = true;
     }
-    producer_cv_.notify_all();
+    producer_cv_.NotifyAll();
     group_.Wait();
     started_ = false;
-    ready_.clear();
-    free_.clear();
+    {
+      // The producers are joined, but the analysis still wants the
+      // pool teardown under the capability that guards it.
+      MutexLock lock(mu_);
+      ready_.clear();
+      free_.clear();
+    }
     current_.reset();
   }
 
@@ -1464,12 +1495,12 @@ class GatherOp final : public PhysicalOperator {
   size_t batch_capacity_;
   QueryContext* ctx_;
   TaskGroup group_;
-  std::mutex mu_;
-  std::condition_variable producer_cv_, consumer_cv_;
-  std::deque<TupleBatch> ready_, free_;
-  Status error_;
-  size_t producing_ = 0;
-  bool cancelled_ = false;
+  Mutex mu_;
+  CondVar producer_cv_, consumer_cv_;
+  std::deque<TupleBatch> ready_ GUARDED_BY(mu_), free_ GUARDED_BY(mu_);
+  Status error_ GUARDED_BY(mu_);
+  size_t producing_ GUARDED_BY(mu_) = 0;
+  bool cancelled_ GUARDED_BY(mu_) = false;
   // Consumer-side state; touched only by the consumer thread.
   bool started_ = false;
   std::optional<TupleBatch> current_;

@@ -103,6 +103,14 @@ class Value {
   // for any shared_ptr, is mutating one Value *object* from two threads;
   // the exchange operators hand every tuple slot to exactly one thread
   // at a time (docs/DESIGN.md, "Parallel execution").
+  //
+  // Note this refcount-based sharing is the one concurrency protocol in
+  // the tree that clang's thread-safety analysis cannot see — there is
+  // no mutex to GUARDED_BY (the atomicity lives in the control block),
+  // so this comment is the contract. Any *new* shared mutable state
+  // must instead use the annotated Mutex/MutexLock from util/mutex.h
+  // with GUARDED_BY fields so the compiler checks the discipline (see
+  // util/thread_annotations.h and docs/DESIGN.md, "Static analysis").
   ValueType type_ = ValueType::kNull;
   std::variant<std::monostate, int64_t, double,
                std::shared_ptr<const std::string>, bool, FixedInterval,

@@ -101,7 +101,7 @@ void Catalog::PublishTable(const std::string& name, uint64_t seq) {
 
 Result<uint64_t> Catalog::CreateTable(const std::string& name,
                                       Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -114,7 +114,7 @@ Result<uint64_t> Catalog::CreateTable(const std::string& name,
 
 Result<uint64_t> Catalog::RegisterTable(const std::string& name,
                                         const OngoingRelation& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -132,7 +132,7 @@ Result<uint64_t> Catalog::RegisterTable(const std::string& name,
 
 Result<uint64_t> Catalog::Insert(const std::string& name,
                                  std::vector<Value> values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
   ONGOINGDB_FAILPOINT(fp_catalog_commit);
   const uint64_t seq = next_seq_;
@@ -149,7 +149,7 @@ Result<uint64_t> Catalog::TemporalDeleteWhere(const std::string& name,
                                               TimePoint tc,
                                               const ModificationFilter& filter,
                                               size_t* deleted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
   ONGOINGDB_FAILPOINT(fp_catalog_commit);
   const uint64_t seq = next_seq_;
@@ -168,7 +168,7 @@ Result<uint64_t> Catalog::TemporalUpdateWhere(
     const std::string& name, TimePoint tc, const ModificationFilter& filter,
     const std::function<std::vector<Value>(const Tuple&)>& updater,
     size_t* updated) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
   ONGOINGDB_FAILPOINT(fp_catalog_commit);
   const uint64_t seq = next_seq_;
@@ -186,7 +186,7 @@ Result<uint64_t> Catalog::TemporalUpdateWhere(
 
 Result<std::shared_ptr<const OngoingRelation>> Catalog::MaterializeAsOf(
     const std::string& name, uint64_t seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
   return std::make_shared<const OngoingRelation>(
       entry->master.AsOf(static_cast<TimePoint>(seq)));

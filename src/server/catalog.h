@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,8 +42,10 @@
 #include "relation/modifications.h"
 #include "relation/relation.h"
 #include "sql/catalog.h"
+#include "util/mutex.h"
 #include "util/published_ptr.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace ongoingdb {
 namespace server {
@@ -182,17 +183,17 @@ class Catalog {
 
   /// Shared tail of every commit: publishes the next state with `name`
   /// rebound to a fresh materialization of its master at `seq`.
-  /// Must be called with mu_ held; never fails.
-  void PublishTable(const std::string& name, uint64_t seq);
+  /// Never fails.
+  void PublishTable(const std::string& name, uint64_t seq) REQUIRES(mu_);
 
-  /// Looks up a table entry; mu_ must be held.
-  Result<TableEntry*> FindEntry(const std::string& name) const;
+  /// Looks up a table entry.
+  Result<TableEntry*> FindEntry(const std::string& name) const REQUIRES(mu_);
 
   const size_t version_ring_cap_;
 
-  mutable std::mutex mu_;  // the commit lock: masters + next_seq_
-  std::map<std::string, std::unique_ptr<TableEntry>> entries_;
-  uint64_t next_seq_ = 1;
+  mutable Mutex mu_;  // the commit lock: masters + next_seq_
+  std::map<std::string, std::unique_ptr<TableEntry>> entries_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
 
   PublishedPtr<CatalogState> state_;
 };

@@ -179,7 +179,7 @@ Result<ExecResult> Session::Execute(const std::string& statement) {
 
 std::shared_ptr<Session> SessionManager::CreateSession(
     SessionOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto session = std::make_shared<Session>(next_id_++, catalog_, options);
   // Prune dropped sessions while we hold the lock anyway.
   sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
@@ -192,7 +192,7 @@ std::shared_ptr<Session> SessionManager::CreateSession(
 }
 
 size_t SessionManager::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t alive = 0;
   for (const auto& w : sessions_) {
     if (!w.expired()) ++alive;

@@ -26,7 +26,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,7 +33,9 @@
 #include "query/exec_context.h"
 #include "server/catalog.h"
 #include "sql/statement.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace ongoingdb {
 namespace server {
@@ -126,9 +127,9 @@ class SessionManager {
 
  private:
   Catalog* const catalog_;
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  mutable std::vector<std::weak_ptr<Session>> sessions_;
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  mutable std::vector<std::weak_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace server

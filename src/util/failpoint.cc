@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ongoingdb {
 
@@ -36,7 +38,7 @@ class FailpointRegistry {
   }
 
   Failpoint& GetOrCreate(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = sites_.try_emplace(name, nullptr);
     if (inserted) {
       it->second = std::unique_ptr<Failpoint>(new Failpoint(name));
@@ -49,18 +51,18 @@ class FailpointRegistry {
   }
 
   Failpoint* Find(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sites_.find(name);
     return it == sites_.end() ? nullptr : it->second.get();
   }
 
   void DisarmAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [_, fp] : sites_) fp->Disarm();
   }
 
   std::vector<std::string> Names() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::string> names;
     names.reserve(sites_.size());
     for (const auto& [name, _] : sites_) names.push_back(name);
@@ -86,9 +88,11 @@ class FailpointRegistry {
     }
   }
 
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
-  std::map<std::string, std::string> env_specs_;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_ GUARDED_BY(mu_);
+  // Parsed once in the constructor (no concurrency yet), read-only
+  // under mu_ afterwards.
+  std::map<std::string, std::string> env_specs_ GUARDED_BY(mu_);
 };
 
 Failpoint& Failpoint::GetOrCreate(const std::string& name) {

@@ -14,8 +14,11 @@ namespace ongoingdb {
 ///
 /// A Result constructed from an OK status is invalid; fallible factories
 /// must return either a value or a non-OK status.
+///
+/// [[nodiscard]] for the same reason as Status: an ignored Result hides
+/// the error alternative. See util/status.h.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

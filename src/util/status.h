@@ -34,7 +34,13 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The OK state is represented without allocation; error states carry a
 /// heap-allocated message. Statuses are cheap to move and to test.
-class Status {
+///
+/// [[nodiscard]]: a Status dropped on the floor is a swallowed error —
+/// exactly the failure class the query-lifecycle work hardened against
+/// (cancellation, deadlines, budgets, injected faults all surface as
+/// Status). Every return must be propagated, checked, or asserted; a
+/// deliberate discard needs `(void)` plus a comment justifying it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

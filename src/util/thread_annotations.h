@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis annotations, in the style of
+// absl/base/thread_annotations.h. The macros attach lock-discipline
+// contracts to data members and functions:
+//
+//   Mutex mu_;
+//   int counter_ GUARDED_BY(mu_);          // only touch with mu_ held
+//   void Rebalance() REQUIRES(mu_);        // caller must hold mu_
+//   void Publish() EXCLUDES(mu_);          // caller must NOT hold mu_
+//
+// Under clang they expand to attributes that `-Wthread-safety` checks at
+// compile time (CI builds the library with `-Werror=thread-safety`, so a
+// guarded access outside its lock is a build break, not a TSan roll of
+// the dice). Under every other compiler they expand to nothing — the
+// annotations are documentation with teeth only where the teeth exist.
+//
+// The annotated lock vocabulary the engine uses lives in util/mutex.h
+// (Mutex / MutexLock / CondVar); these macros are only useful on state
+// guarded by those wrappers, because std::mutex itself carries no
+// capability attribute the analysis could track.
+//
+// Discipline rules the annotations encode (docs/DESIGN.md, "Static
+// analysis"):
+//
+//  * every member a lock protects is GUARDED_BY that lock — adding a
+//    field to an annotated class forces a conscious choice;
+//  * private helpers that assume the lock say so with REQUIRES instead
+//    of a "mu_ must be held" comment;
+//  * condition-variable waits go through CondVar::Wait(mu), which
+//    REQUIRES the mutex — re-checking the predicate in a while loop in
+//    the (analyzed) caller, never in an opaque lambda.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define CAPABILITY(x) ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction
+/// and releases it at destruction.
+#define SCOPED_CAPABILITY \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The data member is protected by the given capability: reads and
+/// writes require holding it.
+#define GUARDED_BY(x) ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The pointed-to data is protected by the given capability (the
+/// pointer itself is not).
+#define PT_GUARDED_BY(x) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function requires the capability (or capabilities) to be held by
+/// the caller, and does not release them.
+#define REQUIRES(...) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The function requires the capabilities NOT to be held by the caller
+/// (deadlock prevention: it acquires them itself).
+#define EXCLUDES(...) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability the caller holds.
+#define RELEASE(...) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...)                \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(   \
+      try_acquire_capability(ret, __VA_ARGS__))
+
+/// Returns a reference to the capability guarding this object (lets the
+/// analysis see through accessor indirection).
+#define RETURN_CAPABILITY(x) \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to
+/// the analysis. Every use must carry a comment explaining why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ONGOINGDB_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

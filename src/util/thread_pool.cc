@@ -15,27 +15,27 @@ TaskScheduler::TaskScheduler(size_t workers) {
 
 TaskScheduler::~TaskScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void TaskScheduler::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void TaskScheduler::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       // Drain the queue even during shutdown so no submitted task is
       // dropped (TaskGroup::Wait depends on every task running).
       if (queue_.empty()) return;
@@ -53,19 +53,19 @@ TaskScheduler& TaskScheduler::Global() {
 
 void TaskGroup::Spawn(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   scheduler_->Submit([this, task = std::move(task)] {
     task();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) done_cv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) done_cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ > 0) done_cv_.Wait(mu_);
 }
 
 }  // namespace ongoingdb

@@ -13,13 +13,14 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ongoingdb {
 
@@ -65,11 +66,13 @@ class TaskScheduler {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Written once by the constructor before any concurrency, then only
+  // read (worker_count(), the destructor's joins) — not guarded.
   std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Tracks a set of tasks spawned on a scheduler and waits for all of
@@ -96,9 +99,9 @@ class TaskGroup {
 
  private:
   TaskScheduler* scheduler_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  size_t pending_ = 0;
+  Mutex mu_;
+  CondVar done_cv_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ongoingdb

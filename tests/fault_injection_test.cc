@@ -440,7 +440,9 @@ TEST_P(LifecycleFuzzTest, AtReferenceTimeHonorsLifecycle) {
   {
     ScopedFailpoint guard("exec.next", "after:1");
     auto faulty = ExecuteAtReferenceTime(plan, rt, &ctx);
-    if (!faulty.ok()) EXPECT_TRUE(IsInjectedFault(faulty.status()));
+    if (!faulty.ok()) {
+      EXPECT_TRUE(IsInjectedFault(faulty.status()));
+    }
   }
   auto recovered = ExecuteAtReferenceTime(plan, rt, &ctx);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
@@ -515,7 +517,9 @@ TEST_F(FaultInjectionTest, StreamingAggregatesHonorLifecycle) {
   {
     ScopedFailpoint guard("exec.next", "after:2");
     auto faulty = CountAtEachReferenceTime(plan, ForcedParallel(2, 4), &ctx);
-    if (!faulty.ok()) EXPECT_TRUE(IsInjectedFault(faulty.status()));
+    if (!faulty.ok()) {
+      EXPECT_TRUE(IsInjectedFault(faulty.status()));
+    }
   }
   auto recovered = CountAtEachReferenceTime(plan, ForcedParallel(2, 4), &ctx);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();

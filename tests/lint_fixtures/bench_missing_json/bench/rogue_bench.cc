@@ -1,0 +1,4 @@
+// Fixture: a bench suite that never registers with the JSON results
+// writer and carries no allow comment. The linter's bench-json rule
+// must flag it.
+int main() { return 0; }

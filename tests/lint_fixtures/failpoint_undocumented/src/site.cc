@@ -1,0 +1,12 @@
+// Fixture: plants a failpoint whose name is absent from the fixture's
+// docs/DESIGN.md table. The linter's failpoint-table rule must flag it.
+#include "util/failpoint.h"
+
+namespace ongoingdb {
+namespace {
+
+Failpoint& fp_documented = Failpoint::GetOrCreate("exec.open");
+Failpoint& fp_bogus = Failpoint::GetOrCreate("bogus.site");
+
+}  // namespace
+}  // namespace ongoingdb

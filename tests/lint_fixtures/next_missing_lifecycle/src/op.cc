@@ -1,0 +1,30 @@
+// Fixture: a physical operator whose Next neither calls CheckLifecycle
+// nor delegates to a NextBatch that does. The linter's next-lifecycle
+// rule must flag RogueOp::Next and accept DelegatingOp::Next.
+#include "query/physical.h"
+
+namespace ongoingdb {
+namespace {
+
+class RogueOp final : public PhysicalOperator {
+ public:
+  Status Next(TupleBatch* out) override {
+    out->Clear();
+    return Status::OK();
+  }
+};
+
+class DelegatingOp final : public PhysicalOperator {
+ public:
+  Status Next(TupleBatch* out) override { return NextBatch(out); }
+
+ private:
+  Status NextBatch(TupleBatch* out) {
+    ONGOINGDB_RETURN_NOT_OK(CheckLifecycle(ctx_, fp_exec_next));
+    out->Clear();
+    return Status::OK();
+  }
+};
+
+}  // namespace
+}  // namespace ongoingdb

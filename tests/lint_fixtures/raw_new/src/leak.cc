@@ -1,0 +1,26 @@
+// Fixture: raw owning new/delete outside the allowlist. The linter's
+// raw-new rule must flag the first two and honor the suppression on the
+// third; the placement-new and deleted-function idioms must not fire.
+#include <new>
+
+namespace ongoingdb {
+namespace {
+
+struct NonCopyable {
+  NonCopyable(const NonCopyable&) = delete;
+  NonCopyable& operator=(const NonCopyable&) = delete;
+};
+
+void Leak() {
+  int* p = new int(7);  // finding 1
+  delete p;             // finding 2
+  // lint:allow raw-new: fixture exercises the suppression mechanism.
+  int* suppressed = new int(8);
+  (void)suppressed;
+  alignas(int) unsigned char buf[sizeof(int)];
+  int* placed = ::new (static_cast<void*>(buf)) int(9);  // not a finding
+  (void)placed;
+}
+
+}  // namespace
+}  // namespace ongoingdb

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint_invariants.py.
+
+Runs the linter against the violation fixtures in tests/lint_fixtures/
+(one mini-tree per rule) and asserts each rule actually fires, that the
+`lint:allow` suppression mechanism works, and that the real repository
+is clean. Registered as the `lint_invariants_selftest` ctest entry, so a
+regression that silently blinds a rule fails CI even though the linter
+itself would still exit 0 on the tree.
+"""
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_linter(linter, root, rules=()):
+    cmd = [sys.executable, str(linter), "--root", str(root)]
+    for rule in rules:
+        cmd += ["--rule", rule]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+
+    def expect(self, name, condition, detail=""):
+        if condition:
+            print(f"PASS {name}")
+        else:
+            print(f"FAIL {name}  {detail}")
+            self.failures.append(name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo-root", required=True)
+    args = parser.parse_args()
+
+    repo = Path(args.repo_root)
+    linter = repo / "scripts" / "lint_invariants.py"
+    fixtures = repo / "tests" / "lint_fixtures"
+    check = Checker()
+
+    # Rule 1: an undocumented failpoint site is flagged; the documented
+    # one is not.
+    p = run_linter(linter, fixtures / "failpoint_undocumented")
+    check.expect("failpoint-table fires", p.returncode == 1 and
+                 "[failpoint-table]" in p.stdout and "bogus.site" in p.stdout,
+                 p.stdout + p.stderr)
+    check.expect("failpoint-table skips documented site",
+                 "exec.open" not in p.stdout, p.stdout)
+
+    # Rule 2: a Next without CheckLifecycle is flagged; a Next delegating
+    # to a CheckLifecycle-calling NextBatch is not.
+    p = run_linter(linter, fixtures / "next_missing_lifecycle")
+    findings = [l for l in p.stdout.splitlines() if "[next-lifecycle]" in l]
+    check.expect("next-lifecycle fires", p.returncode == 1 and
+                 len(findings) == 1 and "op.cc" in findings[0],
+                 p.stdout + p.stderr)
+
+    # Rule 3: raw new and delete are flagged; the lint:allow-suppressed
+    # allocation and the placement-new idiom are not.
+    p = run_linter(linter, fixtures / "raw_new")
+    findings = [l for l in p.stdout.splitlines() if "[raw-new]" in l]
+    check.expect("raw-new fires on new and delete",
+                 p.returncode == 1 and len(findings) == 2,
+                 p.stdout + p.stderr)
+
+    # Rule 4: a bench suite without BenchJsonWriter is flagged.
+    p = run_linter(linter, fixtures / "bench_missing_json")
+    check.expect("bench-json fires", p.returncode == 1 and
+                 "[bench-json]" in p.stdout and "rogue_bench" in p.stdout,
+                 p.stdout + p.stderr)
+
+    # The real tree is clean under every rule.
+    p = run_linter(linter, repo)
+    check.expect("real repo is clean", p.returncode == 0,
+                 p.stdout + p.stderr)
+
+    if check.failures:
+        print(f"{len(check.failures)} self-test failure(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants self-test: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+// Negative compile-only fixture (CMake target:
+// thread_annotations_compile_violation, WILL_FAIL, clang only): an
+// unlocked write to a GUARDED_BY member. The test asserts that
+// `-Werror=thread-safety` REJECTS this file — i.e. that the annotated
+// Mutex wrapper actually gives the analysis something to check and a
+// future un-disciplined access cannot slip through a clang CI build.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: writes value_ without holding mu_. Under clang this is
+  // error: writing variable 'value_' requires holding mutex 'mu_'.
+  void UnlockedAdd(uint64_t n) { value_ += n; }
+
+ private:
+  ongoingdb::Mutex mu_;
+  uint64_t value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.UnlockedAdd(1);
+  return 0;
+}
