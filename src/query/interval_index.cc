@@ -96,6 +96,82 @@ Result<IntervalIndex> IntervalIndex::Build(const OngoingRelation& r,
   return index;
 }
 
+Status IntervalIndex::ApplyInsert(const Tuple& tuple, size_t tuple_index) {
+  if (column_index_ >= tuple.num_values()) {
+    return Status::InvalidArgument(
+        "tuple is too narrow for the indexed column");
+  }
+  const Value& v = tuple.value(column_index_);
+  Entry e;
+  if (v.type() == ValueType::kFixedInterval) {
+    FixedInterval f = v.AsInterval();
+    e = Entry{f.start, f.start, f.end, f.end, tuple_index};
+  } else if (v.type() == ValueType::kOngoingInterval) {
+    const OngoingInterval& iv = v.AsOngoingInterval();
+    e = Entry{iv.start().a(), iv.start().b(), iv.end().a(), iv.end().b(),
+              tuple_index};
+  } else {
+    return Status::TypeError("interval index requires an interval attribute");
+  }
+  const auto pos_it = std::upper_bound(
+      entries_.begin(), entries_.end(), e.min_start,
+      [](TimePoint v_, const Entry& x) { return v_ < x.min_start; });
+  const uint32_t p = static_cast<uint32_t>(pos_it - entries_.begin());
+  entries_.insert(pos_it, e);
+  // Positions at or past the insertion point shifted up by one; the
+  // relative max_start order of the survivors is unchanged.
+  for (uint32_t& pos : by_max_start_) {
+    if (pos >= p) ++pos;
+  }
+  const auto by_it = std::upper_bound(
+      by_max_start_.begin(), by_max_start_.end(), e.max_start,
+      [this](TimePoint v_, uint32_t pos) {
+        return v_ < entries_[pos].max_start;
+      });
+  by_max_start_.insert(by_it, p);
+  fingerprint_current_ = false;
+  return Status::OK();
+}
+
+Status IntervalIndex::ApplyRemove(size_t tuple_index, size_t moved_from) {
+  size_t p = entries_.size();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].tuple_index == tuple_index) {
+      p = i;
+      break;
+    }
+  }
+  if (p == entries_.size()) {
+    return Status::InvalidArgument("no index entry for the removed tuple");
+  }
+  if (moved_from != kNoMove && moved_from != tuple_index) {
+    size_t moved_pos = entries_.size();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].tuple_index == moved_from) {
+        moved_pos = i;
+        break;
+      }
+    }
+    if (moved_pos == entries_.size()) {
+      return Status::InvalidArgument("no index entry for the relocated tuple");
+    }
+    entries_[moved_pos].tuple_index = tuple_index;
+  }
+  for (size_t i = 0; i < by_max_start_.size(); ++i) {
+    if (by_max_start_[i] == p) {
+      by_max_start_.erase(by_max_start_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  for (uint32_t& pos : by_max_start_) {
+    if (pos > p) --pos;
+  }
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(p));
+  fingerprint_current_ = false;
+  return Status::OK();
+}
+
 // Every probe below returns a superset of the tuples that satisfy the
 // exact predicate at some reference time, for any probe instantiation
 // inside the probe's bounds. The derivations pick, per op, the loosest

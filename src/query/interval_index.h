@@ -77,6 +77,36 @@ class IntervalIndex {
   static Result<uint64_t> ColumnFingerprint(const OngoingRelation& r,
                                             size_t column_index);
 
+  // --- incremental maintenance (view delta-apply) -------------------------
+  // The sequential fingerprint chain cannot be patched in place, so any
+  // in-place delta leaves fingerprint() describing a state the index no
+  // longer matches; fingerprint_current() reports that. Consumers that
+  // gate on the fingerprint (the executor's shared index states) never
+  // apply deltas; the view maintainer owns its indexes and tracks
+  // staleness itself, rebuilding via Build once the applied-delta
+  // fraction passes its threshold.
+
+  /// Sentinel for ApplyRemove: no tuple was relocated by the removal.
+  static constexpr size_t kNoMove = static_cast<size_t>(-1);
+
+  /// Indexes `tuple`, which the underlying relation now holds at
+  /// `tuple_index`. O(n) worst case (ordered insertion into both bound
+  /// orders), O(log n) search. Fails on a non-interval value; the index
+  /// is unchanged on failure.
+  Status ApplyInsert(const Tuple& tuple, size_t tuple_index);
+
+  /// Drops the entry for `tuple_index`. When the relation removed the
+  /// tuple by swap-remove, pass the index the relocated tuple moved
+  /// *from* (its old last position) as `moved_from` and its entry is
+  /// relabeled to `tuple_index`; pass kNoMove otherwise. Fails (index
+  /// unchanged) when either entry is missing.
+  Status ApplyRemove(size_t tuple_index, size_t moved_from);
+
+  /// True until the first in-place delta; false afterwards, meaning
+  /// fingerprint() describes the original Build state, not the current
+  /// entries.
+  bool fingerprint_current() const { return fingerprint_current_; }
+
   /// Index-accelerated ongoing selection: equivalent to
   /// Select(r, pred(col, probe)) for pred in {overlaps, before}, but the
   /// exact ongoing predicate is evaluated only on the index's candidate
@@ -106,6 +136,7 @@ class IntervalIndex {
   std::vector<uint32_t> by_max_start_;
   size_t column_index_ = 0;
   uint64_t fingerprint_ = 0;
+  bool fingerprint_current_ = true;
 };
 
 }  // namespace ongoingdb

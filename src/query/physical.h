@@ -87,6 +87,18 @@ class PhysicalOperator {
   /// instead of copying it batch by batch.
   virtual const OngoingRelation* BorrowedRelation() const { return nullptr; }
 
+  /// Rebinds the lifecycle context this tree checks cooperatively,
+  /// recursively through children. Compile() bakes `ctx` into every
+  /// operator; a cached tree served under a new context (a materialized
+  /// view refreshed by a different session/statement) is rebound with
+  /// this instead of recompiled, so warm state that survives reopens —
+  /// the shared IntervalIndex states in particular — is kept. Only call
+  /// between drains (not between Open and Close): per-query state such
+  /// as memory charges is (re)initialized from the context inside
+  /// Open(). Pure so a new operator cannot silently keep a stale
+  /// context.
+  virtual void RebindContext(QueryContext* ctx) = 0;
+
  protected:
   explicit PhysicalOperator(Schema schema) : schema_(std::move(schema)) {}
 

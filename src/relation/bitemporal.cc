@@ -5,6 +5,10 @@ namespace ongoingdb {
 Status BitemporalRelation::Insert(std::vector<Value> values, TimePoint tt) {
   ONGOINGDB_RETURN_NOT_OK(data_.Insert(std::move(values)));
   tt_.push_back(FixedInterval{tt, kUntilChanged});
+  if (current_log_ != nullptr) {
+    current_log_->Append(Modification::Kind::kInsert,
+                         data_.tuple(data_.size() - 1));
+  }
   return Status::OK();
 }
 
@@ -15,6 +19,9 @@ size_t BitemporalRelation::Delete(
     if (tt_[i].end != kUntilChanged) continue;  // already superseded
     if (!filter(data_.tuple(i))) continue;
     tt_[i].end = tt;
+    if (current_log_ != nullptr) {
+      current_log_->Append(Modification::Kind::kRemove, data_.tuple(i));
+    }
     ++deleted;
   }
   return deleted;
@@ -28,6 +35,9 @@ Status BitemporalRelation::CloseVersion(size_t i, TimePoint tt) {
     return Status::InvalidArgument("version is already superseded");
   }
   tt_[i].end = tt;
+  if (current_log_ != nullptr) {
+    current_log_->Append(Modification::Kind::kRemove, data_.tuple(i));
+  }
   return Status::OK();
 }
 
@@ -35,6 +45,42 @@ void BitemporalRelation::AppendVersionUnchecked(Tuple tuple, TimePoint tt) {
   if (tuple.rt().IsEmpty()) return;
   data_.AppendUnchecked(std::move(tuple));
   tt_.push_back(FixedInterval{tt, kUntilChanged});
+  if (current_log_ != nullptr) {
+    current_log_->Append(Modification::Kind::kInsert,
+                         data_.tuple(data_.size() - 1));
+  }
+}
+
+void BitemporalRelation::EnableCurrentStateLog(size_t capacity) {
+  if (current_log_ == nullptr) {
+    current_log_ = std::make_shared<ModificationLog>(capacity);
+  }
+}
+
+size_t BitemporalRelation::DropVersionsBefore(TimePoint horizon) {
+  size_t dropped = 0;
+  std::vector<Tuple> kept;
+  std::vector<FixedInterval> kept_tt;
+  kept.reserve(data_.size());
+  kept_tt.reserve(tt_.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (tt_[i].end != kUntilChanged && tt_[i].end <= horizon) {
+      ++dropped;
+      continue;
+    }
+    kept.push_back(data_.tuple(i));
+    kept_tt.push_back(tt_[i]);
+  }
+  if (dropped == 0) return 0;
+  // The tuple-vector constructor bypasses the empty-RT drop of
+  // AppendUnchecked, keeping data_ and tt_ aligned by construction. GC
+  // does not change the current state, so data_'s modification log (if
+  // any) is carried across the replacement with no entries.
+  std::shared_ptr<ModificationLog> log = data_.SharedModificationLog();
+  data_ = OngoingRelation(data_.schema(), std::move(kept));
+  data_.AttachModificationLog(std::move(log));
+  tt_ = std::move(kept_tt);
+  return dropped;
 }
 
 OngoingRelation BitemporalRelation::Current() const {

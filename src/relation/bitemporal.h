@@ -76,9 +76,31 @@ class BitemporalRelation {
   /// transaction-time bookkeeping stays aligned either way.
   void AppendVersionUnchecked(Tuple tuple, TimePoint tt);
 
+  /// Enables logging of *current-state* deltas (idempotent): every
+  /// mutation that changes Current() — Insert/AppendVersionUnchecked add
+  /// a tuple, Delete/CloseVersion supersede one — appends a
+  /// kInsert/kRemove entry. The commit-stamped Torp modifications in
+  /// relation/modifications.cc thereby log, in commit order, exactly the
+  /// delta a view over the current state must replay. GC
+  /// (DropVersionsBefore) never logs: it only discards superseded
+  /// versions, which leaves Current() unchanged.
+  void EnableCurrentStateLog(
+      size_t capacity = ModificationLog::kDefaultCapacity);
+
+  /// The current-state delta log, or nullptr when not enabled.
+  ModificationLog* current_state_log() const { return current_log_.get(); }
+
+  /// Garbage-collects versions whose transaction time ended at or before
+  /// `horizon`: they are invisible to AsOf(s) for every s >= horizon
+  /// (visibility is inserted <= s < superseded, and superseded <=
+  /// horizon <= s rules them out, including s == horizon). Current
+  /// versions are always kept. Returns the number of versions dropped.
+  size_t DropVersionsBefore(TimePoint horizon);
+
  private:
   OngoingRelation data_;
   std::vector<FixedInterval> tt_;
+  std::shared_ptr<ModificationLog> current_log_;
 };
 
 }  // namespace ongoingdb

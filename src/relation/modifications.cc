@@ -41,6 +41,10 @@ Result<size_t> TemporalDelete(OngoingRelation* r, size_t vt_index,
                               TimePoint tc,
                               const ModificationFilter& filter) {
   ONGOINGDB_RETURN_NOT_OK(CheckVtIndex(*r, vt_index));
+  // The rebuild below replaces *r wholesale; carry the modification log
+  // across the replacement and log the precise close deltas here (the
+  // rebuilt relation has no log, so the pass-through appends stay silent).
+  std::shared_ptr<ModificationLog> log = r->SharedModificationLog();
   OngoingRelation updated(r->schema());
   updated.Reserve(r->size());
   size_t modified = 0;
@@ -50,14 +54,20 @@ Result<size_t> TemporalDelete(OngoingRelation* r, size_t vt_index,
       continue;
     }
     ++modified;
+    if (log != nullptr) log->Append(Modification::Kind::kRemove, t);
     OngoingInterval closed =
         CloseAt(t.value(vt_index).AsOngoingInterval(), tc);
     if (closed.IsAlwaysEmpty()) continue;  // never valid: remove entirely
     std::vector<Value> values = t.values();
     values[vt_index] = Value::Ongoing(closed);
-    updated.AppendUnchecked(Tuple(std::move(values), t.rt()));
+    Tuple replacement(std::move(values), t.rt());
+    if (log != nullptr) {
+      log->Append(Modification::Kind::kInsert, replacement);
+    }
+    updated.AppendUnchecked(std::move(replacement));
   }
   *r = std::move(updated);
+  r->AttachModificationLog(std::move(log));
   return modified;
 }
 
@@ -66,6 +76,9 @@ Result<size_t> TemporalUpdate(
     const ModificationFilter& filter,
     const std::function<std::vector<Value>(const Tuple&)>& updater) {
   ONGOINGDB_RETURN_NOT_OK(CheckVtIndex(*r, vt_index));
+  // Same log carry-over as TemporalDelete: an update is a close of the
+  // old version plus an insert of the new one, logged per matched tuple.
+  std::shared_ptr<ModificationLog> log = r->SharedModificationLog();
   OngoingRelation updated(r->schema());
   updated.Reserve(r->size());
   size_t modified = 0;
@@ -75,21 +88,31 @@ Result<size_t> TemporalUpdate(
       continue;
     }
     ++modified;
+    if (log != nullptr) log->Append(Modification::Kind::kRemove, t);
     // Close the old version at tc.
     OngoingInterval closed =
         CloseAt(t.value(vt_index).AsOngoingInterval(), tc);
     if (!closed.IsAlwaysEmpty()) {
       std::vector<Value> old_values = t.values();
       old_values[vt_index] = Value::Ongoing(closed);
-      updated.AppendUnchecked(Tuple(std::move(old_values), t.rt()));
+      Tuple closed_old(std::move(old_values), t.rt());
+      if (log != nullptr) {
+        log->Append(Modification::Kind::kInsert, closed_old);
+      }
+      updated.AppendUnchecked(std::move(closed_old));
     }
     // The new version is valid from tc on.
     std::vector<Value> new_values = updater(t);
     new_values[vt_index] = Value::Ongoing(OngoingInterval(
         OngoingTimePoint::Fixed(tc), OngoingTimePoint::Now()));
-    updated.AppendUnchecked(Tuple(std::move(new_values), t.rt()));
+    Tuple new_version(std::move(new_values), t.rt());
+    if (log != nullptr) {
+      log->Append(Modification::Kind::kInsert, new_version);
+    }
+    updated.AppendUnchecked(std::move(new_version));
   }
   *r = std::move(updated);
+  r->AttachModificationLog(std::move(log));
   return modified;
 }
 

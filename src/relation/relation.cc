@@ -7,6 +7,32 @@
 
 namespace ongoingdb {
 
+uint64_t ModificationLog::Append(Modification::Kind kind, Tuple tuple) {
+  const uint64_t seq = next_seq_++;
+  entries_.push_back(Modification{seq, kind, std::move(tuple)});
+  if (entries_.size() > capacity_) {
+    entries_.pop_front();
+    first_available_ = entries_.front().seq;
+  }
+  return seq;
+}
+
+bool ModificationLog::EntriesSince(
+    uint64_t since, std::vector<const Modification*>* out) const {
+  if (since < first_available_) return false;
+  if (entries_.empty() || since >= next_seq_) return true;
+  // Sequence numbers are dense, so the requested entries are the suffix
+  // starting at offset since - front.seq.
+  const size_t offset =
+      since <= entries_.front().seq
+          ? 0
+          : static_cast<size_t>(since - entries_.front().seq);
+  for (size_t i = offset; i < entries_.size(); ++i) {
+    out->push_back(&entries_[i]);
+  }
+  return true;
+}
+
 Status OngoingRelation::ValidateValues(
     const std::vector<Value>& values) const {
   if (values.size() != schema_.num_attributes()) {
@@ -29,6 +55,9 @@ Status OngoingRelation::ValidateValues(
 Status OngoingRelation::Insert(std::vector<Value> values) {
   ONGOINGDB_RETURN_NOT_OK(ValidateValues(values));
   tuples_.emplace_back(std::move(values));
+  if (log_ != nullptr) {
+    log_->Append(Modification::Kind::kInsert, tuples_.back());
+  }
   return Status::OK();
 }
 
@@ -41,12 +70,34 @@ Status OngoingRelation::InsertWithRt(std::vector<Value> values,
         "relation");
   }
   tuples_.emplace_back(std::move(values), std::move(rt));
+  if (log_ != nullptr) {
+    log_->Append(Modification::Kind::kInsert, tuples_.back());
+  }
   return Status::OK();
 }
 
 void OngoingRelation::AppendUnchecked(Tuple tuple) {
   if (tuple.rt().IsEmpty()) return;
   tuples_.push_back(std::move(tuple));
+  if (log_ != nullptr) {
+    log_->Append(Modification::Kind::kInsert, tuples_.back());
+  }
+}
+
+void OngoingRelation::SwapRemove(size_t i) {
+  if (log_ != nullptr) {
+    log_->Append(Modification::Kind::kRemove, tuples_[i]);
+  }
+  if (i + 1 != tuples_.size()) {
+    tuples_[i] = std::move(tuples_.back());
+  }
+  tuples_.pop_back();
+}
+
+void OngoingRelation::EnableModificationLog(size_t capacity) {
+  if (log_ == nullptr) {
+    log_ = std::make_shared<ModificationLog>(capacity);
+  }
 }
 
 IntervalSet OngoingRelation::CoveredReferenceTimes() const {

@@ -87,7 +87,7 @@ Result<Catalog::TableEntry*> Catalog::FindEntry(
 }
 
 void Catalog::PublishTable(const std::string& name, uint64_t seq) {
-  const TableEntry& entry = *entries_.at(name);
+  TableEntry& entry = *entries_.at(name);
   auto next = std::make_shared<CatalogState>(*state_.Load());
   next->commit_seq = seq;
   PublishedTable& table = next->tables[name];
@@ -95,6 +95,17 @@ void Catalog::PublishTable(const std::string& name, uint64_t seq) {
       seq, std::make_shared<const OngoingRelation>(entry.master.Current())});
   if (table.recent.size() > version_ring_cap_) {
     table.recent.erase(table.recent.begin());
+    // Garbage-collect master versions that fell below the ring: once the
+    // oldest retained ring sequence is H, every sequence the ring can no
+    // longer answer is < H, and versions superseded at or before H are
+    // invisible to AsOf(s) for all s >= H — MaterializeAsOf stays exact
+    // down to the horizon, and below it returns a typed error instead of
+    // silently keeping every superseded version forever.
+    const uint64_t horizon = table.recent.front().commit_seq;
+    if (horizon > entry.gc_horizon) {
+      entry.gc_horizon = horizon;
+      entry.master.DropVersionsBefore(static_cast<TimePoint>(horizon));
+    }
   }
   state_.Store(std::move(next));
 }
@@ -188,8 +199,27 @@ Result<std::shared_ptr<const OngoingRelation>> Catalog::MaterializeAsOf(
     const std::string& name, uint64_t seq) const {
   MutexLock lock(mu_);
   ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  if (seq < entry->gc_horizon) {
+    return Status::OutOfRange(
+        "commit sequence " + std::to_string(seq) +
+        " predates the garbage-collection horizon " +
+        std::to_string(entry->gc_horizon) + " of '" + name +
+        "'; superseded versions below the horizon have been discarded");
+  }
   return std::make_shared<const OngoingRelation>(
       entry->master.AsOf(static_cast<TimePoint>(seq)));
+}
+
+Result<size_t> Catalog::MasterVersionCount(const std::string& name) const {
+  MutexLock lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  return entry->master.num_versions();
+}
+
+Result<uint64_t> Catalog::GcHorizon(const std::string& name) const {
+  MutexLock lock(mu_);
+  ONGOINGDB_ASSIGN_OR_RETURN(TableEntry * entry, FindEntry(name));
+  return entry->gc_horizon;
 }
 
 }  // namespace server

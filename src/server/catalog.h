@@ -171,13 +171,32 @@ class Catalog {
   /// Materializes `name` as of commit sequence `seq` from the master
   /// store's per-tuple transaction time (visibility: TT contains seq).
   /// Takes the commit lock; intended for historical reads that fell off
-  /// the lock-free ring, not for the serving hot path.
+  /// the lock-free ring, not for the serving hot path. Fails with
+  /// OutOfRange when `seq` predates the table's GC horizon: superseded
+  /// versions below the horizon have been garbage-collected.
   Result<std::shared_ptr<const OngoingRelation>> MaterializeAsOf(
       const std::string& name, uint64_t seq) const;
+
+  // --- diagnostics --------------------------------------------------------
+
+  /// The number of master-store versions `name` retains (current plus
+  /// superseded-above-horizon). Takes the commit lock; the GC tests use
+  /// it to prove memory stays bounded under sustained writes.
+  Result<size_t> MasterVersionCount(const std::string& name) const;
+
+  /// `name`'s GC horizon: the oldest commit sequence MaterializeAsOf can
+  /// still answer exactly. 0 until the version ring first overflows.
+  Result<uint64_t> GcHorizon(const std::string& name) const;
 
  private:
   struct TableEntry {
     BitemporalRelation master;
+    /// Master versions superseded at or below this commit sequence have
+    /// been garbage-collected. Monotonic; advanced by PublishTable when
+    /// the ring evicts. Invariant: gc_horizon <= oldest ring sequence,
+    /// so every read the ring refuses (GetAsOf's OutOfRange) is still
+    /// answerable from the master down to the horizon.
+    uint64_t gc_horizon = 0;
     explicit TableEntry(Schema schema) : master(std::move(schema)) {}
   };
 

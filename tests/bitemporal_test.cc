@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 namespace ongoingdb {
 namespace {
 
@@ -78,6 +82,58 @@ TEST(BitemporalTest, InsertValidatesSchema) {
   BitemporalRelation r(BugSchema());
   EXPECT_FALSE(r.Insert({Value::String("wrong")}, 0).ok());
   EXPECT_EQ(r.num_versions(), 0u);
+}
+
+TEST(BitemporalTest, CurrentStateLogReplaysToCurrent) {
+  // The current-state log records exactly the delta of Current() — the
+  // feed a materialized view over the serving path replays. GC never
+  // logs: discarding superseded versions leaves Current() unchanged.
+  BitemporalRelation r(BugSchema());
+  ASSERT_TRUE(r.Insert(Bug(500, MD(1, 25)), MD(1, 26)).ok());  // pre-log
+  r.EnableCurrentStateLog();
+  ModificationLog* log = r.current_state_log();
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->size(), 0u);  // enabling is not retroactive
+  OngoingRelation replay = r.Current();
+  const uint64_t since = log->next_seq();
+
+  ASSERT_TRUE(r.Insert(Bug(501, MD(3, 30)), MD(3, 31)).ok());
+  r.AppendVersionUnchecked(Tuple({Value::Int64(502),
+                                  Value::Ongoing(
+                                      OngoingInterval::SinceUntilNow(MD(4, 1)))}),
+                           MD(4, 2));
+  EXPECT_EQ(r.Delete(
+                [](const Tuple& t) { return t.value(0).AsInt64() == 500; },
+                MD(6, 1)),
+            1u);
+  ASSERT_TRUE(r.CloseVersion(1, MD(7, 1)).ok());  // supersedes bug 501
+  const size_t logged = log->size();
+  EXPECT_EQ(logged, 4u);  // 2 post-log inserts + 2 current-state removals
+  EXPECT_GT(r.DropVersionsBefore(MD(8, 1)), 0u);
+  EXPECT_EQ(log->size(), logged);  // GC is invisible to the log
+
+  std::vector<const Modification*> entries;
+  ASSERT_TRUE(log->EntriesSince(since, &entries));
+  for (const Modification* m : entries) {
+    if (m->kind == Modification::Kind::kInsert) {
+      replay.AppendUnchecked(m->tuple);
+      continue;
+    }
+    bool found = false;
+    for (size_t i = 0; i < replay.size(); ++i) {
+      if (replay.tuple(i).ToString() == m->tuple.ToString()) {
+        replay.SwapRemove(i);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "unmatched removal: " << m->tuple.ToString();
+  }
+  std::multiset<std::string> got, want;
+  const OngoingRelation current = r.Current();
+  for (const Tuple& t : replay.tuples()) got.insert(t.ToString());
+  for (const Tuple& t : current.tuples()) want.insert(t.ToString());
+  EXPECT_EQ(got, want);
 }
 
 }  // namespace

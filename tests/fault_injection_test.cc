@@ -27,6 +27,7 @@
 #include "query/aggregate.h"
 #include "query/executor.h"
 #include "query/materialized_view.h"
+#include "relation/modifications.h"
 #include "server/session.h"
 #include "testing/plan_fuzz.h"
 #include "util/failpoint.h"
@@ -212,7 +213,7 @@ TEST_F(FaultInjectionTest, FailpointRegistryAndSuspension) {
   std::vector<std::string> names = Failpoint::RegisteredNames();
   for (const char* site : {"exec.open", "exec.next", "exec.materialize",
                            "gather.handoff", "index.build",
-                           "repartition.route"}) {
+                           "repartition.route", "view.delta_apply"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), site), names.end())
         << "site not planted: " << site;
     EXPECT_NE(Failpoint::Find(site), nullptr);
@@ -552,6 +553,42 @@ TEST_F(FaultInjectionTest, MaterializedViewKeepsResultAcrossFailedRefresh) {
   ASSERT_TRUE(view->Refresh(&ctx).ok());
   EXPECT_EQ(Fingerprint(view->ongoing_result()), want);
   EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+TEST_F(FaultInjectionTest, DeltaApplyFaultLeavesViewPreDelta) {
+  // The view.delta_apply seam sits at the top of the incremental apply:
+  // a triggered failure must surface as the injected fault, leave the
+  // served result exactly pre-delta, and keep the SAME pending batch
+  // applicable once disarmed (all-or-nothing, cursors unmoved).
+  Rng rng(15);
+  OngoingRelation r = MakeBase(rng, "W_", 60);
+  r.EnableModificationLog();
+  PlanPtr plan = Filter(Scan(&r, "R"), Lt(Col("W_ID"), Lit(int64_t{1000})));
+  auto view = MaterializedView::Create(plan);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  const std::multiset<std::string> before = Fingerprint(view->ongoing_result());
+
+  ASSERT_TRUE(
+      TemporalInsert(&r,
+                     {Value::Int64(500), Value::Int64(1),
+                      Value::String("component-bookmarks"),
+                      Value::Ongoing(OngoingInterval::SinceUntilNow(0))},
+                     3, 40)
+          .ok());
+  {
+    ScopedFailpoint guard("view.delta_apply", "always");
+    Status st = view->Refresh();
+    EXPECT_TRUE(IsInjectedFault(st)) << st.ToString();
+    EXPECT_EQ(Fingerprint(view->ongoing_result()), before);
+  }
+
+  // Disarmed, the pending delta applies incrementally and converges on
+  // the reference.
+  ASSERT_TRUE(view->Refresh().ok());
+  EXPECT_EQ(view->last_refresh_mode(), RefreshMode::kDelta);
+  auto reference = ReferenceExecute(plan);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Fingerprint(view->ongoing_result()), Fingerprint(*reference));
 }
 
 // --- serving-layer seams (server/catalog.h, server/session.h) ---------------

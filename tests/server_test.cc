@@ -121,16 +121,81 @@ TEST(ServerCatalogTest, TimeTravelWithinRingAndMaterializeBelowIt) {
   ASSERT_TRUE(above.ok());
   EXPECT_EQ((*above)->size(), 5u);
 
-  // Below the ring: OutOfRange from the snapshot, exact result from the
-  // master store's per-tuple transaction time.
+  // Below the ring: OutOfRange from the snapshot; the master store
+  // answers exactly down to the GC horizon (the oldest retained ring
+  // sequence) and refuses with a typed error below it — superseded
+  // versions there have been garbage-collected.
   auto fell_off = snap.GetAsOf("Bugs", 2);
   ASSERT_FALSE(fell_off.ok());
   EXPECT_EQ(fell_off.status().code(), StatusCode::kOutOfRange);
-  for (uint64_t seq = 1; seq <= 6; ++seq) {
+  auto horizon = catalog.GcHorizon("Bugs");
+  ASSERT_TRUE(horizon.ok()) << horizon.status();
+  EXPECT_EQ(*horizon, 4u);  // ring front after six commits at cap 3
+  for (uint64_t seq = *horizon; seq <= 6; ++seq) {
     auto mat = catalog.MaterializeAsOf("Bugs", seq);
     ASSERT_TRUE(mat.ok()) << mat.status();
     EXPECT_EQ((*mat)->size(), static_cast<size_t>(seq - 1)) << "seq " << seq;
   }
+  for (uint64_t seq = 1; seq < *horizon; ++seq) {
+    auto gone = catalog.MaterializeAsOf("Bugs", seq);
+    ASSERT_FALSE(gone.ok()) << "seq " << seq;
+    EXPECT_EQ(gone.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(ServerCatalogTest, GcBoundsMasterVersionsUnderSustainedChurn) {
+  constexpr size_t kRingCap = 4;
+  Catalog catalog(kRingCap);
+  ASSERT_TRUE(catalog.CreateTable("Bugs", BugsSchema()).ok());
+
+  // Churn: each round inserts a row valid from 100 and deletes it at
+  // tc 5, making the closed valid time always-empty — the superseded
+  // version becomes pure garbage once it falls below the ring.
+  auto churn = [&catalog](int64_t bid) {
+    EXPECT_TRUE(catalog.Insert("Bugs", BugRow(bid, "gc", 100)).ok());
+    size_t deleted = 0;
+    auto del = catalog.TemporalDeleteWhere(
+        "Bugs", 5,
+        [bid](const Tuple& t) { return t.value(0).AsInt64() == bid; },
+        &deleted);
+    EXPECT_TRUE(del.ok()) << del.status();
+    EXPECT_EQ(deleted, 1u);
+  };
+
+  // 40 rounds = 80 commits: an order of magnitude past the ring. The
+  // master must reach a steady state instead of growing by one
+  // superseded version per round.
+  constexpr int kRounds = 40;
+  for (int64_t i = 0; i < kRounds / 2; ++i) churn(600 + i);
+  auto mid = catalog.MasterVersionCount("Bugs");
+  ASSERT_TRUE(mid.ok()) << mid.status();
+  for (int64_t i = kRounds / 2; i < kRounds; ++i) churn(600 + i);
+  auto end = catalog.MasterVersionCount("Bugs");
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*mid, *end);  // steady state, not linear growth
+  EXPECT_LE(*end, 2 * kRingCap + 2);  // bounded by the retention window
+
+  // The horizon trails the newest commit by the ring capacity (every
+  // commit publishes this table, so the ring front is commit-dense).
+  auto horizon = catalog.GcHorizon("Bugs");
+  ASSERT_TRUE(horizon.ok());
+  EXPECT_EQ(*horizon, catalog.commit_seq() - kRingCap + 1);
+
+  // Reads at and above the horizon stay exact: the final round's insert
+  // and delete commits are version-accurate.
+  const uint64_t top = catalog.commit_seq();
+  auto at_insert = catalog.MaterializeAsOf("Bugs", top - 1);
+  ASSERT_TRUE(at_insert.ok()) << at_insert.status();
+  EXPECT_EQ((*at_insert)->size(), 1u);
+  auto at_delete = catalog.MaterializeAsOf("Bugs", top);
+  ASSERT_TRUE(at_delete.ok());
+  EXPECT_EQ((*at_delete)->size(), 0u);
+  EXPECT_TRUE(catalog.MaterializeAsOf("Bugs", *horizon).ok());
+
+  // Below the horizon: a typed refusal, not a silently wrong answer.
+  auto below = catalog.MaterializeAsOf("Bugs", *horizon - 1);
+  ASSERT_FALSE(below.ok());
+  EXPECT_EQ(below.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(ServerCatalogTest, StampedModificationsMatchPlainOps) {
